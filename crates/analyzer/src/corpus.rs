@@ -1,0 +1,643 @@
+//! Synthetic GitHub corpus generator.
+//!
+//! The paper's corpus — 6392 Fabric projects crawled from GitHub — is not
+//! redistributable, so this module synthesizes one whose **ground-truth
+//! marginal statistics equal the paper's published numbers** (§V-C2):
+//! 252 explicit-PDC projects, 35 implicit, 31 both; 218 relying on the
+//! chaincode-level policy and 34 customizing `EndorsementPolicy`; 120
+//! `configtx.yaml` files among the 218, 116 of them `MAJORITY
+//! Endorsement`; 231 projects with read-leaking chaincode, 20 of which
+//! also write-leak.
+//!
+//! Each project is materialized as a real directory tree (collection
+//! definition JSON, Go/JS chaincode, optional `configtx.yaml`, repository
+//! metadata), and the statistics are then *re-derived by scanning the
+//! files* — the generator plants structures, not answers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Ground-truth parameters of a synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Projects per year, `(year, total, pdc)`. PDC was introduced in
+    /// Fabric 1.2 (2018), so earlier years must have `pdc = 0`.
+    pub per_year: Vec<(u16, usize, usize)>,
+    /// Explicit-only PDC projects (paper: 221).
+    pub explicit_only: usize,
+    /// Projects using both explicit and implicit PDC (paper: 31).
+    pub both: usize,
+    /// Implicit-only PDC projects (paper: 4).
+    pub implicit_only: usize,
+    /// Explicit projects customizing the collection `EndorsementPolicy`
+    /// (paper: 34).
+    pub custom_collection_policy: usize,
+    /// Of the chaincode-level-policy projects: how many ship a
+    /// `configtx.yaml` with `MAJORITY Endorsement` (paper: 116).
+    pub configtx_majority: usize,
+    /// ... and with another implicitMeta rule (paper: 4).
+    pub configtx_other: usize,
+    /// Explicit projects with a read-leaking chaincode function
+    /// (paper: 231).
+    pub read_leak: usize,
+    /// Of those, how many also write-leak (paper: 20).
+    pub read_and_write_leak: usize,
+    /// Seed for deterministic attribute assignment.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    /// The paper's corpus: 6392 projects, 2016–2020.
+    fn default() -> Self {
+        CorpusSpec {
+            // Fig. 7 gives no exact per-year totals beyond "sharp growth in
+            // 2019/2020"; this split sums to 6392 with that shape, and PDC
+            // counts start in 2018 and sum to 256.
+            per_year: vec![
+                (2016, 118, 0),
+                (2017, 389, 0),
+                (2018, 901, 21),
+                (2019, 2192, 87),
+                (2020, 2792, 148),
+            ],
+            explicit_only: 221,
+            both: 31,
+            implicit_only: 4,
+            custom_collection_policy: 34,
+            configtx_majority: 116,
+            configtx_other: 4,
+            read_leak: 231,
+            read_and_write_leak: 20,
+            seed: 20210701,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// A scaled-down corpus for fast tests (~1/20 of the paper's, same
+    /// structure).
+    pub fn small(seed: u64) -> Self {
+        CorpusSpec {
+            per_year: vec![(2016, 6, 0), (2017, 19, 0), (2018, 45, 1), (2019, 110, 4), (2020, 140, 8)],
+            explicit_only: 11,
+            both: 1,
+            implicit_only: 1,
+            custom_collection_policy: 2,
+            configtx_majority: 6,
+            configtx_other: 1,
+            read_leak: 11,
+            read_and_write_leak: 1,
+            seed,
+        }
+    }
+
+    /// Total project count.
+    pub fn total(&self) -> usize {
+        self.per_year.iter().map(|(_, t, _)| *t).sum()
+    }
+
+    /// Total PDC project count.
+    pub fn total_pdc(&self) -> usize {
+        self.per_year.iter().map(|(_, _, p)| *p).sum()
+    }
+
+    /// Explicit PDC project count.
+    pub fn explicit(&self) -> usize {
+        self.explicit_only + self.both
+    }
+
+    /// Checks internal consistency of the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let pdc = self.explicit_only + self.both + self.implicit_only;
+        if pdc != self.total_pdc() {
+            return Err(format!(
+                "per-year PDC counts sum to {}, type split sums to {pdc}",
+                self.total_pdc()
+            ));
+        }
+        if pdc > self.total() {
+            return Err("more PDC projects than projects".into());
+        }
+        if self.custom_collection_policy > self.explicit() {
+            return Err("custom-policy projects exceed explicit projects".into());
+        }
+        let chaincode_level = self.explicit() - self.custom_collection_policy;
+        if self.configtx_majority + self.configtx_other > chaincode_level {
+            return Err("configtx projects exceed chaincode-level projects".into());
+        }
+        if self.read_leak > self.explicit() {
+            return Err("read-leak projects exceed explicit projects".into());
+        }
+        if self.read_and_write_leak > self.read_leak {
+            return Err("write-leak projects exceed read-leak projects".into());
+        }
+        Ok(())
+    }
+}
+
+/// One generated project: name, year, and its file tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticProject {
+    /// Directory name.
+    pub name: String,
+    /// Repository creation year.
+    pub year: u16,
+    /// `(relative path, content)` pairs.
+    pub files: Vec<(PathBuf, String)>,
+    /// Ground-truth attributes (for spot-check tests).
+    pub truth: ProjectTruth,
+}
+
+/// Ground-truth attributes the generator planted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProjectTruth {
+    /// Has an explicit collection definition.
+    pub explicit: bool,
+    /// Uses `_implicit_org_` collections.
+    pub implicit: bool,
+    /// Collection `EndorsementPolicy` customized.
+    pub custom_policy: bool,
+    /// Ships a configtx.yaml, and its rule if so.
+    pub configtx_rule: Option<ConfigtxRule>,
+    /// Read-leaking chaincode.
+    pub read_leak: bool,
+    /// Write-leaking chaincode.
+    pub write_leak: bool,
+}
+
+/// Which default rule a generated configtx carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigtxRule {
+    /// `MAJORITY Endorsement` (the overwhelming default).
+    Majority,
+    /// `ANY Endorsement` (one of the rare alternatives).
+    Any,
+}
+
+impl SyntheticProject {
+    /// Writes the project under `root/<name>/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_to(&self, root: &Path) -> io::Result<()> {
+        let dir = root.join(&self.name);
+        for (rel, content) in &self.files {
+            let path = dir.join(rel);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            fs::write(path, content)?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the corpus in memory.
+///
+/// # Panics
+///
+/// Panics when the spec fails [`CorpusSpec::validate`].
+pub fn generate(spec: &CorpusSpec) -> Vec<SyntheticProject> {
+    spec.validate().expect("valid corpus spec");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // 1. Build the PDC attribute plans.
+    let explicit_total = spec.explicit();
+    let mut plans: Vec<ProjectTruth> = Vec::new();
+    for i in 0..explicit_total {
+        plans.push(ProjectTruth {
+            explicit: true,
+            implicit: i < spec.both,
+            ..ProjectTruth::default()
+        });
+    }
+    for _ in 0..spec.implicit_only {
+        plans.push(ProjectTruth {
+            implicit: true,
+            ..ProjectTruth::default()
+        });
+    }
+
+    // Custom collection policy: assign to the first N explicit plans.
+    let mut explicit_indices: Vec<usize> = (0..plans.len())
+        .filter(|&i| plans[i].explicit)
+        .collect();
+    explicit_indices.shuffle(&mut rng);
+    for &i in explicit_indices.iter().take(spec.custom_collection_policy) {
+        plans[i].custom_policy = true;
+    }
+    // configtx among the chaincode-level (non-custom) explicit projects.
+    let mut chaincode_level: Vec<usize> = explicit_indices
+        .iter()
+        .copied()
+        .filter(|&i| !plans[i].custom_policy)
+        .collect();
+    chaincode_level.shuffle(&mut rng);
+    for (n, &i) in chaincode_level.iter().enumerate() {
+        if n < spec.configtx_majority {
+            plans[i].configtx_rule = Some(ConfigtxRule::Majority);
+        } else if n < spec.configtx_majority + spec.configtx_other {
+            plans[i].configtx_rule = Some(ConfigtxRule::Any);
+        }
+    }
+    // Leakage among explicit projects.
+    explicit_indices.shuffle(&mut rng);
+    for (n, &i) in explicit_indices.iter().enumerate() {
+        if n < spec.read_leak {
+            plans[i].read_leak = true;
+            if n < spec.read_and_write_leak {
+                plans[i].write_leak = true;
+            }
+        }
+    }
+    plans.shuffle(&mut rng);
+
+    // 2. Assign plans to years per the PDC-per-year quota and emit.
+    let mut projects = Vec::with_capacity(spec.total());
+    let mut plan_iter = plans.into_iter();
+    for &(year, total, pdc) in &spec.per_year {
+        for i in 0..total {
+            let name = format!("fabric-project-{year}-{i:04}");
+            if i < pdc {
+                let truth = plan_iter.next().expect("enough PDC plans");
+                projects.push(emit_pdc_project(name, year, truth, &mut rng));
+            } else {
+                projects.push(emit_plain_project(name, year, &mut rng));
+            }
+        }
+    }
+    projects
+}
+
+/// Generates the corpus and writes every project under `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn materialize(spec: &CorpusSpec, root: &Path) -> io::Result<Vec<SyntheticProject>> {
+    let projects = generate(spec);
+    fs::create_dir_all(root)?;
+    for p in &projects {
+        p.write_to(root)?;
+    }
+    Ok(projects)
+}
+
+fn meta_file(year: u16) -> (PathBuf, String) {
+    (
+        PathBuf::from(".git_meta.json"),
+        format!(r#"{{"created_at": "{year}-06-15T12:00:00Z", "source": "synthetic"}}"#),
+    )
+}
+
+fn emit_plain_project(name: String, year: u16, rng: &mut StdRng) -> SyntheticProject {
+    let mut files = vec![meta_file(year)];
+    // A public-data chaincode; no PDC anywhere.
+    if rng.gen_bool(0.5) {
+        files.push((
+            PathBuf::from("chaincode/main.go"),
+            r#"package main
+
+import "github.com/hyperledger/fabric-chaincode-go/shim"
+
+func set(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    err := stub.PutState(args[0], []byte(args[1]))
+    if err != nil {
+        return "", err
+    }
+    return args[0], nil
+}
+
+func get(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    value, err := stub.GetState(args[0])
+    if err != nil {
+        return "", err
+    }
+    return string(value), nil
+}
+"#
+            .to_string(),
+        ));
+        files.push((
+            PathBuf::from("package.json"),
+            format!(
+                r#"{{"name": "{name}", "version": "1.0.0", "dependencies": {{"fabric-network": "^2.2.0"}}}}"#
+            ),
+        ));
+    } else {
+        files.push((
+            PathBuf::from("chaincode/contract.js"),
+            r#"'use strict';
+const { Contract } = require('fabric-contract-api');
+
+class PublicContract extends Contract {
+    async createAsset(ctx, id, value) {
+        await ctx.stub.putState(id, Buffer.from(value));
+        return id;
+    }
+
+    async readAsset(ctx, id) {
+        const data = await ctx.stub.getState(id);
+        return data.toString();
+    }
+}
+module.exports = PublicContract;
+"#
+            .to_string(),
+        ));
+    }
+    SyntheticProject {
+        name,
+        year,
+        files,
+        truth: ProjectTruth::default(),
+    }
+}
+
+fn emit_pdc_project(
+    name: String,
+    year: u16,
+    truth: ProjectTruth,
+    rng: &mut StdRng,
+) -> SyntheticProject {
+    let mut files = vec![meta_file(year)];
+    if truth.explicit {
+        files.push((
+            PathBuf::from("collections_config.json"),
+            collection_json(truth.custom_policy),
+        ));
+    }
+    let go_style = rng.gen_bool(0.5);
+    let chaincode = chaincode_source(&truth, go_style);
+    let path = if go_style {
+        "chaincode/private_cc.go"
+    } else {
+        "chaincode/private_contract.js"
+    };
+    files.push((PathBuf::from(path), chaincode));
+    if let Some(rule) = truth.configtx_rule {
+        files.push((PathBuf::from("configtx.yaml"), configtx_yaml(rule)));
+    }
+    SyntheticProject {
+        name,
+        year,
+        files,
+        truth,
+    }
+}
+
+fn collection_json(custom_policy: bool) -> String {
+    let policy_field = if custom_policy {
+        "\n    \"EndorsementPolicy\": {\n      \"SignaturePolicy\": \"AND('Org1MSP.peer','Org2MSP.peer')\"\n    },"
+    } else {
+        ""
+    };
+    format!(
+        r#"[
+  {{
+    "Name": "collectionPrivate",
+    "Policy": "OR('Org1MSP.member','Org2MSP.member')",
+    "RequiredPeerCount": 0,
+    "MaxPeerCount": 3,{policy_field}
+    "BlockToLive": 1000000,
+    "MemberOnlyRead": true
+  }}
+]
+"#
+    )
+}
+
+fn configtx_yaml(rule: ConfigtxRule) -> String {
+    let rule = match rule {
+        ConfigtxRule::Majority => "MAJORITY Endorsement",
+        ConfigtxRule::Any => "ANY Endorsement",
+    };
+    format!(
+        r#"Application: &ApplicationDefaults
+    Organizations:
+    Policies:
+        Readers:
+            Type: ImplicitMeta
+            Rule: "ANY Readers"
+        Writers:
+            Type: ImplicitMeta
+            Rule: "ANY Writers"
+        Endorsement:
+            Type: ImplicitMeta
+            Rule: "{rule}"
+    Capabilities:
+        V2_0: true
+"#
+    )
+}
+
+fn chaincode_source(truth: &ProjectTruth, go_style: bool) -> String {
+    let mut src = String::new();
+    if go_style {
+        src.push_str("package main\n\nimport \"github.com/hyperledger/fabric-chaincode-go/shim\"\n\n");
+        if truth.explicit {
+            if truth.read_leak {
+                src.push_str(
+                    r#"func readPrivate(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    data, err := stub.GetPrivateData("collectionPrivate", args[0])
+    if err != nil {
+        return "", err
+    }
+    asset := string(data)
+    return asset, nil
+}
+"#,
+                );
+            } else {
+                src.push_str(
+                    r#"func readPrivateHash(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    digest, err := stub.GetPrivateDataHash("collectionPrivate", args[0])
+    if err != nil {
+        return "", err
+    }
+    return string(digest), nil
+}
+"#,
+                );
+            }
+            src.push('\n');
+            if truth.write_leak {
+                src.push_str(
+                    r#"func setPrivate(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    err := stub.PutPrivateData("collectionPrivate", args[0], []byte(args[1]))
+    if err != nil {
+        return "", err
+    }
+    return args[1], nil
+}
+"#,
+                );
+            } else {
+                src.push_str(
+                    r#"func setPrivate(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    err := stub.PutPrivateData("collectionPrivate", args[0], []byte(args[1]))
+    if err != nil {
+        return "", err
+    }
+    return args[0], nil
+}
+"#,
+                );
+            }
+        }
+        if truth.implicit {
+            src.push_str(
+                r#"
+func readOwnOrgData(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    digest, err := stub.GetPrivateDataHash("_implicit_org_Org1MSP", args[0])
+    if err != nil {
+        return "", err
+    }
+    return string(digest), nil
+}
+"#,
+            );
+        }
+    } else {
+        src.push_str("'use strict';\nconst { Contract } = require('fabric-contract-api');\n\nclass PrivateContract extends Contract {\n");
+        if truth.explicit {
+            if truth.read_leak {
+                src.push_str(
+                    r#"
+    async readPrivateAsset(ctx, assetId) {
+        const buffer = await ctx.stub.getPrivateData('collectionPrivate', assetId);
+        const asset = JSON.parse(buffer.toString());
+        return asset;
+    }
+"#,
+                );
+            } else {
+                src.push_str(
+                    r#"
+    async privateAssetExists(ctx, assetId) {
+        const digest = await ctx.stub.getPrivateDataHash('collectionPrivate', assetId);
+        return digest.length > 0;
+    }
+"#,
+                );
+            }
+            if truth.write_leak {
+                src.push_str(
+                    r#"
+    async setPrivateAsset(ctx, assetId, value) {
+        await ctx.stub.putPrivateData('collectionPrivate', assetId, Buffer.from(value));
+        return value;
+    }
+"#,
+                );
+            } else {
+                src.push_str(
+                    r#"
+    async setPrivateAsset(ctx, assetId, value) {
+        await ctx.stub.putPrivateData('collectionPrivate', assetId, Buffer.from(value));
+        return assetId;
+    }
+"#,
+                );
+            }
+        }
+        if truth.implicit {
+            src.push_str(
+                r#"
+    async readOwnOrgData(ctx, key) {
+        const digest = await ctx.stub.getPrivateDataHash('_implicit_org_Org1MSP', key);
+        return digest.length > 0;
+    }
+"#,
+            );
+        }
+        src.push_str("}\nmodule.exports = PrivateContract;\n");
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_matches_paper_numbers() {
+        let spec = CorpusSpec::default();
+        spec.validate().unwrap();
+        assert_eq!(spec.total(), 6392);
+        assert_eq!(spec.total_pdc(), 256);
+        assert_eq!(spec.explicit(), 252);
+        // 86.51 % of explicit projects rely on the chaincode-level policy.
+        let pct = 100.0 * (spec.explicit() - spec.custom_collection_policy) as f64
+            / spec.explicit() as f64;
+        assert!((pct - 86.51).abs() < 0.01, "{pct}");
+        // 91.67 % have leakage issues.
+        let pct = 100.0 * spec.read_leak as f64 / spec.explicit() as f64;
+        assert!((pct - 91.67).abs() < 0.01, "{pct}");
+        // 98.44 % of PDC projects are explicit; 12.11 % both; 1.56 % only
+        // implicit (Fig. 8).
+        let pdc = spec.total_pdc() as f64;
+        assert!((100.0 * spec.explicit() as f64 / pdc - 98.44).abs() < 0.01);
+        assert!((100.0 * spec.both as f64 / pdc - 12.11).abs() < 0.01);
+        assert!((100.0 * spec.implicit_only as f64 / pdc - 1.56).abs() < 0.01);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CorpusSpec::small(5);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.total());
+    }
+
+    #[test]
+    fn ground_truth_counts_match_spec() {
+        let spec = CorpusSpec::small(6);
+        let projects = generate(&spec);
+        let explicit = projects.iter().filter(|p| p.truth.explicit).count();
+        let implicit = projects.iter().filter(|p| p.truth.implicit).count();
+        let both = projects
+            .iter()
+            .filter(|p| p.truth.explicit && p.truth.implicit)
+            .count();
+        let custom = projects.iter().filter(|p| p.truth.custom_policy).count();
+        let read_leak = projects.iter().filter(|p| p.truth.read_leak).count();
+        let write_leak = projects.iter().filter(|p| p.truth.write_leak).count();
+        assert_eq!(explicit, spec.explicit());
+        assert_eq!(both, spec.both);
+        assert_eq!(implicit, spec.both + spec.implicit_only);
+        assert_eq!(custom, spec.custom_collection_policy);
+        assert_eq!(read_leak, spec.read_leak);
+        assert_eq!(write_leak, spec.read_and_write_leak);
+        // PDC projects only exist from 2018 on.
+        assert!(projects
+            .iter()
+            .filter(|p| p.truth.explicit || p.truth.implicit)
+            .all(|p| p.year >= 2018));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut bad = CorpusSpec::small(1);
+        bad.read_and_write_leak = bad.read_leak + 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = CorpusSpec::small(1);
+        bad.custom_collection_policy = bad.explicit() + 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = CorpusSpec::small(1);
+        bad.per_year[4].2 += 1;
+        assert!(bad.validate().is_err());
+    }
+}

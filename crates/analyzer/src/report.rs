@@ -1,0 +1,365 @@
+//! Aggregation of scan results into the paper's Figs. 7–10.
+
+use crate::scan::{LeakKind, ProjectReport};
+use std::fmt::Write as _;
+
+/// Per-year totals (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YearRow {
+    /// Calendar year.
+    pub year: u16,
+    /// Projects created that year.
+    pub total: usize,
+    /// PDC-using projects created that year.
+    pub pdc: usize,
+}
+
+/// The corpus-wide statistics re-derived by scanning project trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusReport {
+    /// Fig. 7: growth across years.
+    pub years: Vec<YearRow>,
+    /// Total projects scanned.
+    pub total: usize,
+    /// Projects with explicit PDC definitions.
+    pub explicit: usize,
+    /// Projects using implicit PDC.
+    pub implicit: usize,
+    /// Projects using both.
+    pub both: usize,
+    /// Explicit projects relying on the chaincode-level policy.
+    pub chaincode_level_policy: usize,
+    /// Explicit projects customizing the collection policy.
+    pub custom_collection_policy: usize,
+    /// `configtx.yaml` files found among chaincode-level projects.
+    pub configtx_found: usize,
+    /// ... of which `MAJORITY Endorsement`.
+    pub configtx_majority: usize,
+    /// Explicit projects with read-leaking chaincode.
+    pub read_leak: usize,
+    /// ... of which also write-leaking.
+    pub read_and_write_leak: usize,
+}
+
+impl CorpusReport {
+    /// Aggregates individual project reports.
+    pub fn from_reports(reports: &[ProjectReport]) -> Self {
+        let mut years: Vec<YearRow> = Vec::new();
+        for r in reports {
+            let Some(year) = r.year else { continue };
+            match years.iter_mut().find(|y| y.year == year) {
+                Some(row) => {
+                    row.total += 1;
+                    row.pdc += usize::from(r.uses_pdc());
+                }
+                None => years.push(YearRow {
+                    year,
+                    total: 1,
+                    pdc: usize::from(r.uses_pdc()),
+                }),
+            }
+        }
+        years.sort_by_key(|y| y.year);
+
+        let explicit = reports.iter().filter(|r| r.explicit_pdc).count();
+        let implicit = reports.iter().filter(|r| r.implicit_pdc).count();
+        let both = reports
+            .iter()
+            .filter(|r| r.explicit_pdc && r.implicit_pdc)
+            .count();
+        let chaincode_level = reports
+            .iter()
+            .filter(|r| r.uses_chaincode_level_policy())
+            .count();
+        let custom = explicit - chaincode_level;
+        let configtx_found = reports
+            .iter()
+            .filter(|r| r.uses_chaincode_level_policy() && r.default_policy.is_some())
+            .count();
+        let configtx_majority = reports
+            .iter()
+            .filter(|r| {
+                r.uses_chaincode_level_policy()
+                    && r.default_policy.as_deref() == Some("MAJORITY Endorsement")
+            })
+            .count();
+        let read_leak = reports
+            .iter()
+            .filter(|r| r.explicit_pdc && r.leaks_by(LeakKind::Read))
+            .count();
+        let read_and_write_leak = reports
+            .iter()
+            .filter(|r| {
+                r.explicit_pdc && r.leaks_by(LeakKind::Read) && r.leaks_by(LeakKind::Write)
+            })
+            .count();
+
+        CorpusReport {
+            years,
+            total: reports.len(),
+            explicit,
+            implicit,
+            both,
+            chaincode_level_policy: chaincode_level,
+            custom_collection_policy: custom,
+            configtx_found,
+            configtx_majority,
+            read_leak,
+            read_and_write_leak,
+        }
+    }
+
+    /// Total PDC projects (explicit ∪ implicit).
+    pub fn total_pdc(&self) -> usize {
+        self.explicit + self.implicit - self.both
+    }
+
+    /// Fig. 9's headline: fraction of explicit projects on the
+    /// chaincode-level policy (the paper reports 86.51 %).
+    pub fn pct_chaincode_level(&self) -> f64 {
+        percentage(self.chaincode_level_policy, self.explicit)
+    }
+
+    /// Fig. 10's headline: fraction of explicit projects with leakage
+    /// issues (the paper reports 91.67 %).
+    pub fn pct_leaky(&self) -> f64 {
+        percentage(self.read_leak, self.explicit)
+    }
+
+    /// Fig. 7 as text: projects across years.
+    pub fn render_fig7(&self) -> String {
+        let mut out = String::from("Fig. 7 — Projects across years\n");
+        let max = self.years.iter().map(|y| y.total).max().unwrap_or(1).max(1);
+        for row in &self.years {
+            let bar = "#".repeat((row.total * 40).div_ceil(max));
+            let _ = writeln!(
+                out,
+                "{:>4}: {:>5} projects ({:>4} PDC)  {bar}",
+                row.year, row.total, row.pdc
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} projects, {} PDC",
+            self.total,
+            self.total_pdc()
+        );
+        out
+    }
+
+    /// Fig. 8 as text: PDC definition type distribution.
+    pub fn render_fig8(&self) -> String {
+        let pdc = self.total_pdc();
+        format!(
+            "Fig. 8 — PDC definition types ({pdc} PDC projects)\n\
+             explicit (any):   {:>4} ({:.2} %)\n\
+             both:             {:>4} ({:.2} %)\n\
+             implicit only:    {:>4} ({:.2} %)\n",
+            self.explicit,
+            percentage(self.explicit, pdc),
+            self.both,
+            percentage(self.both, pdc),
+            pdc - self.explicit,
+            percentage(pdc - self.explicit, pdc),
+        )
+    }
+
+    /// Fig. 9 as text: endorsement policy of explicit PDC projects.
+    pub fn render_fig9(&self) -> String {
+        format!(
+            "Fig. 9 — Endorsement policy of {} explicit PDC projects\n\
+             chaincode-level (default): {:>4} ({:.2} %)\n\
+             collection-level (custom): {:>4} ({:.2} %)\n\
+             configtx.yaml found:       {:>4}, of which MAJORITY Endorsement: {} ({:.2} %)\n",
+            self.explicit,
+            self.chaincode_level_policy,
+            self.pct_chaincode_level(),
+            self.custom_collection_policy,
+            percentage(self.custom_collection_policy, self.explicit),
+            self.configtx_found,
+            self.configtx_majority,
+            percentage(self.configtx_majority, self.configtx_found),
+        )
+    }
+
+    /// Fig. 10 as text: PDC leakage issues.
+    pub fn render_fig10(&self) -> String {
+        format!(
+            "Fig. 10 — PDC leakage among {} explicit PDC projects\n\
+             leaky (read service returns PDC): {:>4} ({:.2} %)\n\
+             ... also write-leaking:           {:>4}\n\
+             not leaky:                        {:>4}\n",
+            self.explicit,
+            self.read_leak,
+            self.pct_leaky(),
+            self.read_and_write_leak,
+            self.explicit - self.read_leak,
+        )
+    }
+}
+
+impl CorpusReport {
+    /// Serializes the report as a JSON document (machine-readable output
+    /// of the `analyze` CLI).
+    pub fn to_json(&self) -> String {
+        let years: Vec<String> = self
+            .years
+            .iter()
+            .map(|y| {
+                format!(
+                    r#"{{"year":{},"total":{},"pdc":{}}}"#,
+                    y.year, y.total, y.pdc
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"total\": {},\n",
+                "  \"years\": [{}],\n",
+                "  \"explicit\": {},\n",
+                "  \"implicit\": {},\n",
+                "  \"both\": {},\n",
+                "  \"total_pdc\": {},\n",
+                "  \"chaincode_level_policy\": {},\n",
+                "  \"custom_collection_policy\": {},\n",
+                "  \"configtx_found\": {},\n",
+                "  \"configtx_majority\": {},\n",
+                "  \"read_leak\": {},\n",
+                "  \"read_and_write_leak\": {},\n",
+                "  \"pct_chaincode_level\": {:.2},\n",
+                "  \"pct_leaky\": {:.2}\n",
+                "}}"
+            ),
+            self.total,
+            years.join(","),
+            self.explicit,
+            self.implicit,
+            self.both,
+            self.total_pdc(),
+            self.chaincode_level_policy,
+            self.custom_collection_policy,
+            self.configtx_found,
+            self.configtx_majority,
+            self.read_leak,
+            self.read_and_write_leak,
+            self.pct_chaincode_level(),
+            self.pct_leaky(),
+        )
+    }
+}
+
+fn percentage(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusSpec};
+    use crate::scan::scan_corpus;
+    use std::fs;
+
+    /// End-to-end: generate a small corpus on disk, scan it with the real
+    /// scanner, and check the aggregate equals the generator's ground
+    /// truth. This is the (scaled) §V-C experiment.
+    #[test]
+    fn scanner_rederives_ground_truth() {
+        let spec = CorpusSpec::small(9);
+        let root =
+            std::env::temp_dir().join(format!("fabric-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let projects = crate::corpus::materialize(&spec, &root).unwrap();
+        assert_eq!(projects.len(), spec.total());
+
+        let reports = scan_corpus(&root).unwrap();
+        assert_eq!(reports.len(), spec.total());
+        let agg = CorpusReport::from_reports(&reports);
+
+        assert_eq!(agg.total, spec.total());
+        assert_eq!(agg.explicit, spec.explicit());
+        assert_eq!(agg.both, spec.both);
+        assert_eq!(agg.implicit, spec.both + spec.implicit_only);
+        assert_eq!(agg.total_pdc(), spec.total_pdc());
+        assert_eq!(agg.custom_collection_policy, spec.custom_collection_policy);
+        assert_eq!(
+            agg.chaincode_level_policy,
+            spec.explicit() - spec.custom_collection_policy
+        );
+        assert_eq!(
+            agg.configtx_found,
+            spec.configtx_majority + spec.configtx_other
+        );
+        assert_eq!(agg.configtx_majority, spec.configtx_majority);
+        assert_eq!(agg.read_leak, spec.read_leak);
+        assert_eq!(agg.read_and_write_leak, spec.read_and_write_leak);
+
+        // Per-year rows match the spec.
+        for (year, total, pdc) in &spec.per_year {
+            let row = agg.years.iter().find(|y| y.year == *year).unwrap();
+            assert_eq!(row.total, *total, "year {year}");
+            assert_eq!(row.pdc, *pdc, "year {year}");
+        }
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let agg = CorpusReport {
+            years: vec![YearRow { year: 2020, total: 10, pdc: 2 }],
+            total: 10,
+            explicit: 2,
+            implicit: 1,
+            both: 1,
+            chaincode_level_policy: 1,
+            custom_collection_policy: 1,
+            configtx_found: 1,
+            configtx_majority: 1,
+            read_leak: 2,
+            read_and_write_leak: 0,
+        };
+        let doc = crate::json::parse(&agg.to_json()).expect("valid json");
+        assert_eq!(doc.get("total"), Some(&crate::json::Value::Number(10.0)));
+        assert_eq!(
+            doc.get("pct_leaky"),
+            Some(&crate::json::Value::Number(100.0))
+        );
+        let years = doc.get("years").unwrap().as_array().unwrap();
+        assert_eq!(years.len(), 1);
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_labeled() {
+        let spec = CorpusSpec::small(10);
+        let projects = generate(&spec);
+        // Build reports from truth without disk I/O for the render test.
+        let reports: Vec<ProjectReport> = projects
+            .iter()
+            .map(|p| {
+                let mut r = ProjectReport {
+                    year: Some(p.year),
+                    explicit_pdc: p.truth.explicit,
+                    implicit_pdc: p.truth.implicit,
+                    ..ProjectReport::default()
+                };
+                if p.truth.explicit {
+                    r.collections.push(crate::scan::CollectionDef {
+                        name: "c".into(),
+                        has_endorsement_policy: p.truth.custom_policy,
+                    });
+                }
+                r
+            })
+            .collect();
+        let agg = CorpusReport::from_reports(&reports);
+        assert!(agg.render_fig7().contains("Fig. 7"));
+        assert!(agg.render_fig8().contains("Fig. 8"));
+        assert!(agg.render_fig9().contains("Fig. 9"));
+        assert!(agg.render_fig10().contains("Fig. 10"));
+    }
+}

@@ -1,0 +1,620 @@
+//! The project scanner: reimplements the paper's §V-C1 detection rules.
+
+use crate::json;
+use crate::yamlish;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Keywords whose presence marks a `.json` file as an explicit PDC
+/// definition (§V-C1).
+const PDC_JSON_KEYWORDS: [&str; 5] = [
+    "RequiredPeerCount",
+    "MaxPeerCount",
+    "BlockToLive",
+    "MemberOnlyRead",
+    "MemberOnlyWrite",
+];
+
+/// The marker of implicit PDC usage in chaincode (§V-C1).
+const IMPLICIT_MARKER: &str = "_implicit_org_";
+
+/// Source extensions scanned for chaincode patterns.
+const CHAINCODE_EXTENSIONS: [&str; 4] = ["go", "js", "ts", "java"];
+
+/// One collection found in an explicit definition file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionDef {
+    /// The `Name` field.
+    pub name: String,
+    /// Whether the optional `EndorsementPolicy` is customized; when absent
+    /// the chaincode-level policy validates PDC transactions — the
+    /// vulnerable default.
+    pub has_endorsement_policy: bool,
+}
+
+/// Which direction a leaky chaincode function leaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeakKind {
+    /// A function returns `GetPrivateData` results (Listing 1 pattern).
+    Read,
+    /// A function writes a value with `PutPrivateData` and returns that
+    /// same value (Listing 2 pattern).
+    Write,
+}
+
+impl fmt::Display for LeakKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeakKind::Read => f.write_str("read"),
+            LeakKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A leaky function found in chaincode source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakFinding {
+    /// Source file, relative to the project root.
+    pub file: PathBuf,
+    /// Function name (best effort).
+    pub function: String,
+    /// Leak direction.
+    pub kind: LeakKind,
+}
+
+/// The scan result for one project directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProjectReport {
+    /// Project root path.
+    pub path: PathBuf,
+    /// Explicit PDC: a keyword-matching `.json` definition exists.
+    pub explicit_pdc: bool,
+    /// Implicit PDC: chaincode references `_implicit_org_`.
+    pub implicit_pdc: bool,
+    /// Collections found in explicit definitions.
+    pub collections: Vec<CollectionDef>,
+    /// The channel default endorsement policy from `configtx.yaml`.
+    pub default_policy: Option<String>,
+    /// Project creation year, from repository metadata
+    /// (`.git_meta.json`'s `created_at`), when present.
+    pub year: Option<u16>,
+    /// Leaky chaincode functions.
+    pub leaks: Vec<LeakFinding>,
+}
+
+impl ProjectReport {
+    /// Whether the project uses PDC at all.
+    pub fn uses_pdc(&self) -> bool {
+        self.explicit_pdc || self.implicit_pdc
+    }
+
+    /// Whether every collection relies on the chaincode-level policy
+    /// (no `EndorsementPolicy` customization) — the attack precondition.
+    pub fn uses_chaincode_level_policy(&self) -> bool {
+        self.explicit_pdc && !self.collections.iter().any(|c| c.has_endorsement_policy)
+    }
+
+    /// Whether any function leaks private data by `kind`.
+    pub fn leaks_by(&self, kind: LeakKind) -> bool {
+        self.leaks.iter().any(|l| l.kind == kind)
+    }
+}
+
+/// Scans one Fabric project directory.
+///
+/// # Errors
+///
+/// Returns an I/O error when the directory cannot be traversed; unreadable
+/// individual files are skipped, as the paper's tool did.
+pub fn scan_project(root: &Path) -> std::io::Result<ProjectReport> {
+    let mut report = ProjectReport {
+        path: root.to_path_buf(),
+        ..ProjectReport::default()
+    };
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+                continue;
+            };
+            let Ok(content) = fs::read_to_string(&path) else {
+                continue;
+            };
+            match ext {
+                "json" => scan_json_file(&content, &mut report),
+                "yaml" | "yml" => {
+                    if path
+                        .file_name()
+                        .is_some_and(|n| n.to_string_lossy().starts_with("configtx"))
+                    {
+                        scan_configtx(&content, &mut report);
+                    }
+                }
+                e if CHAINCODE_EXTENSIONS.contains(&e) => {
+                    let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                    scan_chaincode(&content, &rel, &mut report);
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Scans a directory of project directories (a corpus checkout).
+///
+/// # Errors
+///
+/// Propagates traversal failures of the corpus root itself.
+pub fn scan_corpus(corpus_root: &Path) -> std::io::Result<Vec<ProjectReport>> {
+    let mut reports = Vec::new();
+    let mut project_dirs: Vec<PathBuf> = fs::read_dir(corpus_root)?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    project_dirs.sort();
+    for dir in project_dirs {
+        reports.push(scan_project(&dir)?);
+    }
+    Ok(reports)
+}
+
+/// Explicit-PDC detection: the `.json` must parse, contain objects with
+/// `Name` + `Policy`, and mention the PDC-specific keywords.
+fn scan_json_file(content: &str, report: &mut ProjectReport) {
+    if content.contains("created_at") {
+        if let Ok(meta) = json::parse(content) {
+            if let Some(date) = meta.get("created_at").and_then(json::Value::as_str) {
+                if let Ok(year) = date.chars().take(4).collect::<String>().parse() {
+                    report.year = Some(year);
+                }
+            }
+        }
+    }
+    if !PDC_JSON_KEYWORDS.iter().any(|k| content.contains(k)) {
+        return;
+    }
+    let Ok(value) = json::parse(content) else {
+        return;
+    };
+    let collections: Vec<&json::Value> = match &value {
+        json::Value::Array(items) => items.iter().collect(),
+        obj @ json::Value::Object(_) => vec![obj],
+        _ => return,
+    };
+    for col in collections {
+        let Some(name) = col.get("Name").and_then(json::Value::as_str) else {
+            continue;
+        };
+        if col.get("Policy").is_none() {
+            continue;
+        }
+        report.explicit_pdc = true;
+        report.collections.push(CollectionDef {
+            name: name.to_string(),
+            has_endorsement_policy: col.get("EndorsementPolicy").is_some(),
+        });
+    }
+}
+
+fn scan_configtx(content: &str, report: &mut ProjectReport) {
+    let Ok(doc) = yamlish::parse(content) else {
+        return;
+    };
+    // Look for the application-level default first, then anywhere.
+    let rule = doc
+        .path(&["Application", "Policies", "Endorsement", "Rule"])
+        .and_then(yamlish::Yaml::as_str)
+        .or_else(|| doc.find_rule("Endorsement"));
+    if let Some(rule) = rule {
+        report.default_policy = Some(rule.to_string());
+    }
+}
+
+/// Chaincode analysis: implicit-PDC marker plus the two leakage patterns.
+fn scan_chaincode(content: &str, rel_path: &Path, report: &mut ProjectReport) {
+    if content.contains(IMPLICIT_MARKER) {
+        report.implicit_pdc = true;
+    }
+    for function in extract_functions(content) {
+        // Read leakage (Listing 1): a variable bound to GetPrivateData is
+        // returned (possibly after intermediate transformations binding new
+        // names from old ones).
+        let mut tainted: Vec<String> = Vec::new();
+        for line in function.body.lines() {
+            if let Some(var) = assigned_variable(line) {
+                let rhs_has_get = lowercase_contains(line, "getprivatedata(")
+                    || lowercase_contains(line, "getprivatedata (");
+                let rhs_uses_tainted = tainted.iter().any(|t| mentions(line_rhs(line), t));
+                if rhs_has_get || rhs_uses_tainted {
+                    tainted.push(var);
+                }
+            }
+            if let Some(expr) = returned_expression(line) {
+                if tainted.iter().any(|t| mentions(&expr, t)) {
+                    report.leaks.push(LeakFinding {
+                        file: rel_path.to_path_buf(),
+                        function: function.name.clone(),
+                        kind: LeakKind::Read,
+                    });
+                    break;
+                }
+            }
+        }
+        // Write leakage (Listing 2): PutPrivateData(..., X) followed by
+        // `return X` where X is the same argument expression.
+        let mut put_values: Vec<String> = Vec::new();
+        for line in function.body.lines() {
+            if let Some(arg) = put_private_value_argument(line) {
+                put_values.push(arg);
+            }
+            if let Some(expr) = returned_expression(line) {
+                if put_values.iter().any(|v| !v.is_empty() && expr.contains(v.as_str())) {
+                    report.leaks.push(LeakFinding {
+                        file: rel_path.to_path_buf(),
+                        function: function.name.clone(),
+                        kind: LeakKind::Write,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+struct FunctionBlock {
+    name: String,
+    body: String,
+}
+
+/// Extracts `func name(...) { ... }` / `function name(...) {}` /
+/// `async name(ctx, ...) {}` blocks by brace matching. Language-agnostic
+/// enough for Go, JS/TS and Java chaincode.
+fn extract_functions(source: &str) -> Vec<FunctionBlock> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while i < source.len() {
+        let rest = &source[i..];
+        let is_fn_keyword = rest.starts_with("func ")
+            || rest.starts_with("function ")
+            || rest.starts_with("async ")
+            || rest.starts_with("public ")
+            || rest.starts_with("private ");
+        let at_line_start = i == 0 || bytes[i - 1] == b'\n' || bytes[i - 1] == b' ';
+        if is_fn_keyword && at_line_start {
+            if let Some(open) = rest.find('{') {
+                let header = &rest[..open];
+                if header.contains('(') {
+                    let name = function_name(header);
+                    if let Some(close) = matching_brace(rest, open) {
+                        out.push(FunctionBlock {
+                            name,
+                            body: rest[open + 1..close].to_string(),
+                        });
+                        i += close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Advance one character (UTF-8 safe).
+        i += source[i..].chars().next().map_or(1, char::len_utf8);
+    }
+    out
+}
+
+fn function_name(header: &str) -> String {
+    let before_paren = header.split('(').next().unwrap_or(header);
+    before_paren
+        .split_whitespace()
+        .last()
+        .unwrap_or("anonymous")
+        .trim_start_matches(['*', '&'])
+        .to_string()
+}
+
+fn matching_brace(s: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices().skip_while(|(i, _)| *i < open) {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn lowercase_contains(line: &str, needle: &str) -> bool {
+    line.to_ascii_lowercase().contains(needle)
+}
+
+/// The variable bound by `x := rhs`, `x = rhs`, `const x = rhs`,
+/// `let/var x = rhs`, or Go's `x, err := rhs`.
+fn assigned_variable(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    let (lhs, _) = trimmed.split_once(":=").or_else(|| {
+        let t = trimmed
+            .trim_start_matches("const ")
+            .trim_start_matches("let ")
+            .trim_start_matches("var ");
+        // Avoid matching `==`, `!=`, `<=`, `>=`.
+        let eq = t.find('=')?;
+        if t[eq..].starts_with("==") || (eq > 0 && matches!(&t[eq - 1..eq], "!" | "<" | ">")) {
+            return None;
+        }
+        Some((&t[..eq], &t[eq + 1..]))
+    })?;
+    let first = lhs.split(',').next()?.trim();
+    if first.is_empty()
+        || !first
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        return None;
+    }
+    Some(first.to_string())
+}
+
+fn line_rhs(line: &str) -> &str {
+    line.split_once(":=")
+        .or_else(|| line.split_once('='))
+        .map(|(_, rhs)| rhs)
+        .unwrap_or("")
+}
+
+/// The expression of a `return ...` / `throw`-free `return` statement.
+fn returned_expression(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    let rest = trimmed.strip_prefix("return")?;
+    if !rest.is_empty() && !rest.starts_with([' ', '\t', ';']) {
+        return None; // e.g. `returnValue(...)`
+    }
+    Some(rest.trim().trim_end_matches(';').to_string())
+}
+
+/// Whether `expr` mentions identifier `var` as a standalone token.
+fn mentions(expr: &str, var: &str) -> bool {
+    expr.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .any(|tok| tok == var || tok.strip_suffix(".toString").is_some_and(|t| t == var))
+}
+
+/// The value argument of `PutPrivateData(collection, key, value)`.
+fn put_private_value_argument(line: &str) -> Option<String> {
+    let lower = line.to_ascii_lowercase();
+    let idx = lower.find("putprivatedata")?;
+    let after = &line[idx..];
+    let open = after.find('(')?;
+    let close = matching_paren(after, open)?;
+    let args = &after[open + 1..close];
+    let parts = split_top_level_args(args);
+    let value = parts.last()?.trim();
+    // Unwrap Go's `[]byte(x)` and JS's `Buffer.from(x)`.
+    let value = value
+        .strip_prefix("[]byte(")
+        .and_then(|v| v.strip_suffix(')'))
+        .or_else(|| {
+            value
+                .strip_prefix("Buffer.from(")
+                .and_then(|v| v.strip_suffix(')'))
+        })
+        .unwrap_or(value);
+    Some(value.trim().to_string())
+}
+
+fn matching_paren(s: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices().skip_while(|(i, _)| *i < open) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn split_top_level_args(args: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&args[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&args[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listing 2 of the paper, verbatim shape.
+    const LISTING2_GO: &str = r#"
+package main
+
+func setPrivate(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    if len(args) != 2 {
+        return "", fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+    }
+    err := stub.PutPrivateData("demo", args[0], []byte(args[1]))
+    if err != nil {
+        return "", fmt.Errorf("Failed to set asset: %s", args[0])
+    }
+    return args[1], nil
+}
+"#;
+
+    /// Listing 1 of the paper, Node.js shape.
+    const LISTING1_JS: &str = r#"
+async readPrivatePerfTest(ctx, perfTestId) {
+    const exists = await this.privatePerfTestExists(ctx, perfTestId);
+    if (!exists) {
+        throw new Error(`The perf test does not exist`);
+    }
+    const buffer = await ctx.stub.getPrivateData(collection, perfTestId);
+    const asset = JSON.parse(buffer.toString());
+    return asset;
+}
+"#;
+
+    fn scan_source(src: &str, ext: &str) -> ProjectReport {
+        let mut report = ProjectReport::default();
+        scan_chaincode(src, Path::new(&format!("cc.{ext}")), &mut report);
+        report
+    }
+
+    #[test]
+    fn detects_listing2_write_leak() {
+        let report = scan_source(LISTING2_GO, "go");
+        assert!(report.leaks_by(LeakKind::Write), "{:?}", report.leaks);
+        assert_eq!(report.leaks[0].function, "setPrivate");
+    }
+
+    #[test]
+    fn detects_listing1_read_leak() {
+        let report = scan_source(LISTING1_JS, "js");
+        assert!(report.leaks_by(LeakKind::Read), "{:?}", report.leaks);
+        assert_eq!(report.leaks[0].function, "readPrivatePerfTest");
+    }
+
+    #[test]
+    fn safe_functions_are_not_flagged() {
+        let safe_go = r#"
+func setPrivateSafe(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+    err := stub.PutPrivateData("demo", args[0], []byte(args[1]))
+    if err != nil {
+        return "", err
+    }
+    return args[0], nil
+}
+
+func getPublic(stub shim.ChaincodeStubInterface, key string) (string, error) {
+    value, err := stub.GetState(key)
+    return string(value), err
+}
+"#;
+        let report = scan_source(safe_go, "go");
+        assert!(report.leaks.is_empty(), "{:?}", report.leaks);
+    }
+
+    #[test]
+    fn read_leak_through_intermediate_variable() {
+        // Taint must flow: buffer -> asset -> return asset.
+        let report = scan_source(LISTING1_JS, "js");
+        assert_eq!(report.leaks.len(), 1);
+    }
+
+    #[test]
+    fn implicit_marker_detected() {
+        let src = r#"
+func readOwn(stub shim.ChaincodeStubInterface) (string, error) {
+    data, err := stub.GetPrivateData("_implicit_org_Org1MSP", "k")
+    _ = data
+    return "", err
+}
+"#;
+        let report = scan_source(src, "go");
+        assert!(report.implicit_pdc);
+        // Returning "" is not a leak.
+        assert!(!report.leaks_by(LeakKind::Read));
+    }
+
+    #[test]
+    fn explicit_json_detection() {
+        let mut report = ProjectReport::default();
+        scan_json_file(
+            r#"[{"Name":"c1","Policy":"OR('Org1MSP.member')","RequiredPeerCount":0,
+                "MaxPeerCount":3,"BlockToLive":0,"MemberOnlyRead":true}]"#,
+            &mut report,
+        );
+        assert!(report.explicit_pdc);
+        assert_eq!(report.collections.len(), 1);
+        assert!(!report.collections[0].has_endorsement_policy);
+        assert!(report.uses_chaincode_level_policy());
+
+        let mut custom = ProjectReport::default();
+        scan_json_file(
+            r#"[{"Name":"c1","Policy":"OR('Org1MSP.member')","RequiredPeerCount":0,
+                "MaxPeerCount":3,"BlockToLive":0,"MemberOnlyRead":true,
+                "EndorsementPolicy":{"SignaturePolicy":"AND('Org1MSP.peer','Org2MSP.peer')"}}]"#,
+            &mut custom,
+        );
+        assert!(custom.explicit_pdc);
+        assert!(!custom.uses_chaincode_level_policy());
+    }
+
+    #[test]
+    fn package_json_is_not_pdc() {
+        let mut report = ProjectReport::default();
+        scan_json_file(
+            r#"{"name":"my-app","version":"1.0.0","dependencies":{"fabric-network":"2.0"}}"#,
+            &mut report,
+        );
+        assert!(!report.explicit_pdc);
+    }
+
+    #[test]
+    fn configtx_default_policy_extracted() {
+        let mut report = ProjectReport::default();
+        scan_configtx(
+            "Application:\n    Policies:\n        Endorsement:\n            Type: ImplicitMeta\n            Rule: \"MAJORITY Endorsement\"\n",
+            &mut report,
+        );
+        assert_eq!(report.default_policy.as_deref(), Some("MAJORITY Endorsement"));
+    }
+
+    #[test]
+    fn scan_project_walks_directories() {
+        let dir = std::env::temp_dir().join(format!("fabric-scan-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("chaincode")).unwrap();
+        fs::write(
+            dir.join("collections_config.json"),
+            r#"[{"Name":"c1","Policy":"OR('Org1MSP.member')","RequiredPeerCount":0,"MaxPeerCount":1,"BlockToLive":0,"MemberOnlyRead":true}]"#,
+        )
+        .unwrap();
+        fs::write(dir.join("chaincode/cc.go"), LISTING2_GO).unwrap();
+        fs::write(
+            dir.join("configtx.yaml"),
+            "Application:\n    Policies:\n        Endorsement:\n            Rule: \"MAJORITY Endorsement\"\n",
+        )
+        .unwrap();
+        let report = scan_project(&dir).unwrap();
+        assert!(report.explicit_pdc);
+        assert!(report.uses_chaincode_level_policy());
+        assert!(report.leaks_by(LeakKind::Write));
+        assert_eq!(report.default_policy.as_deref(), Some("MAJORITY Endorsement"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

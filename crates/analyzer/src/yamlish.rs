@@ -1,0 +1,450 @@
+//! A from-scratch parser for the YAML subset used by `configtx.yaml`:
+//! indentation-nested mappings, block lists (`- item`), scalar values
+//! (optionally quoted), comments, and YAML anchors/aliases (which are
+//! stripped, not resolved — the analyzer only reads literal fields).
+//!
+//! This is *not* a general YAML implementation; it covers what Fabric
+//! channel configuration files actually contain, which is all the paper's
+//! tool needed.
+
+use std::fmt;
+
+/// A parsed YAML-subset node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Yaml {
+    /// A scalar (always kept as a string; configtx fields are strings).
+    Scalar(String),
+    /// A block list.
+    List(Vec<Yaml>),
+    /// A mapping in source order.
+    Map(Vec<(String, Yaml)>),
+    /// An empty value (`key:` with nothing nested).
+    Empty,
+}
+
+impl Yaml {
+    /// Looks up a key in a mapping.
+    pub fn get(&self, key: &str) -> Option<&Yaml> {
+        match self {
+            Yaml::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The scalar content, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Yaml::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Walks a path of mapping keys.
+    pub fn path(&self, keys: &[&str]) -> Option<&Yaml> {
+        let mut cur = self;
+        for k in keys {
+            cur = cur.get(k)?;
+        }
+        Some(cur)
+    }
+
+    /// Depth-first search for any mapping entry `name` that itself has a
+    /// scalar child `Rule`, returning that rule. This is how the analyzer
+    /// finds the default `Endorsement` policy wherever the profile nests it.
+    pub fn find_rule(&self, name: &str) -> Option<&str> {
+        match self {
+            Yaml::Map(pairs) => {
+                for (k, v) in pairs {
+                    if k == name {
+                        if let Some(rule) = v.get("Rule").and_then(Yaml::as_str) {
+                            return Some(rule);
+                        }
+                    }
+                    if let Some(found) = v.find_rule(name) {
+                        return Some(found);
+                    }
+                }
+                None
+            }
+            Yaml::List(items) => items.iter().find_map(|i| i.find_rule(name)),
+            _ => None,
+        }
+    }
+}
+
+/// A YAML-subset parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+struct Line {
+    number: usize,
+    indent: usize,
+    content: String,
+}
+
+/// Parses a `configtx.yaml`-style document.
+///
+/// # Errors
+///
+/// Returns [`YamlError`] on tab indentation or malformed entries.
+pub fn parse(input: &str) -> Result<Yaml, YamlError> {
+    let mut lines = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let number = i + 1;
+        let without_comment = strip_comment(raw);
+        let trimmed = without_comment.trim_end();
+        if trimmed.trim().is_empty() || trimmed.trim() == "---" {
+            continue;
+        }
+        if trimmed.trim_start_matches(' ').starts_with('\t')
+            || trimmed.starts_with('\t')
+        {
+            return Err(YamlError {
+                line: number,
+                message: "tab indentation is not supported".into(),
+            });
+        }
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        lines.push(Line {
+            number,
+            indent,
+            content: trimmed.trim_start().to_string(),
+        });
+    }
+    let mut pos = 0;
+    let root = parse_block(&lines, &mut pos, 0)?;
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => {
+                // A comment starts at '#' at start-of-line or after space.
+                if i == 0 || line[..i].ends_with(' ') {
+                    return out;
+                }
+            }
+            _ => {}
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, YamlError> {
+    let Some(first) = lines.get(*pos) else {
+        return Ok(Yaml::Empty);
+    };
+    if first.content.starts_with("- ") || first.content == "-" {
+        parse_list(lines, pos, indent)
+    } else {
+        parse_map(lines, pos, indent)
+    }
+}
+
+fn parse_list(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, YamlError> {
+    let mut items = Vec::new();
+    while let Some(line) = lines.get(*pos) {
+        if line.indent < indent || !(line.content.starts_with("- ") || line.content == "-") {
+            break;
+        }
+        if line.indent > indent {
+            return Err(YamlError {
+                line: line.number,
+                message: "unexpected list indentation".into(),
+            });
+        }
+        let rest = line.content[1..].trim_start().to_string();
+        *pos += 1;
+        if rest.is_empty() {
+            // A nested block under the dash.
+            let nested = parse_block(lines, pos, indent + 1)?;
+            items.push(nested);
+        } else if let Some((key, value)) = split_key(&rest) {
+            // "- key: value" — an inline map entry, possibly followed by
+            // sibling keys at deeper indentation.
+            let first_value = if value.is_empty() {
+                Yaml::Empty
+            } else {
+                Yaml::Scalar(clean_scalar(&value))
+            };
+            let mut pairs = vec![(key, first_value)];
+            while let Some(next) = lines.get(*pos) {
+                if next.indent > indent && !next.content.starts_with("- ") {
+                    if let Some((k, v)) = split_key(&next.content) {
+                        *pos += 1;
+                        if v.is_empty() {
+                            let nested = parse_block(lines, pos, next.indent + 1)?;
+                            pairs.push((k, nested));
+                        } else {
+                            pairs.push((k, Yaml::Scalar(clean_scalar(&v))));
+                        }
+                        continue;
+                    }
+                }
+                break;
+            }
+            items.push(Yaml::Map(pairs));
+        } else {
+            let scalar = clean_scalar(&rest);
+            let has_nested_block = scalar.is_empty()
+                && lines.get(*pos).is_some_and(|next| next.indent > indent);
+            if has_nested_block {
+                // "- &Anchor" followed by an indented mapping: the anchor
+                // is stripped and the nested block is the list item.
+                let child_indent = lines[*pos].indent;
+                let nested = parse_block(lines, pos, child_indent)?;
+                items.push(nested);
+            } else {
+                items.push(Yaml::Scalar(scalar));
+            }
+        }
+    }
+    Ok(Yaml::List(items))
+}
+
+fn parse_map(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, YamlError> {
+    let mut pairs = Vec::new();
+    while let Some(line) = lines.get(*pos) {
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(YamlError {
+                line: line.number,
+                message: "unexpected indentation".into(),
+            });
+        }
+        if line.content.starts_with("- ") || line.content == "-" {
+            break;
+        }
+        let Some((key, value)) = split_key(&line.content) else {
+            return Err(YamlError {
+                line: line.number,
+                message: format!("expected 'key:' entry, found {:?}", line.content),
+            });
+        };
+        *pos += 1;
+        if value.is_empty() {
+            // Nested block (or empty).
+            match lines.get(*pos) {
+                Some(next) if next.indent > indent => {
+                    let child_indent = next.indent;
+                    let nested = parse_block(lines, pos, child_indent)?;
+                    pairs.push((key, nested));
+                }
+                _ => pairs.push((key, Yaml::Empty)),
+            }
+        } else {
+            let scalar = clean_scalar(&value);
+            let has_nested_block = scalar.is_empty()
+                && lines.get(*pos).is_some_and(|next| next.indent > indent);
+            if has_nested_block {
+                // "Key: &Anchor" followed by an indented block: the anchor
+                // is stripped and the block is the value.
+                let child_indent = lines[*pos].indent;
+                let nested = parse_block(lines, pos, child_indent)?;
+                pairs.push((key, nested));
+            } else {
+                pairs.push((key, Yaml::Scalar(scalar)));
+            }
+        }
+    }
+    Ok(Yaml::Map(pairs))
+}
+
+fn split_key(content: &str) -> Option<(String, String)> {
+    // Find the first ':' outside quotes.
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in content.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ':' if !in_single && !in_double => {
+                let after = &content[i + 1..];
+                if after.is_empty() || after.starts_with(' ') {
+                    let key = clean_scalar(content[..i].trim());
+                    return Some((key, after.trim().to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn clean_scalar(s: impl AsRef<str>) -> String {
+    let mut s = s.as_ref().trim();
+    // Strip anchors/aliases/merge keys: "&Anchor value", "*Alias".
+    if let Some(rest) = s.strip_prefix('&') {
+        s = match rest.split_once(' ') {
+            Some((_, tail)) => tail.trim(),
+            None => "",
+        };
+    }
+    if s.starts_with('*') {
+        return s.trim_start_matches('*').to_string();
+    }
+    let s = s.trim();
+    if (s.starts_with('"') && s.ends_with('"') && s.len() >= 2)
+        || (s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2)
+    {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONFIGTX: &str = r#"
+# Channel configuration
+Organizations:
+    - &Org1
+        Name: Org1MSP
+        ID: Org1MSP
+        Policies:
+            Endorsement:
+                Type: Signature
+                Rule: "OR('Org1MSP.peer')"
+
+Application: &ApplicationDefaults
+    Organizations:
+    Policies:
+        Readers:
+            Type: ImplicitMeta
+            Rule: "ANY Readers"
+        Endorsement:
+            Type: ImplicitMeta
+            Rule: "MAJORITY Endorsement"
+    Capabilities:
+        V2_0: true
+"#;
+
+    #[test]
+    fn parses_configtx_and_finds_endorsement_rule() {
+        let doc = parse(CONFIGTX).unwrap();
+        let rule = doc
+            .path(&["Application", "Policies", "Endorsement", "Rule"])
+            .and_then(Yaml::as_str);
+        assert_eq!(rule, Some("MAJORITY Endorsement"));
+        // The DFS helper finds it without knowing the nesting.
+        assert_eq!(
+            doc.path(&["Application"]).unwrap().find_rule("Endorsement"),
+            Some("MAJORITY Endorsement")
+        );
+    }
+
+    #[test]
+    fn list_of_anchored_maps() {
+        let doc = parse(CONFIGTX).unwrap();
+        let orgs = doc.get("Organizations").unwrap();
+        match orgs {
+            Yaml::List(items) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(
+                    items[0].get("Name").and_then(Yaml::as_str),
+                    Some("Org1MSP")
+                );
+                // The org's own signature policy is reachable too.
+                assert_eq!(
+                    items[0].find_rule("Endorsement"),
+                    Some("OR('Org1MSP.peer')")
+                );
+            }
+            other => panic!("expected list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_quotes() {
+        let doc = parse("key: \"value # not a comment\" # real comment\nother: 1\n").unwrap();
+        assert_eq!(doc.get("key").and_then(Yaml::as_str), Some("value # not a comment"));
+        assert_eq!(doc.get("other").and_then(Yaml::as_str), Some("1"));
+    }
+
+    #[test]
+    fn empty_values_and_plain_lists() {
+        let doc = parse("a:\nb:\n    - one\n    - two\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&Yaml::Empty));
+        assert_eq!(
+            doc.get("b"),
+            Some(&Yaml::List(vec![
+                Yaml::Scalar("one".into()),
+                Yaml::Scalar("two".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn rejects_tabs() {
+        assert!(parse("a:\n\tb: 1\n").is_err());
+    }
+
+    #[test]
+    fn find_rule_returns_none_when_absent() {
+        let doc = parse("a: 1\n").unwrap();
+        assert_eq!(doc.find_rule("Endorsement"), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Hostile input must yield errors, never panics.
+        #[test]
+        fn parse_never_panics(input in ".*") {
+            let _ = parse(&input);
+        }
+
+        /// Generated key/value documents always parse back.
+        #[test]
+        fn flat_documents_roundtrip(
+            pairs in proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,12}", "[a-zA-Z0-9 _.-]{0,16}"), 1..8)
+        ) {
+            let mut doc = String::new();
+            let mut expected: Vec<(String, String)> = Vec::new();
+            for (k, v) in &pairs {
+                if expected.iter().any(|(ek, _)| ek == k) {
+                    continue;
+                }
+                doc.push_str(&format!("{k}: {}\n", v.trim()));
+                expected.push((k.clone(), v.trim().to_string()));
+            }
+            let parsed = parse(&doc).unwrap();
+            for (k, v) in &expected {
+                if v.is_empty() {
+                    // `key:` with no value parses as Empty.
+                    prop_assert_eq!(parsed.get(k), Some(&Yaml::Empty));
+                } else {
+                    prop_assert_eq!(parsed.get(k).and_then(Yaml::as_str), Some(v.as_str()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The colluding chaincode variant malicious organizations install.
+//!
+//! Fabric's customizable-chaincode feature only requires that endorsers
+//! return *equal results*; it cannot tell whether those results were
+//! computed honestly. Colluding organizations exploit this (§IV-A1):
+//! their variant obtains the genuine `(key, version)` read-set entry via
+//! `GetPrivateDataHash` — which works at **every** peer — and substitutes
+//! an agreed-upon fake value wherever the honest chaincode would use the
+//! real private value.
+
+use fabric_chaincode::{Chaincode, ChaincodeError, ChaincodeStub};
+use fabric_types::CollectionName;
+
+/// The malicious counterpart of
+/// [`GuardedPdc`](fabric_chaincode::samples::GuardedPdc). All colluders
+/// configure the same `fake_read_value`, so their proposal responses agree
+/// byte-for-byte and pass the client-side consistency check.
+#[derive(Debug, Clone)]
+pub struct ColludingGuardedPdc {
+    collection: CollectionName,
+    /// The value the colluders pretend the private key holds.
+    fake_read_value: i64,
+}
+
+impl ColludingGuardedPdc {
+    /// Creates the colluding variant with the agreed fake value.
+    pub fn new(collection: impl Into<CollectionName>, fake_read_value: i64) -> Self {
+        ColludingGuardedPdc {
+            collection: collection.into(),
+            fake_read_value,
+        }
+    }
+
+    /// The agreed fake value.
+    pub fn fake_read_value(&self) -> i64 {
+        self.fake_read_value
+    }
+
+    /// Forges the read-set entry: `GetPrivateDataHash` records the same
+    /// `(key, version)` a member's `GetPrivateData` would, without needing
+    /// the plaintext.
+    fn forge_read(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        key: &str,
+    ) -> Result<(), ChaincodeError> {
+        if stub.get_private_data_hash(&self.collection, key).is_none() {
+            // Even forging needs an existing key (a correct version).
+            return Err(ChaincodeError::KeyNotFound {
+                collection: Some(self.collection.clone()),
+                key: key.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Chaincode for ColludingGuardedPdc {
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            // Fake read result injection (§IV-A1): valid (key, version)
+            // from the hash store + the agreed fake value in the payload.
+            "read" => {
+                let key = stub.arg_str(0)?;
+                self.forge_read(stub, &key)?;
+                Ok(self.fake_read_value.to_string().into_bytes())
+            }
+            // Fake write result injection (§IV-A2): no business-rule
+            // constraints whatsoever.
+            "write" => {
+                let key = stub.arg_str(0)?;
+                let value = stub
+                    .args()
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| ChaincodeError::InvalidArguments("missing value".into()))?;
+                stub.put_private_data(&self.collection, &key, value);
+                Ok(Vec::new())
+            }
+            // Fake read-write injection (§IV-A3): the fake read value feeds
+            // the update, steering the written result.
+            "add" => {
+                let key = stub.arg_str(0)?;
+                let delta: i64 = stub
+                    .arg_str(1)?
+                    .parse()
+                    .map_err(|_| ChaincodeError::InvalidArguments("bad delta".into()))?;
+                self.forge_read(stub, &key)?;
+                let sum = self.fake_read_value + delta;
+                stub.put_private_data(&self.collection, &key, sum.to_string().into_bytes());
+                Ok(sum.to_string().into_bytes())
+            }
+            // PDC delete attack (§IV-A4): a pure delete-only rwset, no
+            // guard, no read.
+            "delete" => {
+                let key = stub.arg_str(0)?;
+                stub.del_private_data(&self.collection, &key);
+                Ok(Vec::new())
+            }
+            other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_chaincode::ChaincodeDefinition;
+    use fabric_crypto::Keypair;
+    use fabric_ledger::WorldState;
+    use fabric_types::{
+        CollectionConfig, Identity, KvRead, OrgId, Proposal, Role, TxKind, Version,
+    };
+    use std::collections::{BTreeMap, HashSet};
+
+    const COL: &str = "PDC1";
+
+    /// A non-member peer's view: hashed entries only.
+    fn non_member_state() -> WorldState {
+        let mut ws = WorldState::new();
+        ws.put_private_hash(
+            &"guarded".into(),
+            &CollectionName::new(COL),
+            fabric_crypto::sha256(b"k1"),
+            fabric_crypto::sha256(b"12"),
+            Version::new(3, 0),
+        );
+        ws
+    }
+
+    fn run(
+        function: &str,
+        args: &[&str],
+    ) -> (
+        Result<Vec<u8>, ChaincodeError>,
+        fabric_chaincode::SimulationResult,
+    ) {
+        let ws = non_member_state();
+        let def = ChaincodeDefinition::new("guarded").with_collection(
+            CollectionConfig::membership_of(
+                COL,
+                &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
+            ),
+        );
+        // The malicious peer is org3: NOT a member.
+        let memberships: HashSet<CollectionName> = HashSet::new();
+        let kp = Keypair::generate_from_seed(666);
+        let prop = Proposal::new(
+            "ch1",
+            "guarded",
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            BTreeMap::new(),
+            Identity::new("Org3MSP", Role::Client, kp.public_key()),
+            1,
+        );
+        let mut stub = ChaincodeStub::new(&ws, &def, &memberships, &prop);
+        let cc = ColludingGuardedPdc::new(COL, 99);
+        let out = cc.invoke(&mut stub);
+        (out, stub.into_results())
+    }
+
+    #[test]
+    fn forged_read_has_genuine_version_and_fake_payload() {
+        let (out, results) = run("read", &["k1"]);
+        // The payload is the agreed fake value...
+        assert_eq!(out.unwrap(), b"99");
+        // ...while the read set matches what an honest member records.
+        assert_eq!(
+            results.collections[0].rwset.reads[0],
+            KvRead {
+                key: "k1".into(),
+                version: Some(Version::new(3, 0)),
+            }
+        );
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::ReadOnly);
+    }
+
+    #[test]
+    fn forged_read_of_missing_key_fails() {
+        let (out, _) = run("read", &["ghost"]);
+        assert!(matches!(out, Err(ChaincodeError::KeyNotFound { .. })));
+    }
+
+    #[test]
+    fn unconstrained_write_and_pure_delete() {
+        let (out, results) = run("write", &["k1", "5"]);
+        assert!(out.is_ok());
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::WriteOnly);
+
+        let (out, results) = run("delete", &["k1"]);
+        assert!(out.is_ok());
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::DeleteOnly);
+    }
+
+    #[test]
+    fn add_uses_fake_read_value() {
+        let (out, results) = run("add", &["k1", "2"]);
+        // 99 (fake) + 2 = 101 regardless of the genuine value 12.
+        assert_eq!(out.unwrap(), b"101");
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::ReadWrite);
+        assert_eq!(
+            results.collections[0].rwset.writes[0].value,
+            Some(b"101".to_vec())
+        );
+    }
+}

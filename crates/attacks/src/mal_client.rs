@@ -1,0 +1,142 @@
+//! A malicious client: assembles transactions without the honest SDK's
+//! consistency checking and chooses endorsers adversarially.
+
+use fabric_crypto::Keypair;
+use fabric_types::{
+    ChaincodeId, ChannelId, Endorsement, Identity, OrgId, Proposal, ProposalResponse, Role,
+    Transaction,
+};
+use std::collections::BTreeMap;
+
+/// A client under attacker control. Unlike
+/// [`fabric_client::Client`], it performs **no** response-consistency or
+/// signature verification — it simply packages whatever endorsements it
+/// gathered. The protocol cannot force a client to behave: only the
+/// validation phase at peers stands between this transaction and the
+/// ledger.
+#[derive(Debug, Clone)]
+pub struct MaliciousClient {
+    identity: Identity,
+    keypair: Keypair,
+    nonce: u64,
+}
+
+impl MaliciousClient {
+    /// Creates a malicious client for `org`.
+    pub fn new(org: impl Into<OrgId>, keypair: Keypair) -> Self {
+        let identity = Identity::new(org, Role::Client, keypair.public_key());
+        MaliciousClient {
+            identity,
+            keypair,
+            nonce: 0,
+        }
+    }
+
+    /// The client's (legitimately enrolled) identity.
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// Builds a proposal with a fresh nonce.
+    pub fn create_proposal(
+        &mut self,
+        channel: impl Into<ChannelId>,
+        chaincode: impl Into<ChaincodeId>,
+        function: impl Into<String>,
+        args: Vec<Vec<u8>>,
+        transient: BTreeMap<String, Vec<u8>>,
+    ) -> Proposal {
+        self.nonce += 1;
+        Proposal::new(
+            channel,
+            chaincode,
+            function,
+            args,
+            transient,
+            self.identity.clone(),
+            self.nonce,
+        )
+    }
+
+    /// Assembles a transaction from the first response's payload and every
+    /// collected endorsement, with no consistency checks whatsoever.
+    ///
+    /// Returns `None` only when no responses were collected.
+    pub fn assemble_unchecked(
+        &self,
+        proposal: &Proposal,
+        responses: &[ProposalResponse],
+    ) -> Option<Transaction> {
+        let first = responses.first()?;
+        let payload = first.payload.clone();
+        let endorsements: Vec<Endorsement> = responses
+            .iter()
+            .map(|r| r.endorsement.clone())
+            .collect();
+        let client_signature = self.keypair.sign(&Transaction::client_signed_bytes(
+            &proposal.tx_id,
+            &payload,
+            &endorsements,
+        ));
+        Some(Transaction {
+            tx_id: proposal.tx_id.clone(),
+            channel: proposal.channel.clone(),
+            chaincode: proposal.chaincode.clone(),
+            creator: self.identity.clone(),
+            payload,
+            commitment: first.commitment,
+            endorsements,
+            client_signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::sha256;
+    use fabric_types::{PayloadCommitment, ProposalResponsePayload, Response, TxRwSet};
+
+    #[test]
+    fn assembles_despite_inconsistent_responses() {
+        let mut mc = MaliciousClient::new("Org1MSP", Keypair::generate_from_seed(70));
+        let proposal = mc.create_proposal("ch1", "cc", "f", vec![], BTreeMap::new());
+
+        let make_response = |payload: &[u8], seed: u64| {
+            let kp = Keypair::generate_from_seed(seed);
+            let id = Identity::new("Org1MSP", Role::Peer, kp.public_key());
+            let p = ProposalResponsePayload {
+                proposal_hash: sha256(b"x"),
+                response: Response::ok(payload.to_vec()),
+                results: TxRwSet::new(),
+                event: None,
+            };
+            let sig = kp.sign(&p.signed_bytes(PayloadCommitment::Plain));
+            ProposalResponse {
+                payload: p,
+                commitment: PayloadCommitment::Plain,
+                endorsement: Endorsement {
+                    endorser: id,
+                    signature: sig,
+                },
+            }
+        };
+
+        // An honest client would abort on the mismatch; the malicious one
+        // doesn't care.
+        let responses = vec![make_response(b"a", 71), make_response(b"b", 72)];
+        let tx = mc.assemble_unchecked(&proposal, &responses).unwrap();
+        assert_eq!(tx.payload.response.payload, b"a");
+        assert_eq!(tx.endorsements.len(), 2);
+        assert!(tx.verify_client_signature());
+        // Of course, the mismatched second endorsement cannot verify.
+        assert!(!tx.verify_endorsement_signatures());
+    }
+
+    #[test]
+    fn empty_responses_yield_none() {
+        let mut mc = MaliciousClient::new("Org1MSP", Keypair::generate_from_seed(73));
+        let proposal = mc.create_proposal("ch1", "cc", "f", vec![], BTreeMap::new());
+        assert!(mc.assemble_unchecked(&proposal, &[]).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 11 — impact of the defense measures on system performance.
+//!
+//! Measures, for read / write / delete PDC transactions:
+//!
+//! * **execution latency** — one endorsement (chaincode simulation +
+//!   rwset assembly + signing), original vs. New Feature 2 (which adds one
+//!   SHA-256 of the response payload before signing);
+//! * **validation latency** — one block validated and committed, original
+//!   vs. New Feature 1 + the non-member endorsement filter (which add one
+//!   collection-policy evaluation and a membership check).
+//!
+//! Run: `cargo bench -p fabric-bench --bench fig11_latency`
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fabric_bench::{fixture_network, make_proposal, prepared_block, process_prepared, TxOp};
+use fabric_pdc::prelude::DefenseConfig;
+use std::hint::black_box;
+
+fn execution_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_execution_latency");
+    let configs = [
+        ("original", DefenseConfig::original()),
+        ("feature2", DefenseConfig::feature2()),
+    ];
+    for (name, defense) in configs {
+        let net = fixture_network(defense, 11);
+        for op in TxOp::all() {
+            let peer = net.peer("peer0.org1").clone();
+            let mut nonce = 1_000u64;
+            group.bench_function(BenchmarkId::new(op.label(), name), |b| {
+                b.iter_batched(
+                    || {
+                        nonce += 1;
+                        make_proposal(&net, op, nonce)
+                    },
+                    |proposal| black_box(peer.endorse(&proposal).expect("endorse")),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn validation_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_validation_latency");
+    let configs = [
+        ("original", DefenseConfig::original()),
+        (
+            "feature1+filter",
+            DefenseConfig {
+                collection_policy_for_reads: true,
+                filter_non_member_endorsers: true,
+                ..DefenseConfig::original()
+            },
+        ),
+    ];
+    for (name, defense) in configs {
+        let mut net = fixture_network(defense, 12);
+        for (i, op) in TxOp::all().into_iter().enumerate() {
+            let (peer, block, pvt) = prepared_block(&mut net, op, defense, 2_000 + i as u64);
+            group.bench_function(BenchmarkId::new(op.label(), name), |b| {
+                b.iter(|| black_box(process_prepared(&peer, &block, &pvt)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, execution_latency, validation_latency);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Regenerates Fig. 11 as a quick textual summary: execution and
+//! validation latency of one transaction, original vs. modified framework,
+//! 100 runs each (the paper's methodology). For full statistics use
+//! `cargo bench -p fabric-bench --bench fig11_latency`.
+//!
+//! Run: `cargo run --release -p fabric-bench --bin fig11`
+
+use fabric_bench::{
+    fixture_network, make_proposal, measure, prepared_block, process_prepared, Stats, TxOp,
+};
+use fabric_pdc::prelude::DefenseConfig;
+use std::hint::black_box;
+
+const RUNS: usize = 100;
+const WARMUP: usize = 10;
+
+fn fmt(stats: Stats) -> String {
+    format!(
+        "{:>9.1?} (min {:>9.1?})",
+        stats.mean, stats.min
+    )
+}
+
+fn main() {
+    println!("Fig. 11 — impact of defense measures on per-transaction latency");
+    println!("({RUNS} measured runs per cell, {WARMUP} warm-up runs)\n");
+
+    println!("execution latency (one endorsement):");
+    println!(
+        "{:<8} | {:<28} | {:<28} | overhead",
+        "tx", "original", "new feature 2"
+    );
+    println!("{}", "-".repeat(84));
+    for op in TxOp::all() {
+        let mut cells = Vec::new();
+        for defense in [DefenseConfig::original(), DefenseConfig::feature2()] {
+            let net = fixture_network(defense, 21);
+            let peer = net.peer("peer0.org1").clone();
+            let mut nonce = 10_000u64;
+            let stats = measure(RUNS, WARMUP, || {
+                nonce += 1;
+                let proposal = make_proposal(&net, op, nonce);
+                black_box(peer.endorse(&proposal).expect("endorse"));
+            });
+            cells.push(stats);
+        }
+        let overhead =
+            cells[1].mean.as_secs_f64() / cells[0].mean.as_secs_f64() * 100.0 - 100.0;
+        println!(
+            "{:<8} | {:<28} | {:<28} | {:+.1} %",
+            op.label(),
+            fmt(cells[0]),
+            fmt(cells[1]),
+            overhead
+        );
+    }
+
+    println!("\nvalidation latency (one block validated + committed):");
+    println!(
+        "{:<8} | {:<28} | {:<28} | overhead",
+        "tx", "original", "feature 1 + filter"
+    );
+    println!("{}", "-".repeat(84));
+    let defended = DefenseConfig {
+        collection_policy_for_reads: true,
+        filter_non_member_endorsers: true,
+        ..DefenseConfig::original()
+    };
+    for op in TxOp::all() {
+        let mut cells = Vec::new();
+        for defense in [DefenseConfig::original(), defended] {
+            let mut net = fixture_network(defense, 22);
+            let (peer, block, pvt) = prepared_block(&mut net, op, defense, 20_000);
+            let stats = measure(RUNS, WARMUP, || {
+                black_box(process_prepared(&peer, &block, &pvt));
+            });
+            cells.push(stats);
+        }
+        let overhead =
+            cells[1].mean.as_secs_f64() / cells[0].mean.as_secs_f64() * 100.0 - 100.0;
+        println!(
+            "{:<8} | {:<28} | {:<28} | {:+.1} %",
+            op.label(),
+            fmt(cells[0]),
+            fmt(cells[1]),
+            overhead
+        );
+    }
+    println!("\n(the paper reports minor impact in both phases; see EXPERIMENTS.md)");
+}

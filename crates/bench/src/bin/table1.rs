@@ -1,0 +1,117 @@
+//! Regenerates Table I: read/write sets of the four transaction types
+//! operating on `⟨k1, val1⟩`, produced by real chaincode simulation.
+//!
+//! Run: `cargo run -p fabric-bench --bin table1`
+
+use fabric_pdc::chaincode::{ChaincodeDefinition, ChaincodeError, ChaincodeStub};
+use fabric_pdc::ledger::WorldState;
+use fabric_pdc::prelude::*;
+use fabric_pdc::types::{KvRwSet, Version};
+use std::collections::HashSet;
+
+/// A minimal chaincode exposing the four primitive operations.
+fn table1_chaincode(stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+    match stub.function() {
+        "read_only" => {
+            stub.get_state("k1");
+            Ok(Vec::new())
+        }
+        "write_only" => {
+            stub.put_state("k1", b"val1".to_vec());
+            Ok(Vec::new())
+        }
+        "read_write" => {
+            stub.get_state("k1");
+            stub.put_state("k1", b"val1".to_vec());
+            Ok(Vec::new())
+        }
+        "delete_only" => {
+            stub.del_state("k1");
+            Ok(Vec::new())
+        }
+        other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+    }
+}
+
+fn simulate(function: &str) -> KvRwSet {
+    // World state where k1 exists at version 1 (the table's premise).
+    let mut ws = WorldState::new();
+    let def = ChaincodeDefinition::new("cc");
+    ws.put_public(&def.id, "k1", b"val1".to_vec(), Version::new(1, 0));
+    let memberships = HashSet::new();
+    let kp = Keypair::generate_from_seed(1);
+    let proposal = Proposal::new(
+        "ch1",
+        "cc",
+        function,
+        vec![],
+        Default::default(),
+        Identity::new("Org1MSP", Role::Client, kp.public_key()),
+        1,
+    );
+    let mut stub = ChaincodeStub::new(&ws, &def, &memberships, &proposal);
+    table1_chaincode(&mut stub).expect("function exists");
+    stub.into_results().public
+}
+
+fn render_reads(rwset: &KvRwSet) -> String {
+    if rwset.reads.is_empty() {
+        "NULL".to_string()
+    } else {
+        rwset
+            .reads
+            .iter()
+            .map(|r| {
+                format!(
+                    "({}, {})",
+                    r.key,
+                    r.version.map(|v| v.to_string()).unwrap_or("∅".into())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn render_writes(rwset: &KvRwSet) -> String {
+    if rwset.writes.is_empty() {
+        "NULL".to_string()
+    } else {
+        rwset
+            .writes
+            .iter()
+            .map(|w| {
+                format!(
+                    "({}, {}, is_delete={})",
+                    w.key,
+                    w.value
+                        .as_ref()
+                        .map(|v| String::from_utf8_lossy(v).into_owned())
+                        .unwrap_or_else(|| "null".into()),
+                    w.is_delete
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn main() {
+    println!("TABLE I — READ/WRITE SET IN DIFFERENT TYPES OF TRANSACTIONS ON <k1, val1>");
+    println!("(k1 exists at version 1:0; sets produced by real chaincode simulation)\n");
+    println!(
+        "{:<14} | {:<12} | {:<18} | {}",
+        "Tx Type", "Kind", "Read Set", "Write Set"
+    );
+    println!("{}", "-".repeat(84));
+    for function in ["read_only", "write_only", "read_write", "delete_only"] {
+        let rwset = simulate(function);
+        println!(
+            "{:<14} | {:<12} | {:<18} | {}",
+            function,
+            rwset.kind().to_string(),
+            render_reads(&rwset),
+            render_writes(&rwset)
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The channel-agreed chaincode definition.
+
+use fabric_policy::SignaturePolicy;
+use fabric_types::{ChaincodeId, CollectionConfig, CollectionName, OrgId};
+
+/// What the channel agreed on when the chaincode was committed: its name,
+/// chaincode-level endorsement policy, and collection configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaincodeDefinition {
+    /// Chaincode name (also the rwset namespace).
+    pub id: ChaincodeId,
+    /// Chaincode-level endorsement policy expression. Defaults to the
+    /// channel's implicitMeta `MAJORITY Endorsement` when projects don't
+    /// override it — 116 of 120 GitHub configs do exactly that (§V-C2).
+    pub endorsement_policy: String,
+    /// Private data collections defined for this chaincode.
+    pub collections: Vec<CollectionConfig>,
+}
+
+impl ChaincodeDefinition {
+    /// Creates a definition with the Fabric default chaincode-level policy
+    /// (`MAJORITY Endorsement`) and no collections.
+    pub fn new(id: impl Into<ChaincodeId>) -> Self {
+        ChaincodeDefinition {
+            id: id.into(),
+            endorsement_policy: "MAJORITY Endorsement".to_string(),
+            collections: Vec::new(),
+        }
+    }
+
+    /// Overrides the chaincode-level endorsement policy.
+    pub fn with_endorsement_policy(mut self, policy: impl Into<String>) -> Self {
+        self.endorsement_policy = policy.into();
+        self
+    }
+
+    /// Adds a private data collection.
+    pub fn with_collection(mut self, collection: CollectionConfig) -> Self {
+        self.collections.push(collection);
+        self
+    }
+
+    /// Looks up a collection config by name.
+    pub fn collection(&self, name: &CollectionName) -> Option<&CollectionConfig> {
+        self.collections.iter().find(|c| &c.name == name)
+    }
+
+    /// Whether `org` is a member of `collection`, per the collection's
+    /// membership policy (an org is a member iff it appears in the policy —
+    /// membership policies are OR-of-members in practice).
+    ///
+    /// Returns `false` for unknown collections or unparsable policies.
+    pub fn org_is_member(&self, org: &OrgId, collection: &CollectionName) -> bool {
+        let Some(cfg) = self.collection(collection) else {
+            return false;
+        };
+        match SignaturePolicy::parse(&cfg.member_policy) {
+            Ok(policy) => policy.organizations().contains(org),
+            Err(_) => false,
+        }
+    }
+
+    /// The collections `org` is a member of.
+    pub fn memberships_of(&self, org: &OrgId) -> Vec<CollectionName> {
+        self.collections
+            .iter()
+            .filter(|c| self.org_is_member(org, &c.name))
+            .map(|c| c.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn definition() -> ChaincodeDefinition {
+        ChaincodeDefinition::new("cc").with_collection(CollectionConfig::membership_of(
+            "PDC1",
+            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
+        ))
+    }
+
+    #[test]
+    fn default_policy_is_majority_endorsement() {
+        assert_eq!(
+            ChaincodeDefinition::new("cc").endorsement_policy,
+            "MAJORITY Endorsement"
+        );
+    }
+
+    #[test]
+    fn membership_follows_collection_policy() {
+        let def = definition();
+        let pdc1 = CollectionName::new("PDC1");
+        assert!(def.org_is_member(&OrgId::new("Org1MSP"), &pdc1));
+        assert!(def.org_is_member(&OrgId::new("Org2MSP"), &pdc1));
+        assert!(!def.org_is_member(&OrgId::new("Org3MSP"), &pdc1));
+        assert!(!def.org_is_member(&OrgId::new("Org1MSP"), &CollectionName::new("nope")));
+    }
+
+    #[test]
+    fn memberships_of_lists_collections() {
+        let def = definition();
+        assert_eq!(
+            def.memberships_of(&OrgId::new("Org1MSP")),
+            vec![CollectionName::new("PDC1")]
+        );
+        assert!(def.memberships_of(&OrgId::new("Org3MSP")).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Chaincode execution errors.
+
+use fabric_types::CollectionName;
+use std::fmt;
+
+/// Errors a chaincode invocation can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaincodeError {
+    /// The function name does not exist in this chaincode.
+    FunctionNotFound(String),
+    /// Arguments were missing or malformed.
+    InvalidArguments(String),
+    /// `GetPrivateData` was invoked on a peer that is not a member of the
+    /// collection — Fabric reports the key as unavailable because only the
+    /// hash lives in a non-member's world state (paper §III-B2).
+    PrivateDataUnavailable {
+        /// The collection whose plaintext this peer does not hold.
+        collection: CollectionName,
+        /// The requested key.
+        key: String,
+    },
+    /// `MemberOnlyRead` rejected a read requested by a client of a
+    /// non-member organization.
+    MemberOnlyRead {
+        /// The protected collection.
+        collection: CollectionName,
+    },
+    /// A required key does not exist.
+    KeyNotFound {
+        /// The collection, `None` for public data.
+        collection: Option<CollectionName>,
+        /// The missing key.
+        key: String,
+    },
+    /// A business rule encoded in this organization's chaincode variant
+    /// rejected the operation (e.g. `k1.value < 15` in §V-A2).
+    BusinessRule(String),
+}
+
+impl fmt::Display for ChaincodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaincodeError::FunctionNotFound(name) => {
+                write!(f, "function {name:?} does not exist")
+            }
+            ChaincodeError::InvalidArguments(msg) => write!(f, "invalid arguments: {msg}"),
+            ChaincodeError::PrivateDataUnavailable { collection, key } => write!(
+                f,
+                "private data {key:?} of collection {collection} unavailable on this peer"
+            ),
+            ChaincodeError::MemberOnlyRead { collection } => {
+                write!(f, "collection {collection} is memberOnlyRead")
+            }
+            ChaincodeError::KeyNotFound { collection, key } => match collection {
+                Some(c) => write!(f, "key {key:?} not found in collection {c}"),
+                None => write!(f, "key {key:?} not found"),
+            },
+            ChaincodeError::BusinessRule(msg) => write!(f, "business rule violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaincodeError {}

@@ -1,0 +1,289 @@
+//! The experiment chaincode of §V-A: private integer values guarded by
+//! per-organization business rules.
+//!
+//! Fabric chaincode is customizable per organization (it need not be
+//! byte-identical across peers as long as results agree), so each org
+//! deploys a [`GuardedPdc`] configured with its own [`Guard`]s — in the
+//! paper, org1 requires `k1.value < 15`, org2 requires `k1.value > 10`,
+//! and the PDC non-member org3 installs no constraints at all.
+
+use crate::error::ChaincodeError;
+use crate::stub::ChaincodeStub;
+use crate::Chaincode;
+use fabric_types::CollectionName;
+
+/// A business-rule predicate over an integer value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// No constraint (org3 in the paper's experiments).
+    Always,
+    /// The value must be strictly less than the bound (org1: `< 15`).
+    LessThan(i64),
+    /// The value must be strictly greater than the bound (org2: `> 10`).
+    GreaterThan(i64),
+    /// Reject everything.
+    Never,
+}
+
+impl Guard {
+    /// Evaluates the predicate.
+    pub fn allows(&self, value: i64) -> bool {
+        match self {
+            Guard::Always => true,
+            Guard::LessThan(bound) => value < *bound,
+            Guard::GreaterThan(bound) => value > *bound,
+            Guard::Never => false,
+        }
+    }
+
+    /// Human-readable rule description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Guard::Always => "no constraint".into(),
+            Guard::LessThan(b) => format!("value < {b}"),
+            Guard::GreaterThan(b) => format!("value > {b}"),
+            Guard::Never => "always rejected".into(),
+        }
+    }
+}
+
+/// The guarded PDC chaincode. Functions (values are ASCII integers):
+///
+/// | function | args | rwset shape | guard applied |
+/// |---|---|---|---|
+/// | `read`   | key  | PDC read-only   | none (but leaks via payload) |
+/// | `write`  | key, value | PDC write-only | `write_guard` on the new value |
+/// | `add`    | key, delta | PDC read-write | `write_guard` on the sum |
+/// | `delete` | key  | PDC read+delete | `delete_guard` on the current value |
+///
+/// `read` returns the private value through the payload — the PDC
+/// "auditable read" service of §IV-B1, and the target of the fake-read
+/// injection.
+#[derive(Debug, Clone)]
+pub struct GuardedPdc {
+    collection: CollectionName,
+    write_guard: Guard,
+    delete_guard: Guard,
+}
+
+impl GuardedPdc {
+    /// Creates an org's variant with its guards.
+    pub fn new(collection: impl Into<CollectionName>, write_guard: Guard, delete_guard: Guard) -> Self {
+        GuardedPdc {
+            collection: collection.into(),
+            write_guard,
+            delete_guard,
+        }
+    }
+
+    /// The unconstrained variant a disinterested non-member org deploys.
+    pub fn unconstrained(collection: impl Into<CollectionName>) -> Self {
+        Self::new(collection, Guard::Always, Guard::Always)
+    }
+
+    /// The collection this chaincode operates on.
+    pub fn collection(&self) -> &CollectionName {
+        &self.collection
+    }
+
+    /// The write guard (used to check world-state outcomes in tests).
+    pub fn write_guard(&self) -> Guard {
+        self.write_guard
+    }
+
+    fn read_int(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        key: &str,
+    ) -> Result<i64, ChaincodeError> {
+        let bytes = stub
+            .get_private_data(&self.collection, key)?
+            .ok_or_else(|| ChaincodeError::KeyNotFound {
+                collection: Some(self.collection.clone()),
+                key: key.to_string(),
+            })?;
+        super::parse_int(&bytes)
+    }
+}
+
+impl Chaincode for GuardedPdc {
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "read" => {
+                let key = stub.arg_str(0)?;
+                let value = self.read_int(stub, &key)?;
+                // PDC read service: the value is returned in the payload so
+                // the read can be audited on-chain (§IV-B1).
+                Ok(value.to_string().into_bytes())
+            }
+            "write" => {
+                let key = stub.arg_str(0)?;
+                let value = super::parse_int(&stub.args().get(1).cloned().ok_or_else(|| {
+                    ChaincodeError::InvalidArguments("write needs key and value".into())
+                })?)?;
+                if !self.write_guard.allows(value) {
+                    return Err(ChaincodeError::BusinessRule(format!(
+                        "write of {value} rejected: requires {}",
+                        self.write_guard.describe()
+                    )));
+                }
+                stub.put_private_data(&self.collection, &key, value.to_string().into_bytes());
+                Ok(Vec::new())
+            }
+            "add" => {
+                let key = stub.arg_str(0)?;
+                let delta = super::parse_int(&stub.args().get(1).cloned().ok_or_else(|| {
+                    ChaincodeError::InvalidArguments("add needs key and delta".into())
+                })?)?;
+                let current = self.read_int(stub, &key)?;
+                let sum = current + delta;
+                if !self.write_guard.allows(sum) {
+                    return Err(ChaincodeError::BusinessRule(format!(
+                        "update to {sum} rejected: requires {}",
+                        self.write_guard.describe()
+                    )));
+                }
+                stub.put_private_data(&self.collection, &key, sum.to_string().into_bytes());
+                Ok(sum.to_string().into_bytes())
+            }
+            "delete" => {
+                let key = stub.arg_str(0)?;
+                match self.delete_guard {
+                    Guard::Always => {}
+                    guard => {
+                        let current = self.read_int(stub, &key)?;
+                        if !guard.allows(current) {
+                            return Err(ChaincodeError::BusinessRule(format!(
+                                "delete at {current} rejected: requires {}",
+                                guard.describe()
+                            )));
+                        }
+                    }
+                }
+                stub.del_private_data(&self.collection, &key);
+                Ok(Vec::new())
+            }
+            other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::definition::ChaincodeDefinition;
+    use fabric_ledger::WorldState;
+    use fabric_types::{CollectionConfig, Identity, OrgId, Proposal, Role, TxKind, Version};
+    use std::collections::{BTreeMap, HashSet};
+
+    const COL: &str = "PDC1";
+
+    fn run(
+        cc: &GuardedPdc,
+        function: &str,
+        args: &[&str],
+        seed: Option<i64>,
+    ) -> (
+        Result<Vec<u8>, ChaincodeError>,
+        crate::stub::SimulationResult,
+    ) {
+        let mut ws = WorldState::new();
+        if let Some(v) = seed {
+            ws.put_private(
+                &"guarded".into(),
+                &CollectionName::new(COL),
+                "k1",
+                v.to_string().into_bytes(),
+                Version::new(1, 0),
+            );
+        }
+        let def = ChaincodeDefinition::new("guarded").with_collection(
+            CollectionConfig::membership_of(COL, &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")]),
+        );
+        let memberships: HashSet<_> = [CollectionName::new(COL)].into_iter().collect();
+        let kp = fabric_crypto::Keypair::generate_from_seed(8);
+        let prop = Proposal::new(
+            "ch1",
+            "guarded",
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            BTreeMap::new(),
+            Identity::new("Org1MSP", Role::Client, kp.public_key()),
+            1,
+        );
+        let mut stub = ChaincodeStub::new(&ws, &def, &memberships, &prop);
+        let out = cc.invoke(&mut stub);
+        (out, stub.into_results())
+    }
+
+    fn org1() -> GuardedPdc {
+        // §V-A2: peer0.org1 requires k1.value < 15.
+        GuardedPdc::new(COL, Guard::LessThan(15), Guard::LessThan(15))
+    }
+
+    fn org2() -> GuardedPdc {
+        // §V-A2: peer0.org2 requires k1.value > 10.
+        GuardedPdc::new(COL, Guard::GreaterThan(10), Guard::GreaterThan(10))
+    }
+
+    #[test]
+    fn read_returns_value_and_is_read_only() {
+        let (out, results) = run(&org1(), "read", &["k1"], Some(12));
+        assert_eq!(out.unwrap(), b"12");
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::ReadOnly);
+    }
+
+    #[test]
+    fn write_guards_differ_per_org() {
+        // The §V-A2 scenario: writing 5 passes org1 (< 15), violates org2
+        // (> 10).
+        let (out, results) = run(&org1(), "write", &["k1", "5"], None);
+        assert!(out.is_ok());
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::WriteOnly);
+
+        let (out, _) = run(&org2(), "write", &["k1", "5"], None);
+        assert!(matches!(out, Err(ChaincodeError::BusinessRule(_))));
+    }
+
+    #[test]
+    fn add_is_read_write_and_guarded() {
+        let (out, results) = run(&org1(), "add", &["k1", "2"], Some(12));
+        assert_eq!(out.unwrap(), b"14");
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::ReadWrite);
+
+        // 12 + 5 = 17 violates org1's < 15 rule.
+        let (out, _) = run(&org1(), "add", &["k1", "5"], Some(12));
+        assert!(matches!(out, Err(ChaincodeError::BusinessRule(_))));
+    }
+
+    #[test]
+    fn delete_guard_reads_current_value() {
+        // §V-A4 with k1 = 5: org1 (< 15) allows, org2 (> 10) rejects.
+        let (out, results) = run(&org1(), "delete", &["k1"], Some(5));
+        assert!(out.is_ok());
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::Mixed);
+
+        let (out, _) = run(&org2(), "delete", &["k1"], Some(5));
+        assert!(matches!(out, Err(ChaincodeError::BusinessRule(_))));
+    }
+
+    #[test]
+    fn unconstrained_variant_allows_everything() {
+        let cc = GuardedPdc::unconstrained(COL);
+        assert!(run(&cc, "write", &["k1", "-999"], None).0.is_ok());
+        // Unconstrained delete is a pure delete-only transaction.
+        let (out, results) = run(&cc, "delete", &["k1"], Some(5));
+        assert!(out.is_ok());
+        assert_eq!(results.collections[0].rwset.kind(), TxKind::DeleteOnly);
+    }
+
+    #[test]
+    fn guard_predicates() {
+        assert!(Guard::Always.allows(i64::MAX));
+        assert!(!Guard::Never.allows(0));
+        assert!(Guard::LessThan(15).allows(14));
+        assert!(!Guard::LessThan(15).allows(15));
+        assert!(Guard::GreaterThan(10).allows(11));
+        assert!(!Guard::GreaterThan(10).allows(10));
+    }
+}

@@ -1,0 +1,214 @@
+//! An asset registry with a composite-key secondary index
+//! (`owner~asset`), demonstrating `CreateCompositeKey` /
+//! `GetStateByPartialCompositeKey` — the standard Fabric pattern for
+//! querying by attribute without a rich-query database.
+
+use crate::error::ChaincodeError;
+use crate::stub::ChaincodeStub;
+use crate::Chaincode;
+
+const INDEX: &str = "owner~asset";
+
+/// Functions:
+///
+/// | function | args | behaviour |
+/// |---|---|---|
+/// | `register` | id, owner, data | stores the asset + index entry |
+/// | `transfer` | id, new-owner | moves the asset and re-indexes it |
+/// | `by_owner` | owner | ids of the owner's assets via the index |
+/// | `read` | id | the asset record `owner:data` |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IndexedAssets;
+
+fn record(owner: &str, data: &str) -> Vec<u8> {
+    format!("{owner}:{data}").into_bytes()
+}
+
+fn parse_record(bytes: &[u8]) -> Result<(String, String), ChaincodeError> {
+    let text = String::from_utf8(bytes.to_vec())
+        .map_err(|_| ChaincodeError::InvalidArguments("corrupt record".into()))?;
+    let (owner, data) = text
+        .split_once(':')
+        .ok_or_else(|| ChaincodeError::InvalidArguments("corrupt record".into()))?;
+    Ok((owner.to_string(), data.to_string()))
+}
+
+impl Chaincode for IndexedAssets {
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "register" => {
+                let id = stub.arg_str(0)?;
+                let owner = stub.arg_str(1)?;
+                let data = stub.arg_str(2)?;
+                if stub.get_state(&id).is_some() {
+                    return Err(ChaincodeError::InvalidArguments(format!(
+                        "asset {id} already exists"
+                    )));
+                }
+                stub.put_state(&id, record(&owner, &data));
+                let index_key = stub.create_composite_key(INDEX, &[&owner, &id])?;
+                stub.put_state(&index_key, vec![0]);
+                Ok(Vec::new())
+            }
+            "transfer" => {
+                let id = stub.arg_str(0)?;
+                let new_owner = stub.arg_str(1)?;
+                let bytes = stub.get_state(&id).ok_or(ChaincodeError::KeyNotFound {
+                    collection: None,
+                    key: id.clone(),
+                })?;
+                let (old_owner, data) = parse_record(&bytes)?;
+                stub.put_state(&id, record(&new_owner, &data));
+                let old_index = stub.create_composite_key(INDEX, &[&old_owner, &id])?;
+                stub.del_state(&old_index);
+                let new_index = stub.create_composite_key(INDEX, &[&new_owner, &id])?;
+                stub.put_state(&new_index, vec![0]);
+                Ok(old_owner.into_bytes())
+            }
+            "by_owner" => {
+                let owner = stub.arg_str(0)?;
+                let hits = stub.get_state_by_partial_composite_key(INDEX, &[&owner])?;
+                let mut ids = Vec::new();
+                for (key, _) in hits {
+                    if let Some((_, attrs)) = stub.split_composite_key(&key) {
+                        if let Some(id) = attrs.get(1) {
+                            ids.push(id.clone());
+                        }
+                    }
+                }
+                Ok(ids.join(",").into_bytes())
+            }
+            "read" => {
+                let id = stub.arg_str(0)?;
+                stub.get_state(&id).ok_or(ChaincodeError::KeyNotFound {
+                    collection: None,
+                    key: id,
+                })
+            }
+            other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::definition::ChaincodeDefinition;
+    use fabric_ledger::WorldState;
+    use fabric_types::{Identity, Proposal, Role, Version};
+    use std::collections::{BTreeMap, HashSet};
+
+    fn invoke(
+        ws: &WorldState,
+        function: &str,
+        args: &[&str],
+    ) -> (
+        Result<Vec<u8>, ChaincodeError>,
+        crate::stub::SimulationResult,
+    ) {
+        let def = ChaincodeDefinition::new("indexed");
+        let memberships = HashSet::new();
+        let kp = fabric_crypto::Keypair::generate_from_seed(90);
+        let prop = Proposal::new(
+            "ch1",
+            "indexed",
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            BTreeMap::new(),
+            Identity::new("Org1MSP", Role::Client, kp.public_key()),
+            1,
+        );
+        let mut stub = ChaincodeStub::new(ws, &def, &memberships, &prop);
+        let out = IndexedAssets.invoke(&mut stub);
+        (out, stub.into_results())
+    }
+
+    /// Applies an invocation's writes to the state (simulating a commit).
+    fn commit(ws: &mut WorldState, function: &str, args: &[&str], height: u64) {
+        let (out, results) = invoke(ws, function, args);
+        out.expect("invocation succeeds");
+        ws.apply_public_writes(
+            &"indexed".into(),
+            &results.public,
+            Version::new(height, 0),
+        );
+    }
+
+    #[test]
+    fn register_creates_record_and_index() {
+        let mut ws = WorldState::new();
+        commit(&mut ws, "register", &["a1", "alice", "blue"], 1);
+        let (out, _) = invoke(&ws, "read", &["a1"]);
+        assert_eq!(out.unwrap(), b"alice:blue");
+        let (out, _) = invoke(&ws, "by_owner", &["alice"]);
+        assert_eq!(out.unwrap(), b"a1");
+    }
+
+    #[test]
+    fn index_queries_scope_to_one_owner() {
+        let mut ws = WorldState::new();
+        commit(&mut ws, "register", &["a1", "alice", "x"], 1);
+        commit(&mut ws, "register", &["a2", "bob", "y"], 2);
+        commit(&mut ws, "register", &["a3", "alice", "z"], 3);
+        let (out, _) = invoke(&ws, "by_owner", &["alice"]);
+        assert_eq!(out.unwrap(), b"a1,a3");
+        let (out, _) = invoke(&ws, "by_owner", &["bob"]);
+        assert_eq!(out.unwrap(), b"a2");
+        // An owner that is a prefix of another must not match (al / alice).
+        let (out, _) = invoke(&ws, "by_owner", &["al"]);
+        assert_eq!(out.unwrap(), b"");
+    }
+
+    #[test]
+    fn transfer_moves_the_index_entry() {
+        let mut ws = WorldState::new();
+        commit(&mut ws, "register", &["a1", "alice", "x"], 1);
+        commit(&mut ws, "transfer", &["a1", "bob"], 2);
+        let (out, _) = invoke(&ws, "by_owner", &["alice"]);
+        assert_eq!(out.unwrap(), b"");
+        let (out, _) = invoke(&ws, "by_owner", &["bob"]);
+        assert_eq!(out.unwrap(), b"a1");
+        let (out, _) = invoke(&ws, "read", &["a1"]);
+        assert_eq!(out.unwrap(), b"bob:x");
+    }
+
+    #[test]
+    fn composite_keys_never_collide_with_plain_keys() {
+        let mut ws = WorldState::new();
+        commit(&mut ws, "register", &["owner~asset", "alice", "tricky"], 1);
+        // The plain key "owner~asset" and the index object type coexist.
+        let (out, _) = invoke(&ws, "read", &["owner~asset"]);
+        assert_eq!(out.unwrap(), b"alice:tricky");
+        let (out, _) = invoke(&ws, "by_owner", &["alice"]);
+        assert_eq!(out.unwrap(), b"owner~asset");
+    }
+
+    #[test]
+    fn composite_key_component_validation() {
+        let ws = WorldState::new();
+        let def = ChaincodeDefinition::new("indexed");
+        let memberships = HashSet::new();
+        let kp = fabric_crypto::Keypair::generate_from_seed(91);
+        let prop = Proposal::new(
+            "ch1",
+            "indexed",
+            "read",
+            vec![],
+            BTreeMap::new(),
+            Identity::new("Org1MSP", Role::Client, kp.public_key()),
+            1,
+        );
+        let stub = ChaincodeStub::new(&ws, &def, &memberships, &prop);
+        assert!(stub.create_composite_key("t", &["a", "b"]).is_ok());
+        assert!(stub.create_composite_key("", &["a"]).is_err());
+        assert!(stub.create_composite_key("t", &[""]).is_err());
+        assert!(stub.create_composite_key("t", &["a\u{0}b"]).is_err());
+
+        let key = stub.create_composite_key("t", &["a", "b"]).unwrap();
+        assert_eq!(
+            stub.split_composite_key(&key),
+            Some(("t".to_string(), vec!["a".to_string(), "b".to_string()]))
+        );
+        assert_eq!(stub.split_composite_key("plain"), None);
+    }
+}

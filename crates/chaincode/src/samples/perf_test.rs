@@ -1,0 +1,170 @@
+//! The paper's Listing 1: a Node.js contract whose `readPrivatePerfTest`
+//! function returns the private asset through the response payload.
+//!
+//! ```js
+//! // Original Node.js source analyzed by the paper:
+//! async readPrivatePerfTest(ctx, perfTestId) {
+//!     const exists = await this.privatePerfTestExists(ctx, perfTestId);
+//!     if (!exists) { throw new Error(`The perf test ${perfTestId} does not exist`); }
+//!     const buffer = await ctx.stub.getPrivateData(collection, perfTestId);
+//!     const asset = JSON.parse(buffer.toString());
+//!     return asset;          // <-- leaks the private asset via "payload"
+//! }
+//! ```
+
+use crate::error::ChaincodeError;
+use crate::stub::ChaincodeStub;
+use crate::Chaincode;
+use fabric_types::CollectionName;
+
+/// The perf-test contract (PDC-read leakage, §V-B1). Functions:
+///
+/// * `createPrivatePerfTest(id)` — stores the transient `asset` value;
+/// * `privatePerfTestExists(id)` — existence check via the hash store;
+/// * `readPrivatePerfTest(id)` — returns the private asset in the payload.
+#[derive(Debug, Clone)]
+pub struct PerfTest {
+    collection: CollectionName,
+}
+
+impl PerfTest {
+    /// Creates the contract over a collection.
+    pub fn new(collection: impl Into<CollectionName>) -> Self {
+        PerfTest {
+            collection: collection.into(),
+        }
+    }
+}
+
+impl Default for PerfTest {
+    fn default() -> Self {
+        PerfTest::new("perfCollection")
+    }
+}
+
+impl Chaincode for PerfTest {
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "createPrivatePerfTest" => {
+                let id = stub.arg_str(0)?;
+                let asset = stub
+                    .transient("asset")
+                    .ok_or_else(|| {
+                        ChaincodeError::InvalidArguments(
+                            "asset must be passed in the transient map".into(),
+                        )
+                    })?
+                    .to_vec();
+                stub.put_private_data(&self.collection, &id, asset);
+                Ok(Vec::new())
+            }
+            "privatePerfTestExists" => {
+                let id = stub.arg_str(0)?;
+                let exists = stub.get_private_data_hash(&self.collection, &id).is_some();
+                Ok(if exists { &b"true"[..] } else { &b"false"[..] }.to_vec())
+            }
+            "readPrivatePerfTest" => {
+                let id = stub.arg_str(0)?;
+                // `privatePerfTestExists` inline: hash lookup.
+                if stub.get_private_data_hash(&self.collection, &id).is_none() {
+                    return Err(ChaincodeError::KeyNotFound {
+                        collection: Some(self.collection.clone()),
+                        key: id,
+                    });
+                }
+                let asset = stub
+                    .get_private_data(&self.collection, &id)?
+                    .ok_or_else(|| ChaincodeError::KeyNotFound {
+                        collection: Some(self.collection.clone()),
+                        key: id.clone(),
+                    })?;
+                // Line 10 of Listing 1: `return asset` — the private asset
+                // goes back in the payload.
+                Ok(asset)
+            }
+            other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::definition::ChaincodeDefinition;
+    use fabric_ledger::WorldState;
+    use fabric_types::{CollectionConfig, Identity, OrgId, Proposal, Role, Version};
+    use std::collections::{BTreeMap, HashSet};
+
+    fn run(
+        function: &str,
+        args: &[&str],
+        transient: &[(&str, &str)],
+        seed_value: Option<&str>,
+    ) -> Result<Vec<u8>, ChaincodeError> {
+        let mut ws = WorldState::new();
+        let col = CollectionName::new("perfCollection");
+        if let Some(v) = seed_value {
+            ws.put_private(
+                &"perf".into(),
+                &col,
+                "t1",
+                v.as_bytes().to_vec(),
+                Version::new(1, 0),
+            );
+        }
+        let def = ChaincodeDefinition::new("perf").with_collection(
+            CollectionConfig::membership_of("perfCollection", &[OrgId::new("Org1MSP")]),
+        );
+        let memberships: HashSet<_> = [col].into_iter().collect();
+        let kp = fabric_crypto::Keypair::generate_from_seed(6);
+        let prop = Proposal::new(
+            "ch1",
+            "perf",
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            transient
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.as_bytes().to_vec()))
+                .collect::<BTreeMap<_, _>>(),
+            Identity::new("Org1MSP", Role::Client, kp.public_key()),
+            1,
+        );
+        let mut stub = ChaincodeStub::new(&ws, &def, &memberships, &prop);
+        PerfTest::default().invoke(&mut stub)
+    }
+
+    #[test]
+    fn read_returns_private_asset_in_payload() {
+        let out = run("readPrivatePerfTest", &["t1"], &[], Some("private-asset"));
+        assert_eq!(out.unwrap(), b"private-asset");
+    }
+
+    #[test]
+    fn read_missing_asset_errors_like_listing() {
+        let out = run("readPrivatePerfTest", &["t1"], &[], None);
+        assert!(matches!(out, Err(ChaincodeError::KeyNotFound { .. })));
+    }
+
+    #[test]
+    fn exists_uses_hash_store() {
+        assert_eq!(
+            run("privatePerfTestExists", &["t1"], &[], Some("x")).unwrap(),
+            b"true"
+        );
+        assert_eq!(
+            run("privatePerfTestExists", &["t1"], &[], None).unwrap(),
+            b"false"
+        );
+    }
+
+    #[test]
+    fn create_stores_transient_asset() {
+        let out = run(
+            "createPrivatePerfTest",
+            &["t1"],
+            &[("asset", "data")],
+            None,
+        );
+        assert!(out.unwrap().is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! The paper's Listing 2: a "simple asset chaincode" whose private `set`
+//! function returns the written value through the response payload.
+//!
+//! ```go
+//! // Original Go source analyzed by the paper:
+//! func setPrivate(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+//!     err := stub.PutPrivateData("demo", args[0], []byte(args[1]))
+//!     ...
+//!     return args[1], nil   // <-- leaks the private value via "payload"
+//! }
+//! ```
+
+use crate::error::ChaincodeError;
+use crate::stub::ChaincodeStub;
+use crate::Chaincode;
+use fabric_types::CollectionName;
+
+/// The vulnerable chaincode: `set` leaks through the payload (PDC-write
+/// leakage, §V-B2); `get` returns the private value to the client, which
+/// leaks when invoked via `submit_transaction` (PDC-read leakage, §V-B1).
+#[derive(Debug, Clone)]
+pub struct SaccPrivate {
+    collection: CollectionName,
+}
+
+impl SaccPrivate {
+    /// Creates the chaincode over a collection (the project used `"demo"`).
+    pub fn new(collection: impl Into<CollectionName>) -> Self {
+        SaccPrivate {
+            collection: collection.into(),
+        }
+    }
+}
+
+impl Default for SaccPrivate {
+    fn default() -> Self {
+        SaccPrivate::new("demo")
+    }
+}
+
+impl Chaincode for SaccPrivate {
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "set" => {
+                if stub.args().len() != 2 {
+                    return Err(ChaincodeError::InvalidArguments(
+                        "Incorrect arguments. Expecting a key and a value".into(),
+                    ));
+                }
+                let key = stub.arg_str(0)?;
+                let value = stub.args()[1].clone();
+                stub.put_private_data(&self.collection, &key, value.clone());
+                // Line 10 of Listing 2: `return args[1], nil` — the private
+                // value goes back in the payload and thus into the block.
+                Ok(value)
+            }
+            "get" => {
+                let key = stub.arg_str(0)?;
+                let value = stub
+                    .get_private_data(&self.collection, &key)?
+                    .ok_or_else(|| ChaincodeError::KeyNotFound {
+                        collection: Some(self.collection.clone()),
+                        key: key.clone(),
+                    })?;
+                Ok(value)
+            }
+            other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+        }
+    }
+}
+
+/// The remediated variant: `set` takes the value from the transient map
+/// and returns only the key, so nothing private enters the payload.
+#[derive(Debug, Clone)]
+pub struct SaccPrivateFixed {
+    collection: CollectionName,
+}
+
+impl SaccPrivateFixed {
+    /// Creates the fixed chaincode over a collection.
+    pub fn new(collection: impl Into<CollectionName>) -> Self {
+        SaccPrivateFixed {
+            collection: collection.into(),
+        }
+    }
+}
+
+impl Default for SaccPrivateFixed {
+    fn default() -> Self {
+        SaccPrivateFixed::new("demo")
+    }
+}
+
+impl Chaincode for SaccPrivateFixed {
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "set" => {
+                let key = stub.arg_str(0)?;
+                let value = stub
+                    .transient("value")
+                    .ok_or_else(|| {
+                        ChaincodeError::InvalidArguments(
+                            "private value must be passed in the transient map".into(),
+                        )
+                    })?
+                    .to_vec();
+                stub.put_private_data(&self.collection, &key, value);
+                Ok(key.into_bytes())
+            }
+            "get" => {
+                let key = stub.arg_str(0)?;
+                let value = stub
+                    .get_private_data(&self.collection, &key)?
+                    .ok_or_else(|| ChaincodeError::KeyNotFound {
+                        collection: Some(self.collection.clone()),
+                        key: key.clone(),
+                    })?;
+                Ok(value)
+            }
+            other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::definition::ChaincodeDefinition;
+    use fabric_ledger::WorldState;
+    use fabric_types::{CollectionConfig, Identity, OrgId, Proposal, Role};
+    use std::collections::{BTreeMap, HashSet};
+
+    fn invoke(
+        cc: &dyn Chaincode,
+        function: &str,
+        args: &[&str],
+        transient: &[(&str, &str)],
+    ) -> (
+        Result<Vec<u8>, ChaincodeError>,
+        crate::stub::SimulationResult,
+    ) {
+        let ws = WorldState::new();
+        let def = ChaincodeDefinition::new("sacc").with_collection(
+            CollectionConfig::membership_of("demo", &[OrgId::new("Org1MSP")]),
+        );
+        let memberships: HashSet<_> = [CollectionName::new("demo")].into_iter().collect();
+        let kp = fabric_crypto::Keypair::generate_from_seed(5);
+        let prop = Proposal::new(
+            "ch1",
+            "sacc",
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            transient
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.as_bytes().to_vec()))
+                .collect::<BTreeMap<_, _>>(),
+            Identity::new("Org1MSP", Role::Client, kp.public_key()),
+            1,
+        );
+        let mut stub = ChaincodeStub::new(&ws, &def, &memberships, &prop);
+        let out = cc.invoke(&mut stub);
+        (out, stub.into_results())
+    }
+
+    #[test]
+    fn vulnerable_set_returns_private_value() {
+        let (out, results) = invoke(&SaccPrivate::default(), "set", &["k1", "secret"], &[]);
+        // The leak: the payload equals the private value.
+        assert_eq!(out.unwrap(), b"secret");
+        assert_eq!(results.collections[0].rwset.writes[0].key, "k1");
+    }
+
+    #[test]
+    fn fixed_set_returns_only_the_key() {
+        let (out, results) = invoke(
+            &SaccPrivateFixed::default(),
+            "set",
+            &["k1"],
+            &[("value", "secret")],
+        );
+        assert_eq!(out.unwrap(), b"k1");
+        assert_eq!(
+            results.collections[0].rwset.writes[0].value,
+            Some(b"secret".to_vec())
+        );
+    }
+
+    #[test]
+    fn fixed_set_requires_transient_value() {
+        let (out, _) = invoke(&SaccPrivateFixed::default(), "set", &["k1"], &[]);
+        assert!(matches!(out, Err(ChaincodeError::InvalidArguments(_))));
+    }
+
+    #[test]
+    fn wrong_arity_matches_listing() {
+        let (out, _) = invoke(&SaccPrivate::default(), "set", &["only-key"], &[]);
+        assert!(matches!(out, Err(ChaincodeError::InvalidArguments(_))));
+    }
+
+    #[test]
+    fn get_missing_key_errors() {
+        let (out, _) = invoke(&SaccPrivate::default(), "get", &["ghost"], &[]);
+        assert!(matches!(out, Err(ChaincodeError::KeyNotFound { .. })));
+    }
+}

@@ -1,0 +1,191 @@
+//! Secured asset trade: the *legitimate* use of `GetPrivateDataHash`,
+//! modeled on Fabric's "secured asset transfer" sample.
+//!
+//! A seller keeps an asset's appraisal private in its own collection and
+//! only the SHA-256 lands on-chain. A buyer who received the claimed
+//! appraisal off-band verifies it against the on-chain hash — without the
+//! value ever entering a block. The exact API that enables this
+//! (`GetPrivateDataHash` working at every peer) is what the paper's
+//! endorsement forgery abuses; this chaincode is the dual-use contrast.
+
+use crate::error::ChaincodeError;
+use crate::stub::ChaincodeStub;
+use crate::Chaincode;
+use fabric_crypto::sha256;
+use fabric_types::CollectionName;
+
+/// Functions:
+///
+/// | function | args | transient | behaviour |
+/// |---|---|---|---|
+/// | `offer` | asset-id | `appraisal` | stores the private appraisal |
+/// | `verify` | asset-id | `claimed` | compares `sha256(claimed)` to the on-chain hash |
+/// | `exists` | asset-id | — | hash-store existence probe |
+#[derive(Debug, Clone)]
+pub struct SecuredTrade {
+    collection: CollectionName,
+}
+
+impl SecuredTrade {
+    /// Creates the contract over the seller's collection.
+    pub fn new(collection: impl Into<CollectionName>) -> Self {
+        SecuredTrade {
+            collection: collection.into(),
+        }
+    }
+}
+
+impl Chaincode for SecuredTrade {
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "offer" => {
+                let id = stub.arg_str(0)?;
+                let appraisal = stub
+                    .transient("appraisal")
+                    .ok_or_else(|| {
+                        ChaincodeError::InvalidArguments(
+                            "appraisal must be passed in the transient map".into(),
+                        )
+                    })?
+                    .to_vec();
+                stub.put_private_data(&self.collection, &id, appraisal);
+                // Returns only the id: nothing private in the payload.
+                Ok(id.into_bytes())
+            }
+            "verify" => {
+                let id = stub.arg_str(0)?;
+                let claimed = stub
+                    .transient("claimed")
+                    .ok_or_else(|| {
+                        ChaincodeError::InvalidArguments(
+                            "claimed value must be passed in the transient map".into(),
+                        )
+                    })?
+                    .to_vec();
+                // Any peer — member or not — can serve this: only hashes
+                // are compared.
+                let on_chain =
+                    stub.get_private_data_hash(&self.collection, &id)
+                        .ok_or_else(|| ChaincodeError::KeyNotFound {
+                            collection: Some(self.collection.clone()),
+                            key: id,
+                        })?;
+                let matches = sha256(&claimed) == on_chain;
+                Ok(if matches { b"true".to_vec() } else { b"false".to_vec() })
+            }
+            "exists" => {
+                let id = stub.arg_str(0)?;
+                let exists = stub.get_private_data_hash(&self.collection, &id).is_some();
+                Ok(if exists { b"true".to_vec() } else { b"false".to_vec() })
+            }
+            other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::definition::ChaincodeDefinition;
+    use fabric_ledger::WorldState;
+    use fabric_types::{CollectionConfig, Identity, OrgId, Proposal, Role, Version};
+    use std::collections::{BTreeMap, HashSet};
+
+    const COL: &str = "sellerCollection";
+
+    fn run(
+        member: bool,
+        seeded: Option<&[u8]>,
+        function: &str,
+        args: &[&str],
+        transient: &[(&str, &[u8])],
+    ) -> Result<Vec<u8>, ChaincodeError> {
+        let mut ws = WorldState::new();
+        if let Some(value) = seeded {
+            if member {
+                ws.put_private(
+                    &"trade".into(),
+                    &CollectionName::new(COL),
+                    "asset1",
+                    value.to_vec(),
+                    Version::new(1, 0),
+                );
+            } else {
+                ws.put_private_hash(
+                    &"trade".into(),
+                    &CollectionName::new(COL),
+                    sha256(b"asset1"),
+                    sha256(value),
+                    Version::new(1, 0),
+                );
+            }
+        }
+        let def = ChaincodeDefinition::new("trade").with_collection(
+            CollectionConfig::membership_of(COL, &[OrgId::new("Org1MSP")]),
+        );
+        let memberships: HashSet<CollectionName> = if member {
+            [CollectionName::new(COL)].into_iter().collect()
+        } else {
+            HashSet::new()
+        };
+        let kp = fabric_crypto::Keypair::generate_from_seed(55);
+        let prop = Proposal::new(
+            "ch1",
+            "trade",
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            transient
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_vec()))
+                .collect::<BTreeMap<_, _>>(),
+            Identity::new("Org2MSP", Role::Client, kp.public_key()),
+            1,
+        );
+        let mut stub = ChaincodeStub::new(&ws, &def, &memberships, &prop);
+        SecuredTrade::new(COL).invoke(&mut stub)
+    }
+
+    #[test]
+    fn offer_keeps_appraisal_out_of_payload() {
+        let out = run(true, None, "offer", &["asset1"], &[("appraisal", b"9500")]).unwrap();
+        assert_eq!(out, b"asset1");
+    }
+
+    #[test]
+    fn non_member_verifies_truthful_claim() {
+        let out = run(
+            false,
+            Some(b"9500"),
+            "verify",
+            &["asset1"],
+            &[("claimed", b"9500")],
+        )
+        .unwrap();
+        assert_eq!(out, b"true");
+    }
+
+    #[test]
+    fn non_member_detects_false_claim() {
+        let out = run(
+            false,
+            Some(b"9500"),
+            "verify",
+            &["asset1"],
+            &[("claimed", b"12000")],
+        )
+        .unwrap();
+        assert_eq!(out, b"false");
+    }
+
+    #[test]
+    fn verify_unknown_asset_errors() {
+        let out = run(false, None, "verify", &["asset1"], &[("claimed", b"1")]);
+        assert!(matches!(out, Err(ChaincodeError::KeyNotFound { .. })));
+    }
+
+    #[test]
+    fn exists_probe() {
+        assert_eq!(run(false, Some(b"x"), "exists", &["asset1"], &[]).unwrap(), b"true");
+        assert_eq!(run(false, None, "exists", &["asset1"], &[]).unwrap(), b"false");
+    }
+}

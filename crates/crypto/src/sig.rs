@@ -1,0 +1,228 @@
+//! Simulated digital signatures backed by a process-private CA registry.
+//!
+//! The reproduction does not need real ECDSA: the paper's attacks abuse
+//! endorsement *policy*, never signature forgery. What the simulation must
+//! guarantee is that code holding only public identities cannot fabricate a
+//! signature for someone else. We get that by keeping each identity's secret
+//! key inside [`Keypair`] (and a module-private registry used only by
+//! verification), and defining `sig = HMAC-SHA256(sk, msg)`.
+
+use crate::hash::{sha256, Hash256};
+use crate::hmac::hmac_sha256;
+use fabric_wire::{Decode, Encode, Reader, WireError};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Registry of `public key -> secret key`, playing the role of the Fabric CA
+/// for signature verification inside the simulation. Module-private: attack
+/// code cannot reach other identities' secrets through the public API.
+static CA_REGISTRY: RwLock<Option<HashMap<[u8; 32], [u8; 32]>>> = RwLock::new(None);
+
+/// Monotonic counter making `Keypair::generate` unique within a process.
+static KEYGEN_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// A public identity key (the SHA-256 of the secret key).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PublicKey([u8; 32]);
+
+impl PublicKey {
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Short hex prefix for display.
+    pub fn short_hex(&self) -> String {
+        Hash256(self.0).to_hex()[..8].to_string()
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&Hash256(self.0).to_hex())
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PublicKey(<[u8; 32]>::decode(r)?))
+    }
+}
+
+/// A signature over a message by one identity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature([u8; 32]);
+
+impl Signature {
+    /// Verifies that `self` is a valid signature by `pk` over `msg`.
+    ///
+    /// Returns `false` for unknown identities or mismatched messages;
+    /// verification never panics.
+    pub fn verify(&self, pk: &PublicKey, msg: &[u8]) -> bool {
+        let guard = CA_REGISTRY.read();
+        let Some(map) = guard.as_ref() else {
+            return false;
+        };
+        let Some(sk) = map.get(&pk.0) else {
+            return false;
+        };
+        hmac_sha256(sk, msg).0 == self.0
+    }
+
+    /// Raw signature bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Builds a signature from raw bytes (e.g. decoded from the wire). The
+    /// result is only meaningful if it verifies.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Signature(bytes)
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}…)", &Hash256(self.0).to_hex()[..8])
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Signature(<[u8; 32]>::decode(r)?))
+    }
+}
+
+/// A signing identity: secret key plus derived public key.
+///
+/// # Examples
+///
+/// ```
+/// use fabric_crypto::Keypair;
+///
+/// let alice = Keypair::generate_from_seed(1);
+/// let bob = Keypair::generate_from_seed(2);
+/// let sig = alice.sign(b"endorse tx");
+/// assert!(sig.verify(&alice.public_key(), b"endorse tx"));
+/// // Bob's key does not verify Alice's signature.
+/// assert!(!sig.verify(&bob.public_key(), b"endorse tx"));
+/// ```
+#[derive(Clone)]
+pub struct Keypair {
+    sk: [u8; 32],
+    pk: PublicKey,
+}
+
+impl fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never leak the secret key through Debug.
+        write!(f, "Keypair(pk={}…)", self.pk.short_hex())
+    }
+}
+
+impl Keypair {
+    /// Generates a fresh keypair with process-unique entropy and registers
+    /// its public key with the simulation CA.
+    pub fn generate() -> Self {
+        let n = KEYGEN_COUNTER.fetch_add(1, Ordering::Relaxed);
+        // Mix a counter with OS-independent RNG seeding for uniqueness.
+        let mut rng = StdRng::seed_from_u64(n ^ 0x9e37_79b9_7f4a_7c15);
+        let mut sk = [0u8; 32];
+        rng.fill_bytes(&mut sk);
+        sk[..8].copy_from_slice(&n.to_be_bytes());
+        Self::from_secret(sk)
+    }
+
+    /// Generates a deterministic keypair from a seed; used by tests and the
+    /// deterministic network simulator.
+    pub fn generate_from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sk = [0u8; 32];
+        rng.fill_bytes(&mut sk);
+        Self::from_secret(sk)
+    }
+
+    fn from_secret(sk: [u8; 32]) -> Self {
+        let pk = PublicKey(sha256(&sk).0);
+        CA_REGISTRY
+            .write()
+            .get_or_insert_with(HashMap::new)
+            .insert(pk.0, sk);
+        Keypair { sk, pk }
+    }
+
+    /// The public identity of this keypair.
+    pub fn public_key(&self) -> PublicKey {
+        self.pk
+    }
+
+    /// Signs `msg` with this identity's secret key.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(hmac_sha256(&self.sk, msg).0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = Keypair::generate();
+        let sig = kp.sign(b"msg");
+        assert!(sig.verify(&kp.public_key(), b"msg"));
+        assert!(!sig.verify(&kp.public_key(), b"other"));
+    }
+
+    #[test]
+    fn forged_signature_fails() {
+        let kp = Keypair::generate();
+        let forged = Signature::from_bytes([0u8; 32]);
+        assert!(!forged.verify(&kp.public_key(), b"msg"));
+    }
+
+    #[test]
+    fn unknown_identity_fails() {
+        let pk = PublicKey([7u8; 32]);
+        let kp = Keypair::generate();
+        let sig = kp.sign(b"msg");
+        assert!(!sig.verify(&pk, b"msg"));
+    }
+
+    #[test]
+    fn deterministic_seeds_are_stable() {
+        let a = Keypair::generate_from_seed(42);
+        let b = Keypair::generate_from_seed(42);
+        assert_eq!(a.public_key(), b.public_key());
+        assert_eq!(a.sign(b"x"), b.sign(b"x"));
+    }
+
+    #[test]
+    fn distinct_generate_keys_are_distinct() {
+        let a = Keypair::generate();
+        let b = Keypair::generate();
+        assert_ne!(a.public_key(), b.public_key());
+    }
+}

@@ -1,0 +1,330 @@
+//! Private data dissemination for the Fabric PDC simulator.
+//!
+//! In Fabric, endorsers send the **plaintext** private rwsets to collection
+//! member peers over the gossip layer (paper Fig. 2, steps 7–9), because
+//! the transaction itself only carries hashes. Member peers that were not
+//! endorsers need the plaintext before they can commit; peers that missed
+//! the push reconcile it later by pulling from other members
+//! (anti-entropy).
+//!
+//! This crate models that layer deterministically:
+//!
+//! * [`GossipHub`] — the channel-wide router holding each peer's
+//!   **transient store** (pre-commit private data keyed by transaction);
+//! * [`GossipHub::push`] — endorsement-time dissemination with optional
+//!   message loss injection;
+//! * [`GossipHub::pull`] — anti-entropy reconciliation for peers that
+//!   missed the push (e.g. due to injected loss).
+//!
+//! # Examples
+//!
+//! ```
+//! use fabric_gossip::{GossipHub, PeerId};
+//! use fabric_types::{CollectionPvtRwSet, KvRwSet, PvtDataPackage, TxId};
+//!
+//! let mut hub = GossipHub::new(0);
+//! let endorser = PeerId::new("peer0.org1");
+//! let member = PeerId::new("peer0.org2");
+//! hub.register(endorser.clone());
+//! hub.register(member.clone());
+//!
+//! let pkg = PvtDataPackage {
+//!     tx_id: TxId::new("tx1"),
+//!     namespaces: vec![],
+//!     collections: vec![],
+//! };
+//! hub.store_local(&endorser, pkg.clone());
+//! hub.push(&endorser, &[member.clone()], pkg);
+//! assert!(hub.get(&member, &TxId::new("tx1")).is_some());
+//! ```
+
+use fabric_types::{PvtDataPackage, TxId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifier of a peer on the gossip network, e.g. `"peer0.org1"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(String);
+
+impl PeerId {
+    /// Creates a peer identifier.
+    pub fn new(s: impl Into<String>) -> Self {
+        PeerId(s.into())
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for PeerId {
+    fn from(s: &str) -> Self {
+        PeerId(s.to_string())
+    }
+}
+
+/// A record of one dissemination event, for tests and audits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipEvent {
+    /// Sending peer.
+    pub from: PeerId,
+    /// Receiving peer.
+    pub to: PeerId,
+    /// Transaction whose private data was transferred.
+    pub tx_id: TxId,
+    /// Whether the message was delivered or dropped by fault injection.
+    pub delivered: bool,
+    /// Whether this was an anti-entropy pull rather than a push.
+    pub pull: bool,
+}
+
+/// The channel-wide gossip router plus each peer's transient store.
+#[derive(Debug)]
+pub struct GossipHub {
+    transient: BTreeMap<PeerId, HashMap<TxId, PvtDataPackage>>,
+    events: Vec<GossipEvent>,
+    drop_rate: f64,
+    rng: StdRng,
+}
+
+impl GossipHub {
+    /// Creates a hub with a seeded RNG for reproducible loss injection.
+    pub fn new(seed: u64) -> Self {
+        GossipHub {
+            transient: BTreeMap::new(),
+            events: Vec::new(),
+            drop_rate: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Registers a peer; unregistered peers cannot receive data.
+    pub fn register(&mut self, peer: PeerId) {
+        self.transient.entry(peer).or_default();
+    }
+
+    /// Sets the probability that a push message is dropped.
+    pub fn set_drop_rate(&mut self, rate: f64) {
+        self.drop_rate = rate;
+    }
+
+    /// Stores a package in the sender's own transient store (an endorser
+    /// keeps the plaintext it produced).
+    pub fn store_local(&mut self, peer: &PeerId, pkg: PvtDataPackage) {
+        if let Some(store) = self.transient.get_mut(peer) {
+            store.insert(pkg.tx_id.clone(), pkg);
+        }
+    }
+
+    /// Pushes a private data package from an endorser to collection member
+    /// peers. Returns the number of successful deliveries. Unregistered
+    /// recipients and injected losses are recorded in the event log.
+    pub fn push(&mut self, from: &PeerId, recipients: &[PeerId], pkg: PvtDataPackage) -> usize {
+        let mut delivered = 0;
+        for to in recipients {
+            if to == from {
+                continue;
+            }
+            let dropped = self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate);
+            let exists = self.transient.contains_key(to);
+            let ok = exists && !dropped;
+            if ok {
+                self.transient
+                    .get_mut(to)
+                    .expect("checked exists")
+                    .insert(pkg.tx_id.clone(), pkg.clone());
+                delivered += 1;
+            }
+            self.events.push(GossipEvent {
+                from: from.clone(),
+                to: to.clone(),
+                tx_id: pkg.tx_id.clone(),
+                delivered: ok,
+                pull: false,
+            });
+        }
+        delivered
+    }
+
+    /// Reads a package from a peer's transient store.
+    pub fn get(&self, peer: &PeerId, tx_id: &TxId) -> Option<&PvtDataPackage> {
+        self.transient.get(peer)?.get(tx_id)
+    }
+
+    /// Anti-entropy pull: `requester` asks each candidate in turn for the
+    /// private data of `tx_id`; the first hit is copied into the
+    /// requester's transient store and returned. Pulls are reliable (they
+    /// model retried point-to-point requests, not one-shot gossip pushes).
+    pub fn pull(
+        &mut self,
+        requester: &PeerId,
+        tx_id: &TxId,
+        candidates: &[PeerId],
+    ) -> Option<PvtDataPackage> {
+        if let Some(existing) = self.get(requester, tx_id) {
+            return Some(existing.clone());
+        }
+        for c in candidates {
+            if c == requester {
+                continue;
+            }
+            let found = self
+                .transient
+                .get(c)
+                .and_then(|store| store.get(tx_id))
+                .cloned();
+            if let Some(pkg) = found {
+                self.events.push(GossipEvent {
+                    from: c.clone(),
+                    to: requester.clone(),
+                    tx_id: tx_id.clone(),
+                    delivered: true,
+                    pull: true,
+                });
+                if let Some(store) = self.transient.get_mut(requester) {
+                    store.insert(tx_id.clone(), pkg.clone());
+                }
+                return Some(pkg);
+            }
+        }
+        None
+    }
+
+    /// Drops a committed transaction's package from a peer's transient
+    /// store (Fabric purges the transient store after commit).
+    pub fn purge(&mut self, peer: &PeerId, tx_id: &TxId) {
+        if let Some(store) = self.transient.get_mut(peer) {
+            store.remove(tx_id);
+        }
+    }
+
+    /// The dissemination event log.
+    pub fn events(&self) -> &[GossipEvent] {
+        &self.events
+    }
+
+    /// Number of packages currently in a peer's transient store.
+    pub fn transient_len(&self, peer: &PeerId) -> usize {
+        self.transient.get(peer).map_or(0, HashMap::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::{ChaincodeId, CollectionName, CollectionPvtRwSet, KvRwSet, KvWrite};
+
+    fn pkg(tx: &str) -> PvtDataPackage {
+        PvtDataPackage {
+            tx_id: TxId::new(tx),
+            namespaces: vec![ChaincodeId::new("cc")],
+            collections: vec![CollectionPvtRwSet {
+                collection: CollectionName::new("PDC1"),
+                rwset: KvRwSet {
+                    reads: vec![],
+                    writes: vec![KvWrite {
+                        key: "k".into(),
+                        value: Some(b"v".to_vec()),
+                        is_delete: false,
+                    }],
+                },
+            }],
+        }
+    }
+
+    fn hub_with_peers(seed: u64, peers: &[&str]) -> GossipHub {
+        let mut hub = GossipHub::new(seed);
+        for p in peers {
+            hub.register(PeerId::new(*p));
+        }
+        hub
+    }
+
+    #[test]
+    fn push_reaches_recipients_only() {
+        let mut hub = hub_with_peers(0, &["e", "m1", "m2", "outsider"]);
+        let delivered = hub.push(
+            &PeerId::new("e"),
+            &[PeerId::new("m1"), PeerId::new("m2")],
+            pkg("tx1"),
+        );
+        assert_eq!(delivered, 2);
+        assert!(hub.get(&PeerId::new("m1"), &TxId::new("tx1")).is_some());
+        assert!(hub.get(&PeerId::new("m2"), &TxId::new("tx1")).is_some());
+        assert!(hub.get(&PeerId::new("outsider"), &TxId::new("tx1")).is_none());
+        assert!(hub.get(&PeerId::new("e"), &TxId::new("tx1")).is_none());
+    }
+
+    #[test]
+    fn push_skips_self_and_unregistered() {
+        let mut hub = hub_with_peers(0, &["e", "m1"]);
+        let delivered = hub.push(
+            &PeerId::new("e"),
+            &[PeerId::new("e"), PeerId::new("ghost"), PeerId::new("m1")],
+            pkg("tx1"),
+        );
+        assert_eq!(delivered, 1);
+        let failures: Vec<_> = hub.events().iter().filter(|e| !e.delivered).collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].to, PeerId::new("ghost"));
+    }
+
+    #[test]
+    fn loss_injection_then_pull_reconciles() {
+        let mut hub = hub_with_peers(7, &["e", "m1", "m2"]);
+        hub.store_local(&PeerId::new("e"), pkg("tx1"));
+        hub.set_drop_rate(1.0);
+        let delivered = hub.push(&PeerId::new("e"), &[PeerId::new("m1")], pkg("tx1"));
+        assert_eq!(delivered, 0);
+        assert!(hub.get(&PeerId::new("m1"), &TxId::new("tx1")).is_none());
+
+        // Anti-entropy: m1 pulls from other members; e still has it.
+        hub.set_drop_rate(0.0);
+        let got = hub
+            .pull(
+                &PeerId::new("m1"),
+                &TxId::new("tx1"),
+                &[PeerId::new("m2"), PeerId::new("e")],
+            )
+            .expect("reconciled");
+        assert_eq!(got, pkg("tx1"));
+        assert!(hub.get(&PeerId::new("m1"), &TxId::new("tx1")).is_some());
+        assert!(hub.events().iter().any(|e| e.pull && e.delivered));
+    }
+
+    #[test]
+    fn pull_returns_local_copy_without_network() {
+        let mut hub = hub_with_peers(0, &["m1"]);
+        hub.store_local(&PeerId::new("m1"), pkg("tx1"));
+        let events_before = hub.events().len();
+        let got = hub.pull(&PeerId::new("m1"), &TxId::new("tx1"), &[]);
+        assert!(got.is_some());
+        assert_eq!(hub.events().len(), events_before);
+    }
+
+    #[test]
+    fn pull_fails_when_nobody_has_it() {
+        let mut hub = hub_with_peers(0, &["m1", "m2"]);
+        assert!(hub
+            .pull(&PeerId::new("m1"), &TxId::new("tx9"), &[PeerId::new("m2")])
+            .is_none());
+    }
+
+    #[test]
+    fn purge_empties_transient_store() {
+        let mut hub = hub_with_peers(0, &["m1"]);
+        hub.store_local(&PeerId::new("m1"), pkg("tx1"));
+        assert_eq!(hub.transient_len(&PeerId::new("m1")), 1);
+        hub.purge(&PeerId::new("m1"), &TxId::new("tx1"));
+        assert_eq!(hub.transient_len(&PeerId::new("m1")), 0);
+    }
+}

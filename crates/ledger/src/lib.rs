@@ -1,0 +1,22 @@
+//! Ledger substrate: versioned world state, private data stores, block
+//! store and MVCC validation primitives.
+//!
+//! A Fabric ledger has two halves (paper §II-A1):
+//!
+//! * the **world state** — current `⟨key, value, version⟩` records, with
+//!   private data kept in per-collection side databases: plaintext only at
+//!   collection members, `⟨hash(key), hash(value), version⟩` at *every*
+//!   peer of the channel (§III-A1);
+//! * the **blockchain** — the hash-chained block store of all transactions.
+//!
+//! The version-conflict (MVCC) check of the validation phase is provided
+//! here as [`WorldState::check_mvcc_public`] and
+//! [`WorldState::check_mvcc_hashed`].
+
+mod block_store;
+mod history;
+mod world_state;
+
+pub use block_store::{BlockStore, BlockStoreError};
+pub use history::{HistoryDb, HistoryEntry};
+pub use world_state::{MvccViolation, VersionedValue, WorldState};

@@ -1,0 +1,618 @@
+//! The versioned world state, including private-data side databases.
+
+use fabric_crypto::{sha256, Hash256};
+use fabric_types::{
+    ChaincodeId, CollectionName, CollectionPvtRwSet, HashedRead, KvRead, KvRwSet, MetadataWrite,
+    Version,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A committed value with the `(block, tx)` version that wrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The stored value.
+    pub value: Vec<u8>,
+    /// Height of the committing transaction.
+    pub version: Version,
+}
+
+/// Key of a public state entry: `(namespace, key)`.
+type PubKey = (ChaincodeId, String);
+/// Key of a plaintext private entry: `(namespace, collection, key)`.
+type PvtKey = (ChaincodeId, CollectionName, String);
+/// Key of a hashed private entry: `(namespace, collection, hash(key))`.
+type HashKey = (ChaincodeId, CollectionName, Hash256);
+
+/// The reason an MVCC check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvccViolation {
+    /// Namespace of the conflicting read.
+    pub namespace: ChaincodeId,
+    /// Collection of the conflicting read, `None` for public data.
+    pub collection: Option<CollectionName>,
+    /// The conflicting key (hex of the key hash for private reads).
+    pub key: String,
+    /// Version recorded in the read set.
+    pub expected: Option<Version>,
+    /// Version currently in the world state.
+    pub found: Option<Version>,
+}
+
+impl fmt::Display for MvccViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mvcc conflict on {}/{}{}: read {:?}, state has {:?}",
+            self.namespace,
+            self.collection
+                .as_ref()
+                .map(|c| format!("{c}/"))
+                .unwrap_or_default(),
+            self.key,
+            self.expected,
+            self.found
+        )
+    }
+}
+
+/// The world state database of one peer for one channel.
+///
+/// Holds three maps, mirroring Fabric's state layout at a peer:
+/// public data, plaintext private data (only populated for collections the
+/// peer is a member of), and hashed private data (populated at every peer).
+#[derive(Debug, Clone, Default)]
+pub struct WorldState {
+    public: BTreeMap<PubKey, VersionedValue>,
+    private: BTreeMap<PvtKey, VersionedValue>,
+    hashed: BTreeMap<HashKey, (Hash256, Version)>,
+    /// Key-level endorsement policies (state-based endorsement metadata).
+    validation_params: BTreeMap<PubKey, String>,
+}
+
+impl WorldState {
+    /// An empty world state.
+    pub fn new() -> Self {
+        WorldState::default()
+    }
+
+    // ---- public data ----
+
+    /// Reads a public key: `(value, version)` or `None` when absent.
+    pub fn get_public(&self, ns: &ChaincodeId, key: &str) -> Option<&VersionedValue> {
+        self.public.get(&(ns.clone(), key.to_string()))
+    }
+
+    /// Applies a public write at `version`.
+    pub fn put_public(&mut self, ns: &ChaincodeId, key: &str, value: Vec<u8>, version: Version) {
+        self.public
+            .insert((ns.clone(), key.to_string()), VersionedValue { value, version });
+    }
+
+    /// Deletes a public key.
+    pub fn delete_public(&mut self, ns: &ChaincodeId, key: &str) {
+        self.public.remove(&(ns.clone(), key.to_string()));
+    }
+
+    /// Iterates public entries of a namespace in key order.
+    pub fn public_range<'a>(
+        &'a self,
+        ns: &'a ChaincodeId,
+    ) -> impl Iterator<Item = (&'a str, &'a VersionedValue)> + 'a {
+        self.public
+            .range((ns.clone(), String::new())..)
+            .take_while(move |((n, _), _)| n == ns)
+            .map(|((_, k), v)| (k.as_str(), v))
+    }
+
+    // ---- plaintext private data (collection members only) ----
+
+    /// Reads plaintext private data. Returns `None` when this peer does not
+    /// store the collection (non-member) or the key is absent — the caller
+    /// distinguishes the two through collection membership, exactly like
+    /// Fabric's `GetPrivateData` which errors at non-members.
+    pub fn get_private(
+        &self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        key: &str,
+    ) -> Option<&VersionedValue> {
+        self.private
+            .get(&(ns.clone(), collection.clone(), key.to_string()))
+    }
+
+    /// Writes plaintext private data at `version` (and its hashes).
+    pub fn put_private(
+        &mut self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        key: &str,
+        value: Vec<u8>,
+        version: Version,
+    ) {
+        self.hashed.insert(
+            (ns.clone(), collection.clone(), sha256(key.as_bytes())),
+            (sha256(&value), version),
+        );
+        self.private.insert(
+            (ns.clone(), collection.clone(), key.to_string()),
+            VersionedValue { value, version },
+        );
+    }
+
+    /// Deletes plaintext private data and its hash entry.
+    pub fn delete_private(&mut self, ns: &ChaincodeId, collection: &CollectionName, key: &str) {
+        self.private
+            .remove(&(ns.clone(), collection.clone(), key.to_string()));
+        self.hashed
+            .remove(&(ns.clone(), collection.clone(), sha256(key.as_bytes())));
+    }
+
+    // ---- hashed private data (all peers) ----
+
+    /// Reads the hashed private entry for a plaintext key: the basis of
+    /// `GetPrivateDataHash`, available at **every** peer — including PDC
+    /// non-members, which is what makes the paper's endorsement forgery
+    /// possible (§IV-A1).
+    pub fn get_private_hash(
+        &self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        key: &str,
+    ) -> Option<(Hash256, Version)> {
+        self.hashed
+            .get(&(ns.clone(), collection.clone(), sha256(key.as_bytes())))
+            .copied()
+    }
+
+    /// Writes a hashed private entry directly (non-member commit path).
+    pub fn put_private_hash(
+        &mut self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        key_hash: Hash256,
+        value_hash: Hash256,
+        version: Version,
+    ) {
+        self.hashed
+            .insert((ns.clone(), collection.clone(), key_hash), (value_hash, version));
+    }
+
+    /// Deletes a hashed private entry by key hash.
+    pub fn delete_private_hash(
+        &mut self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        key_hash: Hash256,
+    ) {
+        self.hashed
+            .remove(&(ns.clone(), collection.clone(), key_hash));
+    }
+
+    /// Looks up the version of a hashed entry by key hash.
+    pub fn hashed_version(
+        &self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        key_hash: Hash256,
+    ) -> Option<Version> {
+        self.hashed
+            .get(&(ns.clone(), collection.clone(), key_hash))
+            .map(|(_, v)| *v)
+    }
+
+    // ---- state-based endorsement metadata ----
+
+    /// The committed key-level endorsement policy of a public key, if any.
+    pub fn get_validation_parameter(&self, ns: &ChaincodeId, key: &str) -> Option<&str> {
+        self.validation_params
+            .get(&(ns.clone(), key.to_string()))
+            .map(String::as_str)
+    }
+
+    /// Sets or clears a key-level endorsement policy.
+    pub fn set_validation_parameter(
+        &mut self,
+        ns: &ChaincodeId,
+        key: &str,
+        policy: Option<String>,
+    ) {
+        match policy {
+            Some(p) => {
+                self.validation_params.insert((ns.clone(), key.to_string()), p);
+            }
+            None => {
+                self.validation_params.remove(&(ns.clone(), key.to_string()));
+            }
+        }
+    }
+
+    /// Applies a transaction's metadata writes.
+    pub fn apply_metadata_writes(&mut self, ns: &ChaincodeId, writes: &[MetadataWrite]) {
+        for w in writes {
+            self.set_validation_parameter(ns, &w.key, w.validation_parameter.clone());
+        }
+    }
+
+    // ---- commit helpers ----
+
+    /// Applies a public rwset's writes at `version`.
+    pub fn apply_public_writes(&mut self, ns: &ChaincodeId, rwset: &KvRwSet, version: Version) {
+        for w in &rwset.writes {
+            if w.is_delete {
+                self.delete_public(ns, &w.key);
+            } else {
+                self.put_public(
+                    ns,
+                    &w.key,
+                    w.value.clone().unwrap_or_default(),
+                    version,
+                );
+            }
+        }
+    }
+
+    /// Applies a plaintext private rwset's writes at `version` (member
+    /// peers; also maintains the hashed store).
+    pub fn apply_private_writes(
+        &mut self,
+        ns: &ChaincodeId,
+        pvt: &CollectionPvtRwSet,
+        version: Version,
+    ) {
+        for w in &pvt.rwset.writes {
+            if w.is_delete {
+                self.delete_private(ns, &pvt.collection, &w.key);
+            } else {
+                self.put_private(
+                    ns,
+                    &pvt.collection,
+                    &w.key,
+                    w.value.clone().unwrap_or_default(),
+                    version,
+                );
+            }
+        }
+    }
+
+    /// Applies hashed private writes at `version` (all peers; the only
+    /// private state non-members hold).
+    pub fn apply_hashed_writes(
+        &mut self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        writes: &[fabric_types::HashedWrite],
+        version: Version,
+    ) {
+        for w in writes {
+            if w.is_delete {
+                self.delete_private_hash(ns, collection, w.key_hash);
+            } else {
+                self.put_private_hash(
+                    ns,
+                    collection,
+                    w.key_hash,
+                    w.value_hash.unwrap_or_default().into(),
+                    version,
+                );
+            }
+        }
+    }
+
+    // ---- MVCC ----
+
+    /// Checks a public read set against the current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MvccViolation`] where a read's recorded version
+    /// differs from the current state.
+    pub fn check_mvcc_public(
+        &self,
+        ns: &ChaincodeId,
+        reads: &[KvRead],
+    ) -> Result<(), MvccViolation> {
+        for r in reads {
+            let found = self.get_public(ns, &r.key).map(|v| v.version);
+            if found != r.version {
+                return Err(MvccViolation {
+                    namespace: ns.clone(),
+                    collection: None,
+                    key: r.key.clone(),
+                    expected: r.version,
+                    found,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a hashed private read set against the hashed store. This is
+    /// the PDC version-conflict check every peer performs — it compares
+    /// only *versions*, never re-executing chaincode, which is why forged
+    /// values can pass it (§IV-A1).
+    pub fn check_mvcc_hashed(
+        &self,
+        ns: &ChaincodeId,
+        collection: &CollectionName,
+        reads: &[HashedRead],
+    ) -> Result<(), MvccViolation> {
+        for r in reads {
+            let found = self.hashed_version(ns, collection, r.key_hash);
+            if found != r.version {
+                return Err(MvccViolation {
+                    namespace: ns.clone(),
+                    collection: Some(collection.clone()),
+                    key: r.key_hash.to_hex(),
+                    expected: r.version,
+                    found,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Purges plaintext and hashed private data older than `block_to_live`
+    /// blocks (the collection's `BlockToLive`); `0` disables purging.
+    /// Returns the number of purged plaintext entries.
+    pub fn purge_expired_private(
+        &mut self,
+        collection: &CollectionName,
+        block_to_live: u64,
+        current_block: u64,
+    ) -> usize {
+        if block_to_live == 0 {
+            return 0;
+        }
+        let expired = |version: Version| {
+            current_block >= version.block_num && current_block - version.block_num > block_to_live
+        };
+        let dead_private: Vec<PvtKey> = self
+            .private
+            .iter()
+            .filter(|((_, c, _), v)| c == collection && expired(v.version))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let count = dead_private.len();
+        for k in dead_private {
+            self.private.remove(&k);
+        }
+        let dead_hashed: Vec<HashKey> = self
+            .hashed
+            .iter()
+            .filter(|((_, c, _), (_, ver))| c == collection && expired(*ver))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in dead_hashed {
+            self.hashed.remove(&k);
+        }
+        count
+    }
+
+    /// Number of public entries (all namespaces).
+    pub fn public_len(&self) -> usize {
+        self.public.len()
+    }
+
+    /// Number of plaintext private entries (all collections).
+    pub fn private_len(&self) -> usize {
+        self.private.len()
+    }
+
+    /// Number of hashed private entries (all collections).
+    pub fn hashed_len(&self) -> usize {
+        self.hashed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::{HashedWrite, KvWrite};
+
+    fn ns() -> ChaincodeId {
+        ChaincodeId::new("cc")
+    }
+
+    fn col() -> CollectionName {
+        CollectionName::new("PDC1")
+    }
+
+    #[test]
+    fn public_put_get_delete() {
+        let mut ws = WorldState::new();
+        assert!(ws.get_public(&ns(), "k1").is_none());
+        ws.put_public(&ns(), "k1", b"v1".to_vec(), Version::new(1, 0));
+        let v = ws.get_public(&ns(), "k1").unwrap();
+        assert_eq!(v.value, b"v1");
+        assert_eq!(v.version, Version::new(1, 0));
+        ws.delete_public(&ns(), "k1");
+        assert!(ws.get_public(&ns(), "k1").is_none());
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let mut ws = WorldState::new();
+        let other = ChaincodeId::new("other");
+        ws.put_public(&ns(), "k", b"a".to_vec(), Version::new(1, 0));
+        ws.put_public(&other, "k", b"b".to_vec(), Version::new(1, 1));
+        assert_eq!(ws.get_public(&ns(), "k").unwrap().value, b"a");
+        assert_eq!(ws.get_public(&other, "k").unwrap().value, b"b");
+    }
+
+    #[test]
+    fn private_put_maintains_hashed_store() {
+        let mut ws = WorldState::new();
+        ws.put_private(&ns(), &col(), "k1", b"secret".to_vec(), Version::new(2, 3));
+        assert_eq!(ws.get_private(&ns(), &col(), "k1").unwrap().value, b"secret");
+        let (vh, ver) = ws.get_private_hash(&ns(), &col(), "k1").unwrap();
+        assert_eq!(vh, sha256(b"secret"));
+        assert_eq!(ver, Version::new(2, 3));
+    }
+
+    #[test]
+    fn non_member_sees_hash_but_not_plaintext() {
+        // A non-member peer's state only receives hashed writes.
+        let mut ws = WorldState::new();
+        ws.put_private_hash(
+            &ns(),
+            &col(),
+            sha256(b"k1"),
+            sha256(b"secret"),
+            Version::new(2, 3),
+        );
+        assert!(ws.get_private(&ns(), &col(), "k1").is_none());
+        // GetPrivateDataHash still yields hash and version — the leak the
+        // endorsement forgery exploits.
+        let (vh, ver) = ws.get_private_hash(&ns(), &col(), "k1").unwrap();
+        assert_eq!(vh, sha256(b"secret"));
+        assert_eq!(ver, Version::new(2, 3));
+    }
+
+    #[test]
+    fn mvcc_public_detects_conflicts() {
+        let mut ws = WorldState::new();
+        ws.put_public(&ns(), "k1", b"v".to_vec(), Version::new(1, 0));
+        let ok = vec![KvRead {
+            key: "k1".into(),
+            version: Some(Version::new(1, 0)),
+        }];
+        assert!(ws.check_mvcc_public(&ns(), &ok).is_ok());
+
+        let stale = vec![KvRead {
+            key: "k1".into(),
+            version: Some(Version::new(0, 0)),
+        }];
+        let err = ws.check_mvcc_public(&ns(), &stale).unwrap_err();
+        assert_eq!(err.key, "k1");
+        assert_eq!(err.found, Some(Version::new(1, 0)));
+
+        let phantom = vec![KvRead {
+            key: "missing".into(),
+            version: Some(Version::new(1, 0)),
+        }];
+        assert!(ws.check_mvcc_public(&ns(), &phantom).is_err());
+
+        let absent_ok = vec![KvRead {
+            key: "missing".into(),
+            version: None,
+        }];
+        assert!(ws.check_mvcc_public(&ns(), &absent_ok).is_ok());
+    }
+
+    #[test]
+    fn mvcc_hashed_compares_versions_only() {
+        let mut ws = WorldState::new();
+        ws.put_private_hash(&ns(), &col(), sha256(b"k1"), sha256(b"real"), Version::new(1, 0));
+        // A read claiming the correct version passes even though the reader
+        // never saw the plaintext — the crux of the fake-read attack.
+        let reads = vec![HashedRead {
+            key_hash: sha256(b"k1"),
+            version: Some(Version::new(1, 0)),
+        }];
+        assert!(ws.check_mvcc_hashed(&ns(), &col(), &reads).is_ok());
+
+        let stale = vec![HashedRead {
+            key_hash: sha256(b"k1"),
+            version: Some(Version::new(0, 0)),
+        }];
+        assert!(ws.check_mvcc_hashed(&ns(), &col(), &stale).is_err());
+    }
+
+    #[test]
+    fn apply_public_writes_handles_deletes() {
+        let mut ws = WorldState::new();
+        ws.put_public(&ns(), "gone", b"x".to_vec(), Version::new(1, 0));
+        let rwset = KvRwSet {
+            reads: vec![],
+            writes: vec![
+                KvWrite {
+                    key: "k1".into(),
+                    value: Some(b"v1".to_vec()),
+                    is_delete: false,
+                },
+                KvWrite {
+                    key: "gone".into(),
+                    value: None,
+                    is_delete: true,
+                },
+            ],
+        };
+        ws.apply_public_writes(&ns(), &rwset, Version::new(2, 0));
+        assert_eq!(ws.get_public(&ns(), "k1").unwrap().version, Version::new(2, 0));
+        assert!(ws.get_public(&ns(), "gone").is_none());
+    }
+
+    #[test]
+    fn apply_hashed_writes_handles_deletes() {
+        let mut ws = WorldState::new();
+        let writes = vec![HashedWrite {
+            key_hash: sha256(b"k1"),
+            value_hash: Some(sha256(b"v1")),
+            is_delete: false,
+        }];
+        ws.apply_hashed_writes(&ns(), &col(), &writes, Version::new(1, 0));
+        assert!(ws.hashed_version(&ns(), &col(), sha256(b"k1")).is_some());
+
+        let deletes = vec![HashedWrite {
+            key_hash: sha256(b"k1"),
+            value_hash: None,
+            is_delete: true,
+        }];
+        ws.apply_hashed_writes(&ns(), &col(), &deletes, Version::new(2, 0));
+        assert!(ws.hashed_version(&ns(), &col(), sha256(b"k1")).is_none());
+    }
+
+    #[test]
+    fn block_to_live_purges_old_entries() {
+        let mut ws = WorldState::new();
+        ws.put_private(&ns(), &col(), "old", b"a".to_vec(), Version::new(1, 0));
+        ws.put_private(&ns(), &col(), "new", b"b".to_vec(), Version::new(9, 0));
+        // BTL = 3, current block 10: entries written before block 7 purge.
+        let purged = ws.purge_expired_private(&col(), 3, 10);
+        assert_eq!(purged, 1);
+        assert!(ws.get_private(&ns(), &col(), "old").is_none());
+        assert!(ws.get_private_hash(&ns(), &col(), "old").is_none());
+        assert!(ws.get_private(&ns(), &col(), "new").is_some());
+
+        // BTL = 0 keeps everything.
+        assert_eq!(ws.purge_expired_private(&col(), 0, 1000), 0);
+        assert!(ws.get_private(&ns(), &col(), "new").is_some());
+    }
+
+    #[test]
+    fn validation_parameters_set_get_clear() {
+        let mut ws = WorldState::new();
+        assert_eq!(ws.get_validation_parameter(&ns(), "k1"), None);
+        ws.apply_metadata_writes(
+            &ns(),
+            &[MetadataWrite {
+                key: "k1".into(),
+                validation_parameter: Some("AND('Org1MSP.peer','Org2MSP.peer')".into()),
+            }],
+        );
+        assert_eq!(
+            ws.get_validation_parameter(&ns(), "k1"),
+            Some("AND('Org1MSP.peer','Org2MSP.peer')")
+        );
+        ws.apply_metadata_writes(
+            &ns(),
+            &[MetadataWrite {
+                key: "k1".into(),
+                validation_parameter: None,
+            }],
+        );
+        assert_eq!(ws.get_validation_parameter(&ns(), "k1"), None);
+    }
+
+    #[test]
+    fn public_range_iterates_one_namespace() {
+        let mut ws = WorldState::new();
+        ws.put_public(&ns(), "a", b"1".to_vec(), Version::new(1, 0));
+        ws.put_public(&ns(), "b", b"2".to_vec(), Version::new(1, 1));
+        ws.put_public(&ChaincodeId::new("zz"), "c", b"3".to_vec(), Version::new(1, 2));
+        let cc = ns();
+        let keys: Vec<&str> = ws.public_range(&cc).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

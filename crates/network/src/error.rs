@@ -1,0 +1,65 @@
+//! Network-level errors.
+
+use fabric_client::ClientError;
+use fabric_peer::EndorseError;
+use std::fmt;
+
+/// Errors from the high-level network API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// No peer registered under that name.
+    UnknownPeer(String),
+    /// No client registered under that name.
+    UnknownClient(String),
+    /// An endorsing peer refused the proposal.
+    Endorse {
+        /// The peer that failed.
+        peer: String,
+        /// Why.
+        error: EndorseError,
+    },
+    /// The client aborted transaction assembly.
+    Client(ClientError),
+    /// The endorsing peer could not disseminate private data to the
+    /// required number of collection member peers (`RequiredPeerCount`).
+    DisseminationFailed {
+        /// Collection whose requirement was missed.
+        collection: String,
+        /// Peers actually reached.
+        delivered: usize,
+        /// `RequiredPeerCount`.
+        required: u32,
+    },
+    /// The transaction did not appear in a block within the tick budget.
+    NotCommitted,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownPeer(p) => write!(f, "unknown peer {p:?}"),
+            NetworkError::UnknownClient(c) => write!(f, "unknown client {c:?}"),
+            NetworkError::Endorse { peer, error } => {
+                write!(f, "endorsement failed at {peer}: {error}")
+            }
+            NetworkError::Client(e) => write!(f, "client aborted: {e}"),
+            NetworkError::DisseminationFailed {
+                collection,
+                delivered,
+                required,
+            } => write!(
+                f,
+                "private data of {collection} reached {delivered} peer(s), {required} required"
+            ),
+            NetworkError::NotCommitted => write!(f, "transaction was not ordered in time"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl From<ClientError> for NetworkError {
+    fn from(e: ClientError) -> Self {
+        NetworkError::Client(e)
+    }
+}

@@ -1,0 +1,709 @@
+//! The running network: the three-phase transaction workflow end to end.
+
+use crate::error::NetworkError;
+use fabric_chaincode::{ChaincodeDefinition, ChaincodeHandle};
+use fabric_client::Client;
+use fabric_gossip::{GossipHub, PeerId};
+use fabric_orderer::OrderingService;
+use fabric_peer::Peer;
+use fabric_types::{
+    ChaincodeId, ChannelId, OrgId, Proposal, ProposalResponse, PvtDataPackage, Transaction, TxId,
+    TxValidationCode,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// The result of a committed transaction submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The transaction ID.
+    pub tx_id: TxId,
+    /// The validation code the peers agreed on.
+    pub validation_code: TxValidationCode,
+    /// The plaintext chaincode response payload returned to the client.
+    pub payload: Vec<u8>,
+}
+
+/// A complete in-process Fabric network for one channel.
+pub struct FabricNetwork {
+    channel: ChannelId,
+    orgs: Vec<OrgId>,
+    peers: BTreeMap<String, Peer>,
+    clients: BTreeMap<String, Client>,
+    orderer: OrderingService,
+    gossip: GossipHub,
+    events: Vec<(TxId, fabric_types::ChaincodeEvent)>,
+    /// Chaincodes deployed uniformly (replayed onto late-joining peers).
+    deployed: Vec<(ChaincodeDefinition, ChaincodeHandle)>,
+    /// Private data of disseminated transactions, as held persistently by
+    /// member peers; the source of truth Fabric's reconciliation protocol
+    /// queries when a peer joins late or lost data.
+    pvt_archive: HashMap<TxId, PvtDataPackage>,
+}
+
+impl std::fmt::Debug for FabricNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FabricNetwork")
+            .field("channel", &self.channel)
+            .field("orgs", &self.orgs)
+            .field("peers", &self.peer_names())
+            .field("deployed_chaincodes", &self.deployed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FabricNetwork {
+    pub(crate) fn from_parts(
+        channel: ChannelId,
+        orgs: Vec<OrgId>,
+        peers: BTreeMap<String, Peer>,
+        clients: BTreeMap<String, Client>,
+        orderer: OrderingService,
+        gossip: GossipHub,
+    ) -> Self {
+        FabricNetwork {
+            channel,
+            orgs,
+            peers,
+            clients,
+            orderer,
+            gossip,
+            events: Vec::new(),
+            deployed: Vec::new(),
+            pvt_archive: HashMap::new(),
+        }
+    }
+
+    /// The channel name.
+    pub fn channel(&self) -> &ChannelId {
+        &self.channel
+    }
+
+    /// Participating organizations.
+    pub fn orgs(&self) -> &[OrgId] {
+        &self.orgs
+    }
+
+    /// Peer names in deterministic order.
+    pub fn peer_names(&self) -> Vec<String> {
+        self.peers.keys().cloned().collect()
+    }
+
+    /// Client names in deterministic order.
+    pub fn client_names(&self) -> Vec<String> {
+        self.clients.keys().cloned().collect()
+    }
+
+    /// Read access to a peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the peer does not exist (use in tests/experiments).
+    pub fn peer(&self, name: &str) -> &Peer {
+        &self.peers[name]
+    }
+
+    /// Mutable access to a peer (e.g. to flip defenses or install a
+    /// malicious chaincode variant).
+    pub fn peer_mut(&mut self, name: &str) -> &mut Peer {
+        self.peers.get_mut(name).expect("unknown peer")
+    }
+
+    /// Mutable access to a client.
+    pub fn client_mut(&mut self, name: &str) -> &mut Client {
+        self.clients.get_mut(name).expect("unknown client")
+    }
+
+    /// The gossip hub (fault injection in tests).
+    pub fn gossip_mut(&mut self) -> &mut GossipHub {
+        &mut self.gossip
+    }
+
+    /// Crashes one Raft orderer node (fault injection). The ordering
+    /// service keeps working while a quorum survives.
+    pub fn crash_orderer(&mut self, node: u64) {
+        self.orderer.crash_orderer(node);
+    }
+
+    /// Ticks the ordering service until its Raft cluster has a leader
+    /// again (e.g. after crashes). Returns whether one was found.
+    pub fn wait_for_orderer(&mut self, max_ticks: usize) -> bool {
+        self.orderer.run_until_ready(max_ticks)
+    }
+
+    /// Service discovery: computes a minimal set of peer names whose
+    /// endorsements satisfy the chaincode-level endorsement policy of
+    /// `chaincode`, given the peers currently on the channel. Returns
+    /// `None` when the policy is unsatisfiable (or the chaincode unknown).
+    pub fn discover_endorsers(&self, chaincode: &str) -> Option<Vec<String>> {
+        let cc = ChaincodeId::new(chaincode);
+        let any_peer = self.peers.values().next()?;
+        let definition = &any_peer.chaincode(&cc)?.definition;
+        let policy =
+            fabric_policy::Policy::parse(&definition.endorsement_policy).ok()?;
+        let identities: Vec<fabric_types::Identity> =
+            self.peers.values().map(|p| p.identity().clone()).collect();
+        let org_policies = any_peer.channel_policies().org_policies();
+        let plan = fabric_policy::minimal_endorsement_set_for(
+            &policy,
+            org_policies,
+            &identities,
+        )?;
+        let names = plan
+            .iter()
+            .filter_map(|id| {
+                self.peers
+                    .iter()
+                    .find(|(_, p)| p.identity().public_key == id.public_key)
+                    .map(|(name, _)| name.clone())
+            })
+            .collect();
+        Some(names)
+    }
+
+    /// Installs a chaincode definition with the same implementation on
+    /// every peer (the honest deployment).
+    pub fn deploy_chaincode(&mut self, definition: ChaincodeDefinition, handle: ChaincodeHandle) {
+        for peer in self.peers.values_mut() {
+            peer.install_chaincode(definition.clone(), handle.clone());
+        }
+        self.deployed.push((definition, handle));
+    }
+
+    /// Installs a per-peer implementation (Fabric's customizable-chaincode
+    /// feature: orgs may extend the logic, and malicious orgs abuse this).
+    pub fn install_custom_chaincode(
+        &mut self,
+        peer: &str,
+        definition: ChaincodeDefinition,
+        handle: ChaincodeHandle,
+    ) {
+        self.peer_mut(peer).install_chaincode(definition, handle);
+    }
+
+    /// Endorses a proposal at the named peer, disseminating any private
+    /// data to collection member peers (Fig. 2, steps 7–9).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Endorse`] when the peer refuses,
+    /// [`NetworkError::DisseminationFailed`] when `RequiredPeerCount` could
+    /// not be met.
+    pub fn endorse(
+        &mut self,
+        peer_name: &str,
+        proposal: &Proposal,
+    ) -> Result<ProposalResponse, NetworkError> {
+        let peer = self
+            .peers
+            .get(peer_name)
+            .ok_or_else(|| NetworkError::UnknownPeer(peer_name.to_string()))?;
+        let (response, pvt) = peer.endorse(proposal).map_err(|error| NetworkError::Endorse {
+            peer: peer_name.to_string(),
+            error,
+        })?;
+        if let Some(pkg) = pvt {
+            self.disseminate(peer_name, proposal, pkg)?;
+        }
+        Ok(response)
+    }
+
+    fn disseminate(
+        &mut self,
+        endorser: &str,
+        proposal: &Proposal,
+        pkg: PvtDataPackage,
+    ) -> Result<(), NetworkError> {
+        let endorser_id = PeerId::new(endorser);
+        self.gossip.store_local(&endorser_id, pkg.clone());
+        // Member peers persist private data beyond the transient window;
+        // the archive models that durable store for late reconciliation.
+        self.pvt_archive.insert(pkg.tx_id.clone(), pkg.clone());
+        // Push to every peer whose org is a member of a touched collection.
+        let definition = self
+            .peers
+            .get(endorser)
+            .and_then(|p| p.chaincode(&proposal.chaincode))
+            .map(|cc| cc.definition.clone());
+        let Some(definition) = definition else {
+            return Ok(());
+        };
+        for pvt in &pkg.collections {
+            let members: Vec<PeerId> = self
+                .peers
+                .values()
+                .filter(|p| {
+                    p.gossip_id() != &endorser_id
+                        && definition.org_is_member(p.org(), &pvt.collection)
+                })
+                .map(|p| p.gossip_id().clone())
+                .collect();
+            let delivered = self.gossip.push(&endorser_id, &members, pkg.clone());
+            if let Some(cfg) = definition.collection(&pvt.collection) {
+                if (delivered as u32) < cfg.required_peer_count {
+                    return Err(NetworkError::DisseminationFailed {
+                        collection: pvt.collection.to_string(),
+                        delivered,
+                        required: cfg.required_peer_count,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Submits an assembled transaction for ordering.
+    pub fn submit(&mut self, tx: Transaction) {
+        self.orderer.submit(tx);
+    }
+
+    /// Advances the network `ticks` steps: the ordering service runs, and
+    /// every cut block is delivered to and processed by every peer.
+    pub fn advance(&mut self, ticks: usize) {
+        for _ in 0..ticks {
+            self.orderer.tick();
+            let blocks = self.orderer.take_blocks();
+            for block in blocks {
+                self.deliver_block(block);
+            }
+        }
+    }
+
+    fn deliver_block(&mut self, block: fabric_types::Block) {
+        let peer_ids: Vec<String> = self.peers.keys().cloned().collect();
+        let all_gossip_ids: Vec<PeerId> =
+            self.peers.values().map(|p| p.gossip_id().clone()).collect();
+        for name in &peer_ids {
+            let gossip = &mut self.gossip;
+            let peer = self.peers.get_mut(name).expect("iterating known names");
+            let own_id = peer.gossip_id().clone();
+            let mut provider = |tx_id: &TxId| -> Option<PvtDataPackage> {
+                gossip
+                    .get(&own_id, tx_id)
+                    .cloned()
+                    .or_else(|| gossip.pull(&own_id, tx_id, &all_gossip_ids))
+            };
+            // All peers receive the same block; divergent outcomes would be
+            // a consensus bug, surfaced by the integration tests.
+            let outcome = peer.process_block(block.clone(), &mut provider);
+            // Event listeners are fed once per block (from the first peer;
+            // all honest peers deliver identical event streams).
+            if let Ok(outcome) = outcome {
+                if Some(name) == peer_ids.first() {
+                    self.events.extend(outcome.events);
+                }
+            }
+        }
+        // Transient data for committed transactions is no longer needed.
+        for tx in &block.transactions {
+            for id in &all_gossip_ids {
+                self.gossip.purge(id, &tx.tx_id);
+            }
+        }
+    }
+
+    /// The validation code of a committed transaction, read from the first
+    /// peer's ledger (all honest peers agree).
+    pub fn transaction_status(&self, tx_id: &TxId) -> Option<TxValidationCode> {
+        let peer = self.peers.values().next()?;
+        let (_, code) = peer.block_store().transaction(tx_id)?;
+        code
+    }
+
+    /// Full three-phase submission: create proposal at `client`, endorse at
+    /// `endorsing_peers`, assemble, order, and wait for commit.
+    ///
+    /// `args` are string arguments; `transient` carries private values.
+    ///
+    /// # Errors
+    ///
+    /// Any endorsement/assembly failure, or [`NetworkError::NotCommitted`]
+    /// if the transaction does not commit within the tick budget.
+    pub fn submit_transaction(
+        &mut self,
+        client: &str,
+        chaincode: &str,
+        function: &str,
+        args: &[&str],
+        transient: &[(&str, &[u8])],
+        endorsing_peers: &[&str],
+    ) -> Result<SubmitOutcome, NetworkError> {
+        let channel = self.channel.clone();
+        let client_ref = self
+            .clients
+            .get_mut(client)
+            .ok_or_else(|| NetworkError::UnknownClient(client.to_string()))?;
+        let proposal = client_ref.create_proposal(
+            channel,
+            ChaincodeId::new(chaincode),
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            transient
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_vec()))
+                .collect(),
+        );
+
+        let mut responses = Vec::new();
+        for peer in endorsing_peers {
+            responses.push(self.endorse(peer, &proposal)?);
+        }
+        let client_ref = self.clients.get(client).expect("checked above");
+        let (tx, payload) = client_ref.assemble_transaction(&proposal, &responses)?;
+        let tx_id = tx.tx_id.clone();
+        self.submit(tx);
+
+        for _ in 0..200 {
+            self.advance(1);
+            if let Some(code) = self.transaction_status(&tx_id) {
+                return Ok(SubmitOutcome {
+                    tx_id,
+                    validation_code: code,
+                    payload,
+                });
+            }
+        }
+        Err(NetworkError::NotCommitted)
+    }
+
+    /// Adds a new peer for an existing channel organization *after* the
+    /// channel has been running: the peer is bootstrapped by replaying the
+    /// full block history from an existing peer, reconciling private data
+    /// (for collections its org is a member of) from the member archive.
+    /// Returns the new peer's name (`peer<N>.<org>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `org` is not part of the channel or no peer exists yet.
+    pub fn add_peer(&mut self, org: &str) -> String {
+        let org_id = OrgId::new(org);
+        assert!(
+            self.orgs.contains(&org_id),
+            "{org} is not an organization of this channel"
+        );
+        let short = org
+            .to_ascii_lowercase()
+            .trim_end_matches("msp")
+            .to_string();
+        let index = self
+            .peers
+            .values()
+            .filter(|p| p.org() == &org_id)
+            .count();
+        let name = format!("peer{index}.{short}");
+
+        let template = self.peers.values().next().expect("channel has peers");
+        let policies = template.channel_policies().clone();
+        let defense = template.defense();
+        let channel = self.channel.clone();
+        let blocks: Vec<fabric_types::Block> =
+            template.block_store().iter().cloned().collect();
+
+        let mut peer = Peer::new(
+            name.clone(),
+            org_id,
+            channel,
+            policies,
+            fabric_crypto::Keypair::generate_from_seed(
+                0x9ee7 ^ (index as u64) << 32 ^ blocks.len() as u64,
+            ),
+            defense,
+        );
+        for (definition, handle) in &self.deployed {
+            peer.install_chaincode(definition.clone(), handle.clone());
+        }
+        // Replay the chain; the archive serves plaintext private data for
+        // collections the new peer's org belongs to.
+        let archive = &self.pvt_archive;
+        let mut provider = |tx_id: &TxId| archive.get(tx_id).cloned();
+        for block in blocks {
+            peer.process_block(block, &mut provider)
+                .expect("replaying a valid chain succeeds");
+        }
+        self.gossip.register(peer.gossip_id().clone());
+        self.peers.insert(name.clone(), peer);
+        name
+    }
+
+    /// Drains chaincode events of validated transactions observed since
+    /// the last call, in commit order (the block event service a client
+    /// SDK would subscribe to).
+    pub fn drain_events(&mut self) -> Vec<(TxId, fabric_types::ChaincodeEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Query-only invocation ("evaluate"): endorse at one peer and return
+    /// the payload without creating a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Endorsement failures; see [`NetworkError`].
+    pub fn evaluate_transaction(
+        &mut self,
+        client: &str,
+        peer: &str,
+        chaincode: &str,
+        function: &str,
+        args: &[&str],
+    ) -> Result<Vec<u8>, NetworkError> {
+        let channel = self.channel.clone();
+        let client_ref = self
+            .clients
+            .get_mut(client)
+            .ok_or_else(|| NetworkError::UnknownClient(client.to_string()))?;
+        let proposal = client_ref.create_proposal(
+            channel,
+            ChaincodeId::new(chaincode),
+            function,
+            args.iter().map(|a| a.as_bytes().to_vec()).collect(),
+            BTreeMap::new(),
+        );
+        let response = self.endorse(peer, &proposal)?;
+        Ok(response.payload.response.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use fabric_chaincode::samples::{AssetTransfer, Guard, GuardedPdc};
+    use fabric_types::{CollectionConfig, CollectionName, DefenseConfig};
+    use std::sync::Arc;
+
+    fn public_net() -> FabricNetwork {
+        let mut net = NetworkBuilder::new("ch1")
+            .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+            .seed(11)
+            .build();
+        net.deploy_chaincode(
+            ChaincodeDefinition::new("assets"),
+            Arc::new(AssetTransfer),
+        );
+        net
+    }
+
+    use fabric_chaincode::ChaincodeDefinition;
+
+    fn pdc_net(defense: DefenseConfig) -> FabricNetwork {
+        let mut net = NetworkBuilder::new("ch1")
+            .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+            .seed(12)
+            .defense(defense)
+            .build();
+        let def = ChaincodeDefinition::new("guarded").with_collection(
+            CollectionConfig::membership_of(
+                "PDC1",
+                &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
+            ),
+        );
+        // org1: value < 15; org2: value > 10; org3: unconstrained.
+        net.install_custom_chaincode(
+            "peer0.org1",
+            def.clone(),
+            Arc::new(GuardedPdc::new("PDC1", Guard::LessThan(15), Guard::LessThan(15))),
+        );
+        net.install_custom_chaincode(
+            "peer0.org2",
+            def.clone(),
+            Arc::new(GuardedPdc::new(
+                "PDC1",
+                Guard::GreaterThan(10),
+                Guard::GreaterThan(10),
+            )),
+        );
+        net.install_custom_chaincode(
+            "peer0.org3",
+            def,
+            Arc::new(GuardedPdc::unconstrained("PDC1")),
+        );
+        net
+    }
+
+    #[test]
+    fn public_transaction_full_workflow() {
+        let mut net = public_net();
+        let outcome = net
+            .submit_transaction(
+                "client0.org1",
+                "assets",
+                "CreateAsset",
+                &["a1", "red", "alice", "100"],
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .unwrap();
+        assert!(outcome.validation_code.is_valid());
+        // All peers hold the asset.
+        for p in ["peer0.org1", "peer0.org2", "peer0.org3"] {
+            assert!(net
+                .peer(p)
+                .world_state()
+                .get_public(&"assets".into(), "a1")
+                .is_some());
+        }
+        // Query sees it.
+        let payload = net
+            .evaluate_transaction("client0.org1", "peer0.org3", "assets", "ReadAsset", &["a1"])
+            .unwrap();
+        assert!(!payload.is_empty());
+    }
+
+    #[test]
+    fn pdc_write_commits_plaintext_only_at_members() {
+        let mut net = pdc_net(DefenseConfig::original());
+        // Honest flow: endorse at both PDC members (12 satisfies both
+        // org1's <15 and org2's >10).
+        let outcome = net
+            .submit_transaction(
+                "client0.org1",
+                "guarded",
+                "write",
+                &["k1", "12"],
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .unwrap();
+        assert!(outcome.validation_code.is_valid());
+        let ns = ChaincodeId::new("guarded");
+        let col = CollectionName::new("PDC1");
+        assert_eq!(
+            net.peer("peer0.org1")
+                .world_state()
+                .get_private(&ns, &col, "k1")
+                .unwrap()
+                .value,
+            b"12"
+        );
+        assert_eq!(
+            net.peer("peer0.org2")
+                .world_state()
+                .get_private(&ns, &col, "k1")
+                .unwrap()
+                .value,
+            b"12"
+        );
+        // Non-member org3: hashes only.
+        assert!(net
+            .peer("peer0.org3")
+            .world_state()
+            .get_private(&ns, &col, "k1")
+            .is_none());
+        assert!(net
+            .peer("peer0.org3")
+            .world_state()
+            .get_private_hash(&ns, &col, "k1")
+            .is_some());
+    }
+
+    #[test]
+    fn pdc_read_roundtrip_via_member() {
+        let mut net = pdc_net(DefenseConfig::original());
+        net.submit_transaction(
+            "client0.org1",
+            "guarded",
+            "write",
+            &["k1", "12"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+        let payload = net
+            .evaluate_transaction("client0.org1", "peer0.org1", "guarded", "read", &["k1"])
+            .unwrap();
+        assert_eq!(payload, b"12");
+        // Non-member endorser refuses the read (Use Case 1).
+        let err = net
+            .evaluate_transaction("client0.org1", "peer0.org3", "guarded", "read", &["k1"])
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::Endorse { .. }));
+    }
+
+    #[test]
+    fn gossip_loss_recovered_by_pull() {
+        let mut net = pdc_net(DefenseConfig::original());
+        // Lose every gossip push; the commit-time pull reconciles from the
+        // endorser's transient store.
+        net.gossip_mut().set_drop_rate(1.0);
+        let outcome = net
+            .submit_transaction(
+                "client0.org1",
+                "guarded",
+                "write",
+                &["k1", "12"],
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .unwrap();
+        assert!(outcome.validation_code.is_valid());
+        let ns = ChaincodeId::new("guarded");
+        let col = CollectionName::new("PDC1");
+        for p in ["peer0.org1", "peer0.org2"] {
+            assert_eq!(
+                net.peer(p)
+                    .world_state()
+                    .get_private(&ns, &col, "k1")
+                    .unwrap()
+                    .value,
+                b"12",
+                "{p} should have reconciled plaintext"
+            );
+        }
+    }
+
+    #[test]
+    fn required_peer_count_enforced() {
+        let mut net = NetworkBuilder::new("ch1")
+            .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+            .seed(13)
+            .build();
+        let mut cfg = CollectionConfig::membership_of(
+            "PDC1",
+            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
+        );
+        cfg.required_peer_count = 1;
+        let def = ChaincodeDefinition::new("guarded").with_collection(cfg);
+        net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained("PDC1")));
+        net.gossip_mut().set_drop_rate(1.0);
+        let err = net
+            .submit_transaction(
+                "client0.org1",
+                "guarded",
+                "write",
+                &["k1", "1"],
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::DisseminationFailed { .. }));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut net = public_net();
+        assert!(matches!(
+            net.submit_transaction("ghost", "assets", "f", &[], &[], &["peer0.org1"]),
+            Err(NetworkError::UnknownClient(_))
+        ));
+        assert!(matches!(
+            net.submit_transaction("client0.org1", "assets", "f", &[], &[], &["ghost"]),
+            Err(NetworkError::UnknownPeer(_))
+        ));
+    }
+
+    #[test]
+    fn business_rule_blocks_endorsement_at_honest_victim() {
+        let mut net = pdc_net(DefenseConfig::original());
+        // Writing 5 violates org2's >10 rule: org2 refuses to endorse.
+        let err = net
+            .submit_transaction(
+                "client0.org1",
+                "guarded",
+                "write",
+                &["k1", "5"],
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::Endorse { .. }));
+    }
+}

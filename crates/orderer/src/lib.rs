@@ -1,0 +1,331 @@
+//! The ordering service: Raft-backed block cutting.
+//!
+//! Orderers bundle transactions into blocks *blindly* — they never inspect
+//! or validate transaction contents (paper §II-A2); all semantic checks
+//! happen at peers in the validation phase. This is why fabricated
+//! transactions sail through ordering in the paper's attacks.
+//!
+//! [`OrderingService`] models a Raft ordering cluster plus the block
+//! cutter: transactions are queued, batches are cut on
+//! `max_message_count` or `batch_timeout_ticks`, replicated through
+//! [`fabric_raft`], and emitted as signed [`Block`]s in Raft commit order.
+//!
+//! # Examples
+//!
+//! ```
+//! use fabric_orderer::{BatchConfig, OrderingService};
+//!
+//! let mut orderer = OrderingService::new(3, 7, BatchConfig::default());
+//! // (transactions would be submitted here)
+//! orderer.run_until_ready(100);
+//! assert!(orderer.take_blocks().is_empty());
+//! ```
+
+use fabric_crypto::{Hash256, Keypair};
+use fabric_raft::{Cluster, NodeId, RaftConfig};
+use fabric_types::{Block, Identity, Role, Transaction};
+use fabric_wire::{Decode, Encode};
+use std::collections::VecDeque;
+
+/// Block-cutting parameters (Fabric's `BatchSize`/`BatchTimeout`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Cut a block when this many transactions are pending.
+    pub max_message_count: usize,
+    /// Cut a non-empty batch after this many ticks regardless of size.
+    pub batch_timeout_ticks: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_message_count: 10,
+            batch_timeout_ticks: 5,
+        }
+    }
+}
+
+/// A Raft-replicated ordering service for one channel.
+#[derive(Debug)]
+pub struct OrderingService {
+    config: BatchConfig,
+    raft: Cluster,
+    observer: NodeId,
+    delivered_cursor: usize,
+    pending: VecDeque<Transaction>,
+    pending_age: u64,
+    next_number: u64,
+    prev_hash: Hash256,
+    identity: Identity,
+    keypair: Keypair,
+    ready: VecDeque<Block>,
+}
+
+impl OrderingService {
+    /// Creates an ordering cluster of `orderer_count` Raft nodes.
+    pub fn new(orderer_count: usize, seed: u64, config: BatchConfig) -> Self {
+        let keypair = Keypair::generate_from_seed(seed ^ ORDERER_SEED_MIX);
+        let identity = Identity::new("OrdererMSP", Role::Orderer, keypair.public_key());
+        OrderingService {
+            config,
+            raft: Cluster::with_config(orderer_count, seed, RaftConfig::default()),
+            observer: 1,
+            delivered_cursor: 0,
+            pending: VecDeque::new(),
+            pending_age: 0,
+            next_number: 0,
+            prev_hash: Hash256::default(),
+            identity,
+            keypair,
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// The ordering service's signing identity.
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// Queues a transaction for ordering. Contents are not inspected.
+    pub fn submit(&mut self, tx: Transaction) {
+        self.pending.push_back(tx);
+    }
+
+    /// Number of transactions waiting to be cut into a block.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs ticks until the Raft cluster has a leader (start-up helper).
+    pub fn run_until_ready(&mut self, max_ticks: usize) -> bool {
+        self.raft.run_until_leader(max_ticks).is_some()
+    }
+
+    /// Advances one tick: Raft timers/messages, batch timeout, block
+    /// cutting, and collection of committed batches into signed blocks.
+    pub fn tick(&mut self) {
+        self.raft.tick();
+
+        if !self.pending.is_empty() {
+            self.pending_age += 1;
+        }
+        let cut_by_size = self.pending.len() >= self.config.max_message_count;
+        let cut_by_timeout =
+            !self.pending.is_empty() && self.pending_age >= self.config.batch_timeout_ticks;
+        if cut_by_size || cut_by_timeout {
+            self.try_cut_batch();
+        }
+        self.collect_committed();
+    }
+
+    /// Runs `n` ticks.
+    pub fn run_ticks(&mut self, n: usize) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Drains blocks that finished ordering, in commit order.
+    pub fn take_blocks(&mut self) -> Vec<Block> {
+        self.ready.drain(..).collect()
+    }
+
+    /// Crashes a Raft orderer node (fault injection).
+    pub fn crash_orderer(&mut self, node: NodeId) {
+        self.raft.crash(node);
+        if self.observer == node {
+            self.observer = *self
+                .raft
+                .node_ids()
+                .first()
+                .expect("at least one orderer remains");
+            // The new observer exposes the full committed history; skip what
+            // we already delivered.
+        }
+    }
+
+    fn try_cut_batch(&mut self) {
+        let Some(leader) = self.raft.leader() else {
+            return; // No leader yet; retry next tick.
+        };
+        let batch_size = self.pending.len().min(self.config.max_message_count);
+        let batch: Vec<Transaction> = self.pending.drain(..batch_size).collect();
+        let encoded = batch.to_wire();
+        if self.raft.propose(leader, encoded).is_err() {
+            // Leadership changed between `leader()` and `propose`; requeue.
+            for tx in batch.into_iter().rev() {
+                self.pending.push_front(tx);
+            }
+            return;
+        }
+        self.pending_age = 0;
+    }
+
+    fn collect_committed(&mut self) {
+        let committed = self.raft.committed(self.observer);
+        while self.delivered_cursor < committed.len() {
+            let raw = &committed[self.delivered_cursor];
+            self.delivered_cursor += 1;
+            let Ok(batch) = Vec::<Transaction>::from_wire(raw) else {
+                // Unreachable in practice: we only propose valid encodings.
+                continue;
+            };
+            let mut block = Block::new(self.next_number, self.prev_hash, batch);
+            block.metadata.orderer = Some(self.identity.clone());
+            block.metadata.orderer_signature =
+                Some(self.keypair.sign(&block.header.to_wire()));
+            self.next_number += 1;
+            self.prev_hash = block.hash();
+            self.ready.push_back(block);
+        }
+    }
+}
+
+/// Distinguishes orderer keypair seeds from peer/client seeds.
+const ORDERER_SEED_MIX: u64 = 0xDEAD_BEEF_0BAD_F00D;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::sha256;
+    use fabric_types::{
+        ChaincodeId, ChannelId, PayloadCommitment, ProposalResponsePayload, Response, TxId,
+        TxRwSet,
+    };
+
+    fn dummy_tx(n: u64) -> Transaction {
+        let kp = Keypair::generate_from_seed(9000 + n);
+        let creator = Identity::new("Org1MSP", Role::Client, kp.public_key());
+        let payload = ProposalResponsePayload {
+            proposal_hash: sha256(&n.to_be_bytes()),
+            response: Response::ok(vec![]),
+            results: TxRwSet::new(),
+            event: None,
+        };
+        let tx_id = TxId::new(format!("tx{n}"));
+        let client_signature =
+            kp.sign(&Transaction::client_signed_bytes(&tx_id, &payload, &[]));
+        Transaction {
+            tx_id,
+            channel: ChannelId::new("ch1"),
+            chaincode: ChaincodeId::new("cc"),
+            creator,
+            payload,
+            commitment: PayloadCommitment::Plain,
+            endorsements: vec![],
+            client_signature,
+        }
+    }
+
+    #[test]
+    fn cuts_block_on_batch_size() {
+        let mut o = OrderingService::new(
+            3,
+            1,
+            BatchConfig {
+                max_message_count: 3,
+                batch_timeout_ticks: 1000,
+            },
+        );
+        assert!(o.run_until_ready(1000));
+        for n in 0..3 {
+            o.submit(dummy_tx(n));
+        }
+        o.run_ticks(50);
+        let blocks = o.take_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].transactions.len(), 3);
+        assert_eq!(blocks[0].header.number, 0);
+        assert!(blocks[0].metadata.orderer_signature.is_some());
+    }
+
+    #[test]
+    fn cuts_partial_block_on_timeout() {
+        let mut o = OrderingService::new(
+            3,
+            2,
+            BatchConfig {
+                max_message_count: 100,
+                batch_timeout_ticks: 4,
+            },
+        );
+        assert!(o.run_until_ready(1000));
+        o.submit(dummy_tx(0));
+        o.run_ticks(50);
+        let blocks = o.take_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].transactions.len(), 1);
+    }
+
+    #[test]
+    fn blocks_chain_in_order() {
+        let mut o = OrderingService::new(
+            3,
+            3,
+            BatchConfig {
+                max_message_count: 2,
+                batch_timeout_ticks: 3,
+            },
+        );
+        assert!(o.run_until_ready(1000));
+        for n in 0..6 {
+            o.submit(dummy_tx(n));
+        }
+        o.run_ticks(80);
+        let blocks = o.take_blocks();
+        assert_eq!(blocks.len(), 3);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.header.number, i as u64);
+            assert!(b.data_hash_is_consistent());
+            if i > 0 {
+                assert!(b.chains_onto(&blocks[i - 1]));
+            }
+        }
+        // Transactions preserved in submission order.
+        let ids: Vec<String> = blocks
+            .iter()
+            .flat_map(|b| b.transactions.iter().map(|t| t.tx_id.to_string()))
+            .collect();
+        assert_eq!(ids, vec!["tx0", "tx1", "tx2", "tx3", "tx4", "tx5"]);
+    }
+
+    #[test]
+    fn survives_orderer_crash() {
+        let mut o = OrderingService::new(
+            5,
+            4,
+            BatchConfig {
+                max_message_count: 1,
+                batch_timeout_ticks: 2,
+            },
+        );
+        assert!(o.run_until_ready(1000));
+        o.submit(dummy_tx(0));
+        o.run_ticks(50);
+        assert_eq!(o.take_blocks().len(), 1);
+
+        // Crash the observer (node 1) and a second node; 3 of 5 remain.
+        o.crash_orderer(1);
+        o.crash_orderer(2);
+        assert!(o.run_until_ready(2000));
+        o.submit(dummy_tx(1));
+        o.run_ticks(200);
+        let blocks = o.take_blocks();
+        // The new observer replays history; block numbering stays chained.
+        assert!(blocks.iter().any(|b| b
+            .transactions
+            .iter()
+            .any(|t| t.tx_id == TxId::new("tx1"))));
+    }
+
+    #[test]
+    fn orderer_never_rejects_content() {
+        // Orderers bundle blindly: a transaction with no endorsements and
+        // an arbitrary payload is ordered without complaint.
+        let mut o = OrderingService::new(3, 5, BatchConfig::default());
+        assert!(o.run_until_ready(1000));
+        o.submit(dummy_tx(42));
+        o.run_ticks(50);
+        assert_eq!(o.take_blocks().len(), 1);
+    }
+}

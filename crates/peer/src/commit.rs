@@ -1,0 +1,684 @@
+//! The validation phase: proof-of-policy checks, MVCC, and commit.
+
+use crate::node::Peer;
+use fabric_ledger::BlockStoreError;
+use fabric_policy::{Policy, SignaturePolicy};
+use fabric_types::{
+    Block, ChaincodeEvent, Identity, PvtDataPackage, Transaction, TxId, TxValidationCode, Version,
+};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Supplies plaintext private data for a transaction being committed
+/// (backed by the gossip transient store plus anti-entropy pull).
+pub type PvtDataProvider<'a> = dyn FnMut(&TxId) -> Option<PvtDataPackage> + 'a;
+
+/// Errors that abort block processing entirely (individual transaction
+/// failures are recorded as validation codes instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// The block does not extend this peer's chain.
+    BlockStore(BlockStoreError),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::BlockStore(e) => write!(f, "block rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+impl From<BlockStoreError> for CommitError {
+    fn from(e: BlockStoreError) -> Self {
+        CommitError::BlockStore(e)
+    }
+}
+
+/// The result of validating and committing one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCommitOutcome {
+    /// Per-transaction validation codes, in block order.
+    pub validation_codes: Vec<TxValidationCode>,
+    /// Valid PDC transactions for which this (member) peer could not obtain
+    /// matching plaintext private data; only hashes were committed and the
+    /// transaction awaits reconciliation.
+    pub missing_private_data: Vec<TxId>,
+    /// Chaincode events of the VALID transactions, in block order
+    /// (invalid transactions' events are never delivered, as in Fabric).
+    pub events: Vec<(TxId, ChaincodeEvent)>,
+}
+
+impl Peer {
+    /// Validates every transaction in `block` through the proof-of-policy
+    /// checks (endorsement policy + MVCC version conflict, §II-B3), commits
+    /// the effects of valid ones, and appends the block with its validity
+    /// vector to the local chain.
+    ///
+    /// `pvt_provider` supplies plaintext private rwsets (transient store /
+    /// gossip pull) for collections this peer is a member of.
+    ///
+    /// # Errors
+    ///
+    /// [`CommitError::BlockStore`] when the block does not chain onto the
+    /// local ledger (nothing is committed in that case).
+    pub fn process_block(
+        &mut self,
+        block: Block,
+        pvt_provider: &mut PvtDataProvider<'_>,
+    ) -> Result<BlockCommitOutcome, CommitError> {
+        // Verify chain linkage *before* mutating any state.
+        let expected_number = self.block_store.height();
+        if block.header.number != expected_number
+            || block.header.previous_hash != self.block_store.tip_hash()
+            || !block.data_hash_is_consistent()
+        {
+            // Delegate to the block store for a precise error.
+            let err = self
+                .block_store
+                .clone()
+                .append(block)
+                .expect_err("pre-checked inconsistency");
+            return Err(err.into());
+        }
+
+        let block_num = block.header.number;
+        let mut codes = Vec::with_capacity(block.transactions.len());
+        let mut missing = Vec::new();
+        let mut events = Vec::new();
+        let mut seen_in_block: HashSet<TxId> = HashSet::new();
+
+        // Signature verification is stateless per transaction, so it can
+        // fan out across threads (Fabric's validator does the same); the
+        // policy and MVCC checks stay sequential because key-level
+        // endorsement parameters and versions change as the block commits.
+        let sig_codes = self.check_signatures_batch(&block.transactions);
+
+        for (i, tx) in block.transactions.iter().enumerate() {
+            let code = if seen_in_block.contains(&tx.tx_id) {
+                TxValidationCode::DuplicateTxId
+            } else if let Some(sig_failure) = sig_codes[i] {
+                sig_failure
+            } else {
+                self.validate_transaction_prechecked(tx)
+            };
+            seen_in_block.insert(tx.tx_id.clone());
+            if code.is_valid() {
+                let version = Version::new(block_num, i as u64);
+                if !self.apply_transaction(tx, version, pvt_provider) {
+                    missing.push(tx.tx_id.clone());
+                }
+                if let Some(event) = &tx.payload.event {
+                    events.push((tx.tx_id.clone(), event.clone()));
+                }
+            }
+            codes.push(code);
+        }
+
+        let mut block = block;
+        block.metadata.validation_codes = codes.clone();
+        self.block_store.append(block)?;
+        self.purge_expired(block_num);
+
+        Ok(BlockCommitOutcome {
+            validation_codes: codes,
+            missing_private_data: missing,
+            events,
+        })
+    }
+
+    /// The stateless signature checks of one transaction; `None` = passed.
+    fn signature_check(tx: &Transaction) -> Option<TxValidationCode> {
+        if !tx.verify_client_signature() {
+            return Some(TxValidationCode::InvalidClientSignature);
+        }
+        if tx.endorsements.is_empty() || !tx.verify_endorsement_signatures() {
+            return Some(TxValidationCode::InvalidEndorserSignature);
+        }
+        None
+    }
+
+    /// Runs [`Peer::signature_check`] over a block's transactions, fanned
+    /// out across scoped threads when parallel validation is enabled and
+    /// the block is large enough to amortize the spawns.
+    fn check_signatures_batch(
+        &self,
+        transactions: &[Transaction],
+    ) -> Vec<Option<TxValidationCode>> {
+        const MIN_PARALLEL: usize = 4;
+        if !self.parallel_validation || transactions.len() < MIN_PARALLEL {
+            return transactions.iter().map(Self::signature_check).collect();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(4)
+            .min(transactions.len());
+        let chunk_size = transactions.len().div_ceil(workers);
+        let mut results = vec![None; transactions.len()];
+        std::thread::scope(|scope| {
+            let chunks = transactions.chunks(chunk_size);
+            let result_chunks = results.chunks_mut(chunk_size);
+            for (txs, out) in chunks.zip(result_chunks) {
+                scope.spawn(move || {
+                    for (tx, slot) in txs.iter().zip(out.iter_mut()) {
+                        *slot = Self::signature_check(tx);
+                    }
+                });
+            }
+        });
+        results
+    }
+
+    /// Validates a single transaction against the current state: signature
+    /// checks, endorsement policy (proof-of-policy check 1), and MVCC
+    /// version conflicts (check 2). Does not mutate state.
+    pub fn validate_transaction(&self, tx: &Transaction) -> TxValidationCode {
+        if let Some(code) = Self::signature_check(tx) {
+            return code;
+        }
+        self.validate_transaction_prechecked(tx)
+    }
+
+    /// [`Peer::validate_transaction`] with the signature checks already
+    /// performed (e.g. by the parallel batch pass).
+    fn validate_transaction_prechecked(&self, tx: &Transaction) -> TxValidationCode {
+        if tx.channel != self.channel {
+            return TxValidationCode::BadPayload;
+        }
+        if self.block_store.contains_tx(&tx.tx_id) {
+            return TxValidationCode::DuplicateTxId;
+        }
+
+        let endorsers: Vec<Identity> = tx
+            .endorsements
+            .iter()
+            .map(|e| e.endorser.clone())
+            .collect();
+
+        for ns in &tx.payload.results.ns_rwsets {
+            let Some(installed) = self.chaincodes.get(&ns.namespace) else {
+                return TxValidationCode::BadPayload;
+            };
+            let def = &installed.definition;
+
+            // --- Proof-of-policy check 1: endorsement policy ---
+            // Key-level (state-based) endorsement first: a public write to
+            // a key with a committed validation parameter is governed by
+            // that key's policy (Fabric's validator_keylevel.go — the code
+            // the paper cites for Use Case 2). Changing a key's parameter
+            // itself requires satisfying the existing parameter.
+            let mut non_sbe_public_writes = false;
+            for w in &ns.public.writes {
+                match self
+                    .world_state
+                    .get_validation_parameter(&ns.namespace, &w.key)
+                {
+                    Some(expr) => {
+                        let Ok(key_policy) = SignaturePolicy::parse(expr) else {
+                            return TxValidationCode::BadPayload;
+                        };
+                        if !key_policy.satisfied_by(&endorsers) {
+                            return TxValidationCode::EndorsementPolicyFailure;
+                        }
+                    }
+                    None => non_sbe_public_writes = true,
+                }
+            }
+            for m in &ns.metadata_writes {
+                match self
+                    .world_state
+                    .get_validation_parameter(&ns.namespace, &m.key)
+                {
+                    Some(expr) => {
+                        let Ok(key_policy) = SignaturePolicy::parse(expr) else {
+                            return TxValidationCode::BadPayload;
+                        };
+                        if !key_policy.satisfied_by(&endorsers) {
+                            return TxValidationCode::EndorsementPolicyFailure;
+                        }
+                    }
+                    None => non_sbe_public_writes = true,
+                }
+            }
+
+            // The chaincode-level policy applies to everything not fully
+            // covered by key-level parameters: reads (always — Use Case 2),
+            // non-SBE public writes, collection rwsets, and empty results.
+            // Note it does NOT distinguish member from non-member
+            // endorsements (Use Case 1).
+            let needs_chaincode_policy = !ns.public.reads.is_empty()
+                || non_sbe_public_writes
+                || !ns.collections.is_empty()
+                || (ns.public.writes.is_empty() && ns.metadata_writes.is_empty());
+            if needs_chaincode_policy {
+                let Ok(cc_policy) = Policy::parse(&def.endorsement_policy) else {
+                    return TxValidationCode::BadPayload;
+                };
+                if !cc_policy.evaluate(self.channel_policies.org_policies(), &endorsers) {
+                    return TxValidationCode::EndorsementPolicyFailure;
+                }
+            }
+
+            for col in &ns.collections {
+                let Some(cfg) = def.collection(&col.collection) else {
+                    return TxValidationCode::BadPayload;
+                };
+                let has_writes = !col.writes.is_empty();
+                let has_reads = !col.reads.is_empty();
+                // Original Fabric: the collection-level policy (when
+                // defined) governs transactions that *write* the
+                // collection; read-only transactions are always validated
+                // with the chaincode-level policy (Use Case 2, per the
+                // key-level validator in the Fabric source).
+                // New Feature 1 extends the collection-level policy to
+                // read-only transactions (§IV-C1).
+                let apply_collection_policy = cfg.endorsement_policy.is_some()
+                    && (has_writes
+                        || (self.defense.collection_policy_for_reads && has_reads));
+                if apply_collection_policy {
+                    let expr = cfg
+                        .endorsement_policy
+                        .as_deref()
+                        .expect("checked is_some above");
+                    let Ok(col_policy) = SignaturePolicy::parse(expr) else {
+                        return TxValidationCode::BadPayload;
+                    };
+                    if !col_policy.satisfied_by(&endorsers) {
+                        return TxValidationCode::EndorsementPolicyFailure;
+                    }
+                }
+                // Supplemental defense: reject endorsements by peers whose
+                // org is not a member of the touched collection.
+                if self.defense.filter_non_member_endorsers {
+                    let all_members = endorsers
+                        .iter()
+                        .all(|e| def.org_is_member(&e.org, &col.collection));
+                    if !all_members {
+                        return TxValidationCode::NonMemberEndorsement;
+                    }
+                }
+            }
+
+            // --- Proof-of-policy check 2: MVCC version conflicts ---
+            // Note: only versions are compared; chaincode is never
+            // re-executed, so fabricated values with correct versions pass
+            // (§IV-A1).
+            if self
+                .world_state
+                .check_mvcc_public(&ns.namespace, &ns.public.reads)
+                .is_err()
+            {
+                return TxValidationCode::MvccReadConflict;
+            }
+            for col in &ns.collections {
+                if self
+                    .world_state
+                    .check_mvcc_hashed(&ns.namespace, &col.collection, &col.reads)
+                    .is_err()
+                {
+                    return TxValidationCode::MvccReadConflict;
+                }
+            }
+        }
+        TxValidationCode::Valid
+    }
+
+    /// Applies a valid transaction's writes at `version`. Returns `false`
+    /// when this peer is a member of a written collection but could not
+    /// obtain matching plaintext (hashes were committed regardless).
+    fn apply_transaction(
+        &mut self,
+        tx: &Transaction,
+        version: Version,
+        pvt_provider: &mut PvtDataProvider<'_>,
+    ) -> bool {
+        let mut plaintext_complete = true;
+        let mut package: Option<Option<PvtDataPackage>> = None;
+
+        // Collect namespaces first to end the immutable borrow of
+        // `self.chaincodes` before mutating the world state.
+        let ns_rwsets = tx.payload.results.ns_rwsets.clone();
+        for ns in &ns_rwsets {
+            self.world_state
+                .apply_public_writes(&ns.namespace, &ns.public, version);
+            self.world_state
+                .apply_metadata_writes(&ns.namespace, &ns.metadata_writes);
+            for w in &ns.public.writes {
+                self.history.record(
+                    &ns.namespace,
+                    &w.key,
+                    &tx.tx_id,
+                    version,
+                    w.value.clone(),
+                    w.is_delete,
+                );
+            }
+            for col in &ns.collections {
+                if col.writes.is_empty() {
+                    continue;
+                }
+                let is_member = self.is_collection_member(&ns.namespace, &col.collection);
+                let mut applied_plaintext = false;
+                if is_member {
+                    let pkg = package
+                        .get_or_insert_with(|| pvt_provider(&tx.tx_id))
+                        .clone();
+                    if let Some(pkg) = pkg {
+                        // Verify plaintext against committed hashes before
+                        // updating the ledger (Fig. 2, step 18).
+                        let matching = pkg
+                            .namespaces
+                            .iter()
+                            .zip(&pkg.collections)
+                            .find(|(n, c)| {
+                                **n == ns.namespace && c.collection == col.collection
+                            })
+                            .map(|(_, c)| c);
+                        if let Some(pvt) = matching {
+                            if pvt.to_hashed() == *col {
+                                self.world_state.apply_private_writes(
+                                    &ns.namespace,
+                                    pvt,
+                                    version,
+                                );
+                                applied_plaintext = true;
+                            }
+                        }
+                    }
+                }
+                if !applied_plaintext {
+                    self.world_state.apply_hashed_writes(
+                        &ns.namespace,
+                        &col.collection,
+                        &col.writes,
+                        version,
+                    );
+                    if is_member {
+                        plaintext_complete = false;
+                    }
+                }
+            }
+        }
+        plaintext_complete
+    }
+
+    fn purge_expired(&mut self, current_block: u64) {
+        let collections: Vec<(fabric_types::CollectionName, u64)> = self
+            .chaincodes
+            .values()
+            .flat_map(|cc| cc.definition.collections.iter())
+            .filter(|c| c.block_to_live > 0)
+            .map(|c| (c.name.clone(), c.block_to_live))
+            .collect();
+        for (name, btl) in collections {
+            self.world_state
+                .purge_expired_private(&name, btl, current_block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelPolicies;
+    use fabric_chaincode::samples::GuardedPdc;
+    use fabric_chaincode::ChaincodeDefinition;
+    use fabric_crypto::Keypair;
+    use fabric_types::{
+        CollectionConfig, CollectionName, DefenseConfig, Endorsement, OrgId, Proposal, Role,
+    };
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    const COL: &str = "PDC1";
+
+    fn orgs() -> Vec<OrgId> {
+        (1..=3).map(|i| OrgId::new(format!("Org{i}MSP"))).collect()
+    }
+
+    fn make_peer(name: &str, org: &str, seed: u64) -> Peer {
+        let mut p = Peer::new(
+            name,
+            org,
+            "ch1",
+            ChannelPolicies::default_for(&orgs()),
+            Keypair::generate_from_seed(seed),
+            DefenseConfig::original(),
+        );
+        let def = ChaincodeDefinition::new("guarded")
+            .with_collection(CollectionConfig::membership_of(COL, &orgs()[..2]));
+        p.install_chaincode(def, Arc::new(GuardedPdc::unconstrained(COL)));
+        p
+    }
+
+    /// Builds a valid write transaction endorsed by the given peers.
+    fn write_tx(endorsing_peers: &[&Peer], value: i64, nonce: u64) -> (Transaction, PvtDataPackage) {
+        let client_kp = Keypair::generate_from_seed(1000 + nonce);
+        let creator = Identity::new("Org1MSP", Role::Client, client_kp.public_key());
+        let proposal = Proposal::new(
+            "ch1",
+            "guarded",
+            "write",
+            vec![b"k1".to_vec(), value.to_string().into_bytes()],
+            BTreeMap::new(),
+            creator.clone(),
+            nonce,
+        );
+        let mut responses = Vec::new();
+        let mut pvt = None;
+        for p in endorsing_peers {
+            let (resp, pkg) = p.endorse(&proposal).expect("endorse");
+            if pvt.is_none() {
+                pvt = pkg;
+            }
+            responses.push(resp);
+        }
+        let payload = responses[0].payload.clone();
+        let commitment = responses[0].commitment;
+        let endorsements: Vec<Endorsement> =
+            responses.into_iter().map(|r| r.endorsement).collect();
+        let client_signature = client_kp.sign(&Transaction::client_signed_bytes(
+            &proposal.tx_id,
+            &payload,
+            &endorsements,
+        ));
+        (
+            Transaction {
+                tx_id: proposal.tx_id.clone(),
+                channel: proposal.channel.clone(),
+                chaincode: proposal.chaincode.clone(),
+                creator,
+                payload,
+                commitment,
+                endorsements,
+                client_signature,
+            },
+            pvt.expect("write produces private data"),
+        )
+    }
+
+    fn block_of(peer: &Peer, txs: Vec<Transaction>) -> Block {
+        Block::new(peer.block_store.height(), peer.block_store.tip_hash(), txs)
+    }
+
+    #[test]
+    fn valid_write_commits_plaintext_at_members_hashes_at_non_members() {
+        let mut p1 = make_peer("peer0.org1", "Org1MSP", 51);
+        let mut p2 = make_peer("peer0.org2", "Org2MSP", 52);
+        let mut p3 = make_peer("peer0.org3", "Org3MSP", 53);
+        let (tx, pkg) = write_tx(&[&p1, &p2], 7, 1);
+        let block = block_of(&p1, vec![tx.clone()]);
+
+        let mut with_pkg = |_: &TxId| Some(pkg.clone());
+        let outcome = p1.process_block(block.clone(), &mut with_pkg).unwrap();
+        assert_eq!(outcome.validation_codes, vec![TxValidationCode::Valid]);
+        p2.process_block(block.clone(), &mut with_pkg).unwrap();
+        let mut no_pkg = |_: &TxId| None;
+        p3.process_block(block, &mut no_pkg).unwrap();
+
+        let ns = fabric_types::ChaincodeId::new("guarded");
+        let col = CollectionName::new(COL);
+        // Members hold plaintext.
+        assert_eq!(
+            p1.world_state().get_private(&ns, &col, "k1").unwrap().value,
+            b"7"
+        );
+        assert_eq!(
+            p2.world_state().get_private(&ns, &col, "k1").unwrap().value,
+            b"7"
+        );
+        // Non-member holds only hashes, same version.
+        assert!(p3.world_state().get_private(&ns, &col, "k1").is_none());
+        assert_eq!(
+            p3.world_state().get_private_hash(&ns, &col, "k1"),
+            p1.world_state().get_private_hash(&ns, &col, "k1")
+        );
+    }
+
+    #[test]
+    fn member_missing_plaintext_commits_hashes_and_reports() {
+        let p1 = make_peer("peer0.org1", "Org1MSP", 54);
+        let mut p2 = make_peer("peer0.org2", "Org2MSP", 55);
+        let (tx, _) = write_tx(&[&p1, &p2.clone()], 9, 2);
+        let block = block_of(&p2, vec![tx.clone()]);
+        let mut no_pkg = |_: &TxId| None;
+        let outcome = p2.process_block(block, &mut no_pkg).unwrap();
+        assert_eq!(outcome.validation_codes, vec![TxValidationCode::Valid]);
+        assert_eq!(outcome.missing_private_data, vec![tx.tx_id.clone()]);
+        let ns = fabric_types::ChaincodeId::new("guarded");
+        let col = CollectionName::new(COL);
+        assert!(p2.world_state().get_private(&ns, &col, "k1").is_none());
+        assert!(p2.world_state().get_private_hash(&ns, &col, "k1").is_some());
+    }
+
+    #[test]
+    fn insufficient_endorsements_fail_policy() {
+        // MAJORITY of 3 orgs needs 2; one endorsement fails.
+        let mut p1 = make_peer("peer0.org1", "Org1MSP", 56);
+        let (tx, pkg) = write_tx(&[&p1.clone()], 7, 3);
+        let block = block_of(&p1, vec![tx]);
+        let mut with_pkg = |_: &TxId| Some(pkg.clone());
+        let outcome = p1.process_block(block, &mut with_pkg).unwrap();
+        assert_eq!(
+            outcome.validation_codes,
+            vec![TxValidationCode::EndorsementPolicyFailure]
+        );
+    }
+
+    #[test]
+    fn tampered_payload_fails_endorser_signatures() {
+        let mut p1 = make_peer("peer0.org1", "Org1MSP", 57);
+        let p2 = make_peer("peer0.org2", "Org2MSP", 58);
+        let (mut tx, pkg) = write_tx(&[&p1.clone(), &p2], 7, 4);
+        tx.payload.response.payload = b"forged".to_vec();
+        // Re-sign as client so the failure isolates to endorsements.
+        let client_kp = Keypair::generate_from_seed(1004);
+        tx.client_signature = client_kp.sign(&Transaction::client_signed_bytes(
+            &tx.tx_id,
+            &tx.payload,
+            &tx.endorsements,
+        ));
+        tx.creator = Identity::new("Org1MSP", Role::Client, client_kp.public_key());
+        let block = block_of(&p1, vec![tx]);
+        let mut with_pkg = |_: &TxId| Some(pkg.clone());
+        let outcome = p1.process_block(block, &mut with_pkg).unwrap();
+        assert_eq!(
+            outcome.validation_codes,
+            vec![TxValidationCode::InvalidEndorserSignature]
+        );
+    }
+
+    #[test]
+    fn duplicate_txid_rejected_within_and_across_blocks() {
+        let mut p1 = make_peer("peer0.org1", "Org1MSP", 59);
+        let p2 = make_peer("peer0.org2", "Org2MSP", 60);
+        let (tx, pkg) = write_tx(&[&p1.clone(), &p2], 7, 5);
+        let block = block_of(&p1, vec![tx.clone(), tx.clone()]);
+        let mut with_pkg = |_: &TxId| Some(pkg.clone());
+        let outcome = p1.process_block(block, &mut with_pkg).unwrap();
+        assert_eq!(
+            outcome.validation_codes,
+            vec![TxValidationCode::Valid, TxValidationCode::DuplicateTxId]
+        );
+        // Same tx in a later block is also rejected.
+        let block2 = block_of(&p1, vec![tx]);
+        let outcome2 = p1.process_block(block2, &mut with_pkg).unwrap();
+        assert_eq!(
+            outcome2.validation_codes,
+            vec![TxValidationCode::DuplicateTxId]
+        );
+    }
+
+    #[test]
+    fn non_chaining_block_rejected_without_commit() {
+        let mut p1 = make_peer("peer0.org1", "Org1MSP", 61);
+        let p2 = make_peer("peer0.org2", "Org2MSP", 62);
+        let (tx, pkg) = write_tx(&[&p1.clone(), &p2], 7, 6);
+        let bad = Block::new(5, fabric_crypto::sha256(b"bogus"), vec![tx]);
+        let mut with_pkg = |_: &TxId| Some(pkg.clone());
+        assert!(p1.process_block(bad, &mut with_pkg).is_err());
+        assert_eq!(p1.block_store().height(), 0);
+        assert_eq!(p1.world_state().hashed_len(), 0);
+    }
+
+    #[test]
+    fn mvcc_conflict_between_blocks() {
+        let mut p1 = make_peer("peer0.org1", "Org1MSP", 63);
+        let mut p2 = make_peer("peer0.org2", "Org2MSP", 64);
+        // Commit k1 = 5 first.
+        let (tx1, pkg1) = write_tx(&[&p1, &p2], 5, 7);
+        let block1 = block_of(&p1, vec![tx1]);
+        let mut with_pkg1 = |_: &TxId| Some(pkg1.clone());
+        p1.process_block(block1.clone(), &mut with_pkg1).unwrap();
+        p2.process_block(block1, &mut with_pkg1).unwrap();
+
+        // An "add" endorsed now reads version (0,0)... build it before the
+        // next write commits, then commit a conflicting write first.
+        let client_kp = Keypair::generate_from_seed(2000);
+        let creator = Identity::new("Org1MSP", Role::Client, client_kp.public_key());
+        let add_proposal = Proposal::new(
+            "ch1",
+            "guarded",
+            "add",
+            vec![b"k1".to_vec(), b"1".to_vec()],
+            BTreeMap::new(),
+            creator.clone(),
+            50,
+        );
+        let (r1, add_pkg) = p1.endorse(&add_proposal).unwrap();
+        let (r2, _) = p2.endorse(&add_proposal).unwrap();
+        let endorsements = vec![r1.endorsement.clone(), r2.endorsement];
+        let client_signature = client_kp.sign(&Transaction::client_signed_bytes(
+            &add_proposal.tx_id,
+            &r1.payload,
+            &endorsements,
+        ));
+        let add_tx = Transaction {
+            tx_id: add_proposal.tx_id.clone(),
+            channel: add_proposal.channel.clone(),
+            chaincode: add_proposal.chaincode.clone(),
+            creator,
+            payload: r1.payload,
+            commitment: r1.commitment,
+            endorsements,
+            client_signature,
+        };
+
+        // A conflicting write commits in between.
+        let (tx2, pkg2) = write_tx(&[&p1, &p2], 6, 8);
+        let block2 = block_of(&p1, vec![tx2]);
+        let mut with_pkg2 = |_: &TxId| Some(pkg2.clone());
+        p1.process_block(block2, &mut with_pkg2).unwrap();
+
+        // Now the add's read version is stale.
+        let block3 = block_of(&p1, vec![add_tx]);
+        let mut with_add = |_: &TxId| add_pkg.clone();
+        let outcome = p1.process_block(block3, &mut with_add).unwrap();
+        assert_eq!(
+            outcome.validation_codes,
+            vec![TxValidationCode::MvccReadConflict]
+        );
+    }
+}

@@ -1,0 +1,532 @@
+//! Policy AST and evaluation.
+
+use crate::parser::{self, ParsePolicyError};
+use fabric_types::{Identity, OrgId, Role};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The role requirement of a principal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrincipalRole {
+    /// Matches any role of the organization (`Org.member`).
+    Member,
+    /// Matches one specific role (`Org.peer`, `Org.client`, ...).
+    Exact(Role),
+}
+
+impl fmt::Display for PrincipalRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrincipalRole::Member => f.write_str("member"),
+            PrincipalRole::Exact(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A principal: an organization plus a role requirement, e.g. `Org1MSP.peer`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Principal {
+    /// Required organization.
+    pub org: OrgId,
+    /// Required role.
+    pub role: PrincipalRole,
+}
+
+impl Principal {
+    /// Creates a principal.
+    pub fn new(org: impl Into<OrgId>, role: PrincipalRole) -> Self {
+        Principal {
+            org: org.into(),
+            role,
+        }
+    }
+
+    /// Whether `identity` satisfies this principal.
+    pub fn matches(&self, identity: &Identity) -> bool {
+        if identity.org != self.org {
+            return false;
+        }
+        match self.role {
+            PrincipalRole::Member => true,
+            PrincipalRole::Exact(role) => identity.role == role,
+        }
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}.{}'", self.org, self.role)
+    }
+}
+
+/// A signature policy: a boolean expression over principals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignaturePolicy {
+    /// A single principal requirement.
+    Principal(Principal),
+    /// All sub-policies must be satisfied by *distinct* endorsements.
+    And(Vec<SignaturePolicy>),
+    /// At least one sub-policy must be satisfied.
+    Or(Vec<SignaturePolicy>),
+    /// At least `n` of the sub-policies must be satisfied by distinct
+    /// endorsements (`OutOf(n, ...)`, the paper's `NOutOf`).
+    OutOf(u32, Vec<SignaturePolicy>),
+}
+
+impl SignaturePolicy {
+    /// Parses a signature policy expression.
+    ///
+    /// Accepts Fabric spelling (`OutOf(2,'Org1MSP.peer',...)`, quoted
+    /// principals) and the paper's spelling (`2OutOf(org1.peer,...)`,
+    /// unquoted principals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePolicyError`] on malformed expressions.
+    pub fn parse(expr: &str) -> Result<Self, ParsePolicyError> {
+        parser::parse_signature_policy(expr)
+    }
+
+    /// Whether the distinct identities in `endorsers` satisfy this policy.
+    ///
+    /// Duplicate identities (same public key) count once, as in Fabric.
+    /// Matching is exact: one endorsement satisfies at most one principal
+    /// requirement, found by backtracking search.
+    pub fn satisfied_by(&self, endorsers: &[Identity]) -> bool {
+        let mut unique: Vec<&Identity> = Vec::new();
+        for e in endorsers {
+            if !unique.iter().any(|u| u.public_key == e.public_key) {
+                unique.push(e);
+            }
+        }
+        let mut used = vec![false; unique.len()];
+        satisfy_all(&[self], &unique, &mut used)
+    }
+
+    /// All organizations mentioned anywhere in the policy.
+    pub fn organizations(&self) -> Vec<OrgId> {
+        let mut orgs = Vec::new();
+        self.collect_orgs(&mut orgs);
+        orgs.sort();
+        orgs.dedup();
+        orgs
+    }
+
+    fn collect_orgs(&self, out: &mut Vec<OrgId>) {
+        match self {
+            SignaturePolicy::Principal(p) => out.push(p.org.clone()),
+            SignaturePolicy::And(children)
+            | SignaturePolicy::Or(children)
+            | SignaturePolicy::OutOf(_, children) => {
+                for c in children {
+                    c.collect_orgs(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SignaturePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(
+            f: &mut fmt::Formatter<'_>,
+            children: &[SignaturePolicy],
+        ) -> fmt::Result {
+            for (i, c) in children.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{c}")?;
+            }
+            Ok(())
+        }
+        match self {
+            SignaturePolicy::Principal(p) => write!(f, "{p}"),
+            SignaturePolicy::And(c) => {
+                f.write_str("AND(")?;
+                join(f, c)?;
+                f.write_str(")")
+            }
+            SignaturePolicy::Or(c) => {
+                f.write_str("OR(")?;
+                join(f, c)?;
+                f.write_str(")")
+            }
+            SignaturePolicy::OutOf(n, c) => {
+                write!(f, "OutOf({n},")?;
+                join(f, c)?;
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Backtracking satisfaction of a conjunction of policy goals using each
+/// identity at most once.
+fn satisfy_all(goals: &[&SignaturePolicy], ids: &[&Identity], used: &mut Vec<bool>) -> bool {
+    let Some((first, rest)) = goals.split_first() else {
+        return true;
+    };
+    match first {
+        SignaturePolicy::Principal(p) => {
+            for i in 0..ids.len() {
+                if !used[i] && p.matches(ids[i]) {
+                    used[i] = true;
+                    if satisfy_all(rest, ids, used) {
+                        return true;
+                    }
+                    used[i] = false;
+                }
+            }
+            false
+        }
+        SignaturePolicy::And(children) => {
+            let mut new_goals: Vec<&SignaturePolicy> = children.iter().collect();
+            new_goals.extend_from_slice(rest);
+            satisfy_all(&new_goals, ids, used)
+        }
+        SignaturePolicy::Or(children) => children.iter().any(|c| {
+            let mut new_goals: Vec<&SignaturePolicy> = vec![c];
+            new_goals.extend_from_slice(rest);
+            satisfy_all(&new_goals, ids, used)
+        }),
+        SignaturePolicy::OutOf(n, children) => {
+            let n = *n as usize;
+            if n == 0 {
+                return satisfy_all(rest, ids, used);
+            }
+            if n > children.len() {
+                return false;
+            }
+            // Try every n-combination of children (sizes are small in
+            // practice; policies rarely exceed a handful of branches).
+            combinations(children.len(), n).into_iter().any(|combo| {
+                let mut new_goals: Vec<&SignaturePolicy> =
+                    combo.iter().map(|&i| &children[i]).collect();
+                new_goals.extend_from_slice(rest);
+                satisfy_all(&new_goals, ids, used)
+            })
+        }
+    }
+}
+
+/// All `k`-combinations of `0..n`, in lexicographic order.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(combo.clone());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if combo[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        combo[i] += 1;
+        for j in i + 1..k {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
+}
+
+/// The combination rule of an implicitMeta policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImplicitMetaRule {
+    /// Any one organization's sub-policy suffices.
+    Any,
+    /// Every organization's sub-policy must be satisfied.
+    All,
+    /// A strict majority of organizations' sub-policies must be satisfied
+    /// (Eq. 1 in the paper).
+    Majority,
+}
+
+impl fmt::Display for ImplicitMetaRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ImplicitMetaRule::Any => "ANY",
+            ImplicitMetaRule::All => "ALL",
+            ImplicitMetaRule::Majority => "MAJORITY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An implicitMeta policy such as `MAJORITY Endorsement`: combines the
+/// result of each participating organization's named sub-policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplicitMetaPolicy {
+    /// Combination rule.
+    pub rule: ImplicitMetaRule,
+    /// Name of the per-organization sub-policy (usually `Endorsement`).
+    pub sub_policy: String,
+}
+
+impl ImplicitMetaPolicy {
+    /// Parses expressions like `"MAJORITY Endorsement"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePolicyError`] on malformed expressions.
+    pub fn parse(expr: &str) -> Result<Self, ParsePolicyError> {
+        parser::parse_implicit_meta(expr)
+    }
+
+    /// Evaluates the policy: each organization's sub-policy is evaluated
+    /// against `endorsers`, then the boolean results are combined by the
+    /// rule. `org_policies` maps each participating organization to its
+    /// sub-policy (each org's `Endorsement` policy in practice).
+    pub fn evaluate(
+        &self,
+        org_policies: &BTreeMap<OrgId, SignaturePolicy>,
+        endorsers: &[Identity],
+    ) -> bool {
+        let n = org_policies.len();
+        if n == 0 {
+            return false;
+        }
+        let satisfied = org_policies
+            .values()
+            .filter(|p| p.satisfied_by(endorsers))
+            .count();
+        match self.rule {
+            ImplicitMetaRule::Any => satisfied >= 1,
+            ImplicitMetaRule::All => satisfied == n,
+            ImplicitMetaRule::Majority => satisfied > n / 2,
+        }
+    }
+}
+
+impl fmt::Display for ImplicitMetaPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.rule, self.sub_policy)
+    }
+}
+
+/// Any endorsement policy: signature or implicitMeta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Policy {
+    /// An explicit signature policy.
+    Signature(SignaturePolicy),
+    /// An implicitMeta policy over per-org sub-policies.
+    ImplicitMeta(ImplicitMetaPolicy),
+}
+
+impl Policy {
+    /// Parses either policy family, trying implicitMeta first
+    /// (`ANY/ALL/MAJORITY name`) then signature expressions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePolicyError`] when neither family parses.
+    pub fn parse(expr: &str) -> Result<Self, ParsePolicyError> {
+        let trimmed = expr.trim();
+        if let Ok(meta) = ImplicitMetaPolicy::parse(trimmed) {
+            return Ok(Policy::ImplicitMeta(meta));
+        }
+        SignaturePolicy::parse(trimmed).map(Policy::Signature)
+    }
+
+    /// Evaluates the policy against an endorser set, resolving implicitMeta
+    /// sub-policies through `org_policies`.
+    pub fn evaluate(
+        &self,
+        org_policies: &BTreeMap<OrgId, SignaturePolicy>,
+        endorsers: &[Identity],
+    ) -> bool {
+        match self {
+            Policy::Signature(p) => p.satisfied_by(endorsers),
+            Policy::ImplicitMeta(p) => p.evaluate(org_policies, endorsers),
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Signature(p) => write!(f, "{p}"),
+            Policy::ImplicitMeta(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::Keypair;
+
+    fn id(org: &str, role: Role, seed: u64) -> Identity {
+        Identity::new(org, role, Keypair::generate_from_seed(seed).public_key())
+    }
+
+    fn peer(org: &str, seed: u64) -> Identity {
+        id(org, Role::Peer, seed)
+    }
+
+    #[test]
+    fn principal_matching() {
+        let p = Principal::new("Org1MSP", PrincipalRole::Exact(Role::Peer));
+        assert!(p.matches(&peer("Org1MSP", 1)));
+        assert!(!p.matches(&peer("Org2MSP", 2)));
+        assert!(!p.matches(&id("Org1MSP", Role::Client, 3)));
+
+        let m = Principal::new("Org1MSP", PrincipalRole::Member);
+        assert!(m.matches(&peer("Org1MSP", 1)));
+        assert!(m.matches(&id("Org1MSP", Role::Client, 3)));
+        assert!(!m.matches(&peer("Org2MSP", 2)));
+    }
+
+    #[test]
+    fn and_requires_distinct_endorsements() {
+        let policy = SignaturePolicy::parse("AND('Org1MSP.peer','Org1MSP.peer')").unwrap();
+        let p1 = peer("Org1MSP", 1);
+        let p2 = peer("Org1MSP", 2);
+        // One peer signing twice does not satisfy AND of two principals.
+        assert!(!policy.satisfied_by(&[p1.clone(), p1.clone()]));
+        assert!(policy.satisfied_by(&[p1, p2]));
+    }
+
+    #[test]
+    fn or_needs_only_one_branch() {
+        let policy = SignaturePolicy::parse("OR('Org1MSP.peer','Org2MSP.peer')").unwrap();
+        assert!(policy.satisfied_by(&[peer("Org2MSP", 5)]));
+        assert!(!policy.satisfied_by(&[peer("Org3MSP", 6)]));
+        assert!(!policy.satisfied_by(&[]));
+    }
+
+    #[test]
+    fn out_of_semantics() {
+        // The paper's 2OutOf over five orgs (§IV-A5).
+        let policy = SignaturePolicy::parse(
+            "OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer','Org4MSP.peer','Org5MSP.peer')",
+        )
+        .unwrap();
+        // Two non-member orgs (org3, org4) suffice — the attack's premise.
+        assert!(policy.satisfied_by(&[peer("Org3MSP", 3), peer("Org4MSP", 4)]));
+        assert!(!policy.satisfied_by(&[peer("Org3MSP", 3)]));
+        // One identity cannot satisfy two slots.
+        let p3 = peer("Org3MSP", 3);
+        assert!(!policy.satisfied_by(&[p3.clone(), p3]));
+    }
+
+    #[test]
+    fn backtracking_finds_non_greedy_assignment() {
+        // A member principal could "steal" the only Org1 peer; backtracking
+        // must still find the valid assignment.
+        let policy =
+            SignaturePolicy::parse("AND('Org1MSP.member','Org1MSP.peer')").unwrap();
+        let p = peer("Org1MSP", 1);
+        let c = id("Org1MSP", Role::Client, 2);
+        assert!(policy.satisfied_by(&[p.clone(), c.clone()]));
+        assert!(policy.satisfied_by(&[c, p]));
+    }
+
+    #[test]
+    fn majority_rule_matches_equation_one() {
+        // Majority(e1..en) per Eq. 1: strictly more than half.
+        let orgs: Vec<OrgId> = (1..=3).map(|i| OrgId::new(format!("Org{i}MSP"))).collect();
+        let mut org_policies = BTreeMap::new();
+        for o in &orgs {
+            org_policies.insert(
+                o.clone(),
+                SignaturePolicy::parse(&format!("OR('{}.peer')", o.as_str())).unwrap(),
+            );
+        }
+        let meta = ImplicitMetaPolicy::parse("MAJORITY Endorsement").unwrap();
+        // 2 of 3 is a majority.
+        assert!(meta.evaluate(&org_policies, &[peer("Org1MSP", 1), peer("Org3MSP", 3)]));
+        // 1 of 3 is not.
+        assert!(!meta.evaluate(&org_policies, &[peer("Org1MSP", 1)]));
+
+        let all = ImplicitMetaPolicy::parse("ALL Endorsement").unwrap();
+        assert!(!all.evaluate(&org_policies, &[peer("Org1MSP", 1), peer("Org3MSP", 3)]));
+        assert!(all.evaluate(
+            &org_policies,
+            &[peer("Org1MSP", 1), peer("Org2MSP", 2), peer("Org3MSP", 3)]
+        ));
+
+        let any = ImplicitMetaPolicy::parse("ANY Endorsement").unwrap();
+        assert!(any.evaluate(&org_policies, &[peer("Org2MSP", 2)]));
+        assert!(!any.evaluate(&org_policies, &[peer("Org9MSP", 9)]));
+    }
+
+    #[test]
+    fn majority_with_even_org_count() {
+        let orgs: Vec<OrgId> = (1..=4).map(|i| OrgId::new(format!("Org{i}MSP"))).collect();
+        let mut org_policies = BTreeMap::new();
+        for o in &orgs {
+            org_policies.insert(
+                o.clone(),
+                SignaturePolicy::parse(&format!("OR('{}.peer')", o.as_str())).unwrap(),
+            );
+        }
+        let meta = ImplicitMetaPolicy::parse("MAJORITY Endorsement").unwrap();
+        // 2 of 4 is NOT a strict majority; 3 of 4 is.
+        assert!(!meta.evaluate(&org_policies, &[peer("Org1MSP", 1), peer("Org2MSP", 2)]));
+        assert!(meta.evaluate(
+            &org_policies,
+            &[peer("Org1MSP", 1), peer("Org2MSP", 2), peer("Org3MSP", 3)]
+        ));
+    }
+
+    #[test]
+    fn duplicate_identities_count_once() {
+        let policy = SignaturePolicy::parse(
+            "OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer')",
+        )
+        .unwrap();
+        let p1 = peer("Org1MSP", 1);
+        assert!(!policy.satisfied_by(&[p1.clone(), p1.clone(), p1]));
+    }
+
+    #[test]
+    fn organizations_lists_unique_orgs() {
+        let policy = SignaturePolicy::parse(
+            "OR(AND('Org1MSP.peer','Org2MSP.peer'),'Org1MSP.admin')",
+        )
+        .unwrap();
+        let orgs = policy.organizations();
+        assert_eq!(orgs, vec![OrgId::new("Org1MSP"), OrgId::new("Org2MSP")]);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for expr in [
+            "AND('Org1MSP.peer','Org2MSP.peer')",
+            "OR('Org1MSP.member')",
+            "OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer')",
+        ] {
+            let p = SignaturePolicy::parse(expr).unwrap();
+            let reparsed = SignaturePolicy::parse(&p.to_string()).unwrap();
+            assert_eq!(p, reparsed);
+        }
+    }
+
+    #[test]
+    fn combinations_enumerates_all() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(5, 3).len(), 10);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn policy_parse_dispatches_families() {
+        assert!(matches!(
+            Policy::parse("MAJORITY Endorsement").unwrap(),
+            Policy::ImplicitMeta(_)
+        ));
+        assert!(matches!(
+            Policy::parse("OR('Org1MSP.peer')").unwrap(),
+            Policy::Signature(_)
+        ));
+        assert!(Policy::parse("NOT A POLICY ((").is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Endorsement policy language for the Fabric PDC simulator.
+//!
+//! Policies are the heart of the paper's "proof-of-policy" consensus:
+//! a transaction is valid only if its endorsement set satisfies the
+//! applicable policy. Two families exist (Section II-A4):
+//!
+//! * **Signature policies** — logical expressions over principals:
+//!   `AND('Org1MSP.peer','Org2MSP.peer')`, `OR(...)`,
+//!   `OutOf(2,'Org1MSP.peer',...)`. The paper's `2OutOf(...)` spelling is
+//!   also accepted.
+//! * **implicitMeta policies** — `ANY/ALL/MAJORITY <name>` over the
+//!   organizations' own sub-policies, e.g. the default chaincode-level
+//!   policy `MAJORITY Endorsement` (Eq. 1 in the paper).
+//!
+//! Evaluation is *matching-exact*: each endorsement may satisfy at most one
+//! principal requirement, as in Fabric (so `AND('Org1.peer','Org1.peer')`
+//! needs two distinct Org1 peers).
+//!
+//! # Examples
+//!
+//! ```
+//! use fabric_policy::SignaturePolicy;
+//! use fabric_types::{Identity, Role};
+//! use fabric_crypto::Keypair;
+//!
+//! # fn main() -> Result<(), fabric_policy::ParsePolicyError> {
+//! let policy = SignaturePolicy::parse("AND('Org1MSP.peer','Org2MSP.peer')")?;
+//! let p1 = Identity::new("Org1MSP", Role::Peer, Keypair::generate_from_seed(1).public_key());
+//! let p2 = Identity::new("Org2MSP", Role::Peer, Keypair::generate_from_seed(2).public_key());
+//! assert!(policy.satisfied_by(&[p1.clone(), p2]));
+//! assert!(!policy.satisfied_by(&[p1]));
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod parser;
+mod plan;
+
+pub use ast::{
+    ImplicitMetaPolicy, ImplicitMetaRule, Policy, Principal, PrincipalRole, SignaturePolicy,
+};
+pub use parser::ParsePolicyError;
+pub use plan::{minimal_endorsement_set, minimal_endorsement_set_for};

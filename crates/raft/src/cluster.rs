@@ -1,0 +1,379 @@
+//! Deterministic in-memory Raft cluster simulation.
+
+use crate::message::{Envelope, NodeId};
+use crate::node::{NotLeader, RaftConfig, RaftNode, Role};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// An in-memory cluster: nodes plus a message queue with fault injection.
+///
+/// Message delivery is deterministic given the seed; faults are injected
+/// with [`Cluster::set_drop_rate`] and [`Cluster::partition`].
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: BTreeMap<NodeId, RaftNode>,
+    queue: VecDeque<Envelope>,
+    committed: BTreeMap<NodeId, Vec<Vec<u8>>>,
+    /// Links currently severed, as ordered pairs `(from, to)`.
+    severed: HashSet<(NodeId, NodeId)>,
+    drop_rate: f64,
+    rng: StdRng,
+}
+
+impl Cluster {
+    /// Builds a cluster of `n` nodes with IDs `1..=n`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_config(n, seed, RaftConfig::default())
+    }
+
+    /// Builds a cluster with custom Raft timing.
+    pub fn with_config(n: usize, seed: u64, config: RaftConfig) -> Self {
+        let ids: Vec<NodeId> = (1..=n as NodeId).collect();
+        let mut nodes = BTreeMap::new();
+        for &id in &ids {
+            let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
+            nodes.insert(id, RaftNode::new(id, peers, config, seed));
+        }
+        Cluster {
+            nodes,
+            queue: VecDeque::new(),
+            committed: ids.iter().map(|&id| (id, Vec::new())).collect(),
+            severed: HashSet::new(),
+            drop_rate: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// IDs of all nodes.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Sets a uniform message drop probability.
+    pub fn set_drop_rate(&mut self, rate: f64) {
+        self.drop_rate = rate;
+    }
+
+    /// Severs all links between `group_a` and `group_b` (both directions).
+    pub fn partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.severed.insert((a, b));
+                self.severed.insert((b, a));
+            }
+        }
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&mut self) {
+        self.severed.clear();
+    }
+
+    /// Runs one tick on every node, then delivers all queued messages.
+    pub fn tick(&mut self) {
+        let mut outbound = Vec::new();
+        for node in self.nodes.values_mut() {
+            outbound.extend(node.tick());
+        }
+        self.enqueue(outbound);
+        self.deliver_all();
+        self.drain_committed();
+    }
+
+    /// Runs `n` ticks.
+    pub fn run_ticks(&mut self, n: usize) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Ticks until some node is leader; returns its ID or `None` after
+    /// `max_ticks`.
+    pub fn run_until_leader(&mut self, max_ticks: usize) -> Option<NodeId> {
+        for _ in 0..max_ticks {
+            self.tick();
+            if let Some(l) = self.leader() {
+                return Some(l);
+            }
+        }
+        None
+    }
+
+    /// The current leader with the highest term, if any.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| n.role() == Role::Leader)
+            .max_by_key(|n| n.term())
+            .map(|n| n.id())
+    }
+
+    /// Proposes a command at `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`NotLeader`] when `node` is not the leader.
+    pub fn propose(&mut self, node: NodeId, command: Vec<u8>) -> Result<u64, NotLeader> {
+        let n = self.nodes.get_mut(&node).expect("node exists");
+        n.propose(command)
+    }
+
+    /// Commands committed at `node` so far, in order.
+    pub fn committed(&self, node: NodeId) -> Vec<Vec<u8>> {
+        self.committed.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Direct access to a node (tests and invariants).
+    pub fn node(&self, id: NodeId) -> &RaftNode {
+        &self.nodes[&id]
+    }
+
+    /// Crashes a node: removes it entirely (messages to it are dropped).
+    pub fn crash(&mut self, id: NodeId) {
+        self.nodes.remove(&id);
+    }
+
+    /// Compacts a node's log through its applied index, storing `data` as
+    /// the application snapshot. Returns the discarded entry count.
+    pub fn take_snapshot(&mut self, id: NodeId, data: Vec<u8>) -> usize {
+        self.nodes
+            .get_mut(&id)
+            .expect("node exists")
+            .take_snapshot(data)
+    }
+
+    /// Drains a leader-installed snapshot at `id`, if one arrived.
+    pub fn take_installed_snapshot(&mut self, id: NodeId) -> Option<crate::message::Snapshot> {
+        self.nodes
+            .get_mut(&id)
+            .and_then(|n| n.take_installed_snapshot())
+    }
+
+    fn enqueue(&mut self, envelopes: Vec<Envelope>) {
+        for env in envelopes {
+            self.queue.push_back(env);
+        }
+    }
+
+    fn deliver_all(&mut self) {
+        // Deliver everything queued at the start of this round; responses
+        // generated during delivery go to the next round to avoid
+        // unbounded cascades within one tick.
+        let mut batch: Vec<Envelope> = self.queue.drain(..).collect();
+        let mut next = Vec::new();
+        for env in batch.drain(..) {
+            if self.severed.contains(&(env.from, env.to)) {
+                continue;
+            }
+            if self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate) {
+                continue;
+            }
+            if let Some(node) = self.nodes.get_mut(&env.to) {
+                next.extend(node.receive(env.from, env.message));
+            }
+        }
+        self.enqueue(next);
+    }
+
+    fn drain_committed(&mut self) {
+        for (id, node) in &mut self.nodes {
+            let newly = node.take_committed();
+            let log = self.committed.entry(*id).or_default();
+            for entry in newly {
+                log.push(entry.command);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_node_cluster_elects_and_replicates() {
+        let mut c = Cluster::new(3, 1);
+        let leader = c.run_until_leader(500).expect("leader elected");
+        for i in 0..5u8 {
+            c.propose(leader, vec![i]).unwrap();
+        }
+        c.run_ticks(30);
+        for id in c.node_ids() {
+            assert_eq!(
+                c.committed(id),
+                vec![vec![0], vec![1], vec![2], vec![3], vec![4]],
+                "node {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn leader_crash_triggers_new_election() {
+        let mut c = Cluster::new(5, 2);
+        let leader = c.run_until_leader(500).unwrap();
+        c.propose(leader, b"before".to_vec()).unwrap();
+        c.run_ticks(30);
+        c.crash(leader);
+        let new_leader = c.run_until_leader(500).expect("new leader");
+        assert_ne!(new_leader, leader);
+        c.propose(new_leader, b"after".to_vec()).unwrap();
+        c.run_ticks(30);
+        for id in c.node_ids() {
+            assert_eq!(
+                c.committed(id),
+                vec![b"before".to_vec(), b"after".to_vec()],
+                "node {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn minority_partition_cannot_commit() {
+        let mut c = Cluster::new(5, 3);
+        let leader = c.run_until_leader(500).unwrap();
+        // Cut the leader plus one node off from the other three.
+        let others: Vec<NodeId> = c.node_ids().into_iter().filter(|&n| n != leader).collect();
+        let follower_with_leader = others[0];
+        let majority: Vec<NodeId> = others[1..].to_vec();
+        c.partition(&[leader, follower_with_leader], &majority);
+        // Old leader proposes into the minority side.
+        let _ = c.propose(leader, b"lost".to_vec());
+        c.run_ticks(100);
+        // The majority side elected a new leader and can commit.
+        let new_leader = c.leader().expect("majority side has a leader");
+        assert!(majority.contains(&new_leader), "new leader from majority");
+        c.propose(new_leader, b"won".to_vec()).unwrap();
+        c.run_ticks(50);
+        for &id in &majority {
+            assert_eq!(c.committed(id), vec![b"won".to_vec()], "node {id}");
+        }
+        // Minority never committed the lost entry.
+        assert!(c.committed(leader).is_empty());
+
+        // After healing, the minority catches up and discards "lost".
+        c.heal();
+        c.run_ticks(100);
+        for id in c.node_ids() {
+            assert_eq!(c.committed(id), vec![b"won".to_vec()], "node {id}");
+        }
+    }
+
+    #[test]
+    fn survives_heavy_message_loss() {
+        let mut c = Cluster::new(3, 4);
+        c.set_drop_rate(0.3);
+        let leader = c.run_until_leader(5000).expect("leader despite loss");
+        let _ = c.propose(leader, b"x".to_vec());
+        c.run_ticks(2000);
+        // At least a majority eventually commits; with retransmission via
+        // heartbeats all live nodes converge.
+        let committed_count = c
+            .node_ids()
+            .iter()
+            .filter(|&&id| c.committed(id) == vec![b"x".to_vec()])
+            .count();
+        assert!(committed_count >= 2, "only {committed_count} committed");
+    }
+
+    #[test]
+    fn lagging_follower_catches_up_via_snapshot() {
+        let mut c = Cluster::new(3, 6);
+        let leader = c.run_until_leader(500).unwrap();
+        // Cut one follower off.
+        let lagging = c.node_ids().into_iter().find(|&n| n != leader).unwrap();
+        let others: Vec<NodeId> = c.node_ids().into_iter().filter(|&n| n != lagging).collect();
+        c.partition(&[lagging], &others);
+        for i in 0..10u8 {
+            c.propose(leader, vec![i]).unwrap();
+        }
+        c.run_ticks(50);
+        // Compact the leader's log beyond what the follower has.
+        let discarded = c.take_snapshot(leader, b"state@10".to_vec());
+        assert_eq!(discarded, 10);
+        assert_eq!(c.node(leader).snapshot_index(), 10);
+        assert_eq!(c.node(leader).log_len(), 0);
+
+        // More entries after the snapshot point.
+        c.propose(leader, b"post".to_vec()).unwrap();
+        c.run_ticks(30);
+
+        // Heal: the follower must be restored via InstallSnapshot, then
+        // replicate the post-snapshot entry normally.
+        c.heal();
+        c.run_ticks(100);
+        let snap = c
+            .take_installed_snapshot(lagging)
+            .expect("snapshot was installed");
+        assert_eq!(snap.last_included_index, 10);
+        assert_eq!(snap.data, b"state@10");
+        assert_eq!(c.node(lagging).snapshot_index(), 10);
+        // The post-snapshot entry arrived through the normal path.
+        assert_eq!(c.committed(lagging), vec![b"post".to_vec()]);
+        // The healthy follower replicated everything normally and saw all 11.
+        let healthy = others.into_iter().find(|&n| n != leader).unwrap();
+        assert_eq!(c.committed(healthy).len(), 11);
+    }
+
+    #[test]
+    fn pre_vote_prevents_term_inflation_by_partitioned_node() {
+        let config = RaftConfig {
+            pre_vote: true,
+            ..RaftConfig::default()
+        };
+        let mut c = Cluster::with_config(5, 7, config);
+        let leader = c.run_until_leader(1000).unwrap();
+        let stable_term = c.node(leader).term();
+
+        // Isolate one follower for a long time.
+        let isolated = c.node_ids().into_iter().find(|&n| n != leader).unwrap();
+        let rest: Vec<NodeId> = c.node_ids().into_iter().filter(|&n| n != isolated).collect();
+        c.partition(&[isolated], &rest);
+        c.run_ticks(500);
+        // With PreVote the isolated node never wins a pre-vote majority, so
+        // its term stays put instead of climbing by hundreds.
+        assert_eq!(c.node(isolated).term(), stable_term);
+
+        // Healing does not depose the stable leader.
+        c.heal();
+        c.run_ticks(100);
+        assert_eq!(c.leader(), Some(leader));
+        assert_eq!(c.node(leader).term(), stable_term);
+    }
+
+    #[test]
+    fn without_pre_vote_partitioned_node_inflates_terms() {
+        // The contrast case documenting why PreVote matters.
+        let mut c = Cluster::new(5, 8);
+        let leader = c.run_until_leader(1000).unwrap();
+        let stable_term = c.node(leader).term();
+        let isolated = c.node_ids().into_iter().find(|&n| n != leader).unwrap();
+        let rest: Vec<NodeId> = c.node_ids().into_iter().filter(|&n| n != isolated).collect();
+        c.partition(&[isolated], &rest);
+        c.run_ticks(500);
+        assert!(c.node(isolated).term() > stable_term + 5);
+    }
+
+    #[test]
+    fn logs_are_prefix_consistent() {
+        // Safety: committed logs at any two nodes are prefixes of each
+        // other.
+        let mut c = Cluster::new(5, 5);
+        c.set_drop_rate(0.1);
+        for round in 0..10u8 {
+            if let Some(leader) = c.run_until_leader(1000) {
+                let _ = c.propose(leader, vec![round]);
+            }
+            c.run_ticks(20);
+        }
+        c.set_drop_rate(0.0);
+        c.run_ticks(200);
+        let logs: Vec<Vec<Vec<u8>>> = c.node_ids().iter().map(|&id| c.committed(id)).collect();
+        for a in &logs {
+            for b in &logs {
+                let n = a.len().min(b.len());
+                assert_eq!(&a[..n], &b[..n], "diverging committed prefixes");
+            }
+        }
+    }
+}

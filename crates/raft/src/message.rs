@@ -1,0 +1,116 @@
+//! Raft wire messages.
+
+/// Identifier of a Raft node within its cluster.
+pub type NodeId = u64;
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Term in which the entry was appended at the leader.
+    pub term: u64,
+    /// 1-based log index.
+    pub index: u64,
+    /// Opaque command payload (the orderer stores serialized blocks here).
+    pub command: Vec<u8>,
+}
+
+/// Raft RPCs, modeled as asynchronous messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Pre-vote probe (the PreVote extension, §9.6 of the Raft thesis):
+    /// asks "would you vote for me?" without disturbing terms, so a
+    /// partitioned node cannot force term churn on rejoin.
+    PreVote {
+        /// The term the candidate *would* campaign at (current + 1).
+        term: u64,
+        /// Index of the candidate's last log entry.
+        last_log_index: u64,
+        /// Term of the candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Reply to a pre-vote probe.
+    PreVoteResponse {
+        /// Responder's current term.
+        term: u64,
+        /// Whether a real vote would be granted.
+        granted: bool,
+    },
+    /// Candidate requesting a vote (§5.2 of the Raft paper).
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Index of the candidate's last log entry.
+        last_log_index: u64,
+        /// Term of the candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Reply to a vote request.
+    RequestVoteResponse {
+        /// Responder's current term.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicating entries / heartbeating (§5.3).
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// Index of the entry immediately preceding `entries`.
+        prev_log_index: u64,
+        /// Term of that entry.
+        prev_log_term: u64,
+        /// Entries to append (empty for heartbeats).
+        entries: Vec<LogEntry>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// Reply to an append.
+    AppendEntriesResponse {
+        /// Responder's current term.
+        term: u64,
+        /// Whether the append matched and was applied.
+        success: bool,
+        /// Highest log index known replicated at the responder on success;
+        /// on failure, a hint for the leader to back off `next_index`.
+        match_index: u64,
+    },
+    /// Leader transferring a snapshot to a follower whose needed entries
+    /// were compacted away (§7 of the Raft paper).
+    InstallSnapshot {
+        /// Leader's term.
+        term: u64,
+        /// The snapshot.
+        snapshot: Snapshot,
+    },
+    /// Acknowledgement of a snapshot installation.
+    InstallSnapshotResponse {
+        /// Responder's current term.
+        term: u64,
+        /// The snapshot's last included index (the leader's new
+        /// `match_index` for this follower).
+        last_included_index: u64,
+    },
+}
+
+/// A compacted prefix of the log: application state up to and including
+/// `last_included_index`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Index of the last entry covered by the snapshot.
+    pub last_included_index: u64,
+    /// Term of that entry.
+    pub last_included_term: u64,
+    /// Opaque application state (the orderer stores its chain position).
+    pub data: Vec<u8>,
+}
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub message: Message,
+}

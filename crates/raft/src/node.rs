@@ -1,0 +1,868 @@
+//! The Raft state machine for one node.
+
+use crate::message::{Envelope, LogEntry, Message, NodeId, Snapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A node's role in the current term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Campaigning for leadership.
+    Candidate,
+    /// Cluster leader for the current term.
+    Leader,
+}
+
+/// Returned by [`RaftNode::propose`] when the node is not the leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotLeader;
+
+impl fmt::Display for NotLeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("node is not the raft leader")
+    }
+}
+
+impl std::error::Error for NotLeader {}
+
+/// Timing configuration in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaftConfig {
+    /// Minimum election timeout.
+    pub election_timeout_min: u64,
+    /// Maximum election timeout (randomized per restart).
+    pub election_timeout_max: u64,
+    /// Leader heartbeat interval.
+    pub heartbeat_interval: u64,
+    /// Run the PreVote protocol before real elections, so nodes returning
+    /// from a partition cannot disrupt a stable leader with inflated terms.
+    pub pre_vote: bool,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min: 10,
+            election_timeout_max: 20,
+            heartbeat_interval: 3,
+            pre_vote: false,
+        }
+    }
+}
+
+/// The per-node Raft state machine.
+///
+/// Drive it with [`RaftNode::tick`] and [`RaftNode::receive`]; both return
+/// outbound messages. Committed commands are drained with
+/// [`RaftNode::take_committed`].
+#[derive(Debug)]
+pub struct RaftNode {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    config: RaftConfig,
+    rng: StdRng,
+
+    role: Role,
+    current_term: u64,
+    voted_for: Option<NodeId>,
+    log: Vec<LogEntry>,
+    commit_index: u64,
+    last_applied: u64,
+
+    /// Candidate state: votes received this term.
+    votes: HashSet<NodeId>,
+    /// Pre-vote state: grants received for the prospective campaign.
+    pre_votes: HashSet<NodeId>,
+    /// Index of the last entry compacted into the snapshot (0 = none).
+    snapshot_index: u64,
+    /// Term of that entry.
+    snapshot_term: u64,
+    /// The local snapshot, when one was taken or installed.
+    snapshot: Option<Snapshot>,
+    /// A snapshot installed from the leader, awaiting application pickup.
+    pending_installed: Option<Snapshot>,
+    /// Leader state: next index to send each follower.
+    next_index: BTreeMap<NodeId, u64>,
+    /// Leader state: highest index known replicated at each follower.
+    match_index: BTreeMap<NodeId, u64>,
+
+    ticks_since_reset: u64,
+    election_deadline: u64,
+}
+
+impl RaftNode {
+    /// Creates a follower with a seeded RNG for reproducible timeouts.
+    pub fn new(id: NodeId, peers: Vec<NodeId>, config: RaftConfig, seed: u64) -> Self {
+        let mut node = RaftNode {
+            id,
+            peers,
+            config,
+            rng: StdRng::seed_from_u64(seed ^ id.wrapping_mul(0x9e3779b97f4a7c15)),
+            role: Role::Follower,
+            current_term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            commit_index: 0,
+            last_applied: 0,
+            votes: HashSet::new(),
+            pre_votes: HashSet::new(),
+            snapshot_index: 0,
+            snapshot_term: 0,
+            snapshot: None,
+            pending_installed: None,
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            ticks_since_reset: 0,
+            election_deadline: 0,
+        };
+        node.reset_election_timer();
+        node
+    }
+
+    /// This node's ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.current_term
+    }
+
+    /// Highest committed log index.
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// Number of entries in the log.
+    pub fn log_len(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The full log (tests and invariant checks).
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    fn reset_election_timer(&mut self) {
+        self.ticks_since_reset = 0;
+        self.election_deadline = self
+            .rng
+            .gen_range(self.config.election_timeout_min..=self.config.election_timeout_max);
+    }
+
+    fn last_log_index(&self) -> u64 {
+        self.snapshot_index + self.log.len() as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(self.snapshot_term)
+    }
+
+    fn term_at(&self, index: u64) -> u64 {
+        if index == 0 {
+            0
+        } else if index == self.snapshot_index {
+            self.snapshot_term
+        } else if index < self.snapshot_index {
+            // Compacted away; only queried for consistency checks that the
+            // snapshot already guarantees.
+            self.snapshot_term
+        } else {
+            self.log
+                .get((index - self.snapshot_index) as usize - 1)
+                .map(|e| e.term)
+                .unwrap_or(0)
+        }
+    }
+
+    /// The entry at a 1-based log index, if not compacted.
+    fn entry_at(&self, index: u64) -> Option<&LogEntry> {
+        if index <= self.snapshot_index {
+            None
+        } else {
+            self.log.get((index - self.snapshot_index) as usize - 1)
+        }
+    }
+
+    fn majority(&self) -> usize {
+        (self.peers.len() + 1) / 2 + 1
+    }
+
+    fn become_follower(&mut self, term: u64) {
+        self.role = Role::Follower;
+        self.current_term = term;
+        self.voted_for = None;
+        self.votes.clear();
+        self.reset_election_timer();
+    }
+
+    fn become_candidate(&mut self) -> Vec<Envelope> {
+        self.role = Role::Candidate;
+        self.current_term += 1;
+        self.voted_for = Some(self.id);
+        self.votes.clear();
+        self.votes.insert(self.id);
+        self.reset_election_timer();
+        if self.votes.len() >= self.majority() {
+            // Single-node cluster: win immediately.
+            return self.become_leader();
+        }
+        let msg = Message::RequestVote {
+            term: self.current_term,
+            last_log_index: self.last_log_index(),
+            last_log_term: self.last_log_term(),
+        };
+        self.broadcast(msg)
+    }
+
+    fn become_leader(&mut self) -> Vec<Envelope> {
+        self.role = Role::Leader;
+        self.next_index.clear();
+        self.match_index.clear();
+        let next = self.last_log_index() + 1;
+        for &p in &self.peers {
+            self.next_index.insert(p, next);
+            self.match_index.insert(p, 0);
+        }
+        self.ticks_since_reset = 0;
+        // Immediate heartbeat to assert leadership.
+        self.append_entries_to_all()
+    }
+
+    fn broadcast(&self, message: Message) -> Vec<Envelope> {
+        self.peers
+            .iter()
+            .map(|&to| Envelope {
+                from: self.id,
+                to,
+                message: message.clone(),
+            })
+            .collect()
+    }
+
+    fn append_entries_to(&self, to: NodeId) -> Envelope {
+        let next = *self.next_index.get(&to).unwrap_or(&1);
+        if next <= self.snapshot_index {
+            // The entries the follower needs were compacted: ship the
+            // snapshot instead (§7).
+            if let Some(snapshot) = &self.snapshot {
+                return Envelope {
+                    from: self.id,
+                    to,
+                    message: Message::InstallSnapshot {
+                        term: self.current_term,
+                        snapshot: snapshot.clone(),
+                    },
+                };
+            }
+        }
+        let prev_log_index = next.max(self.snapshot_index + 1) - 1;
+        let prev_log_term = self.term_at(prev_log_index);
+        let entries: Vec<LogEntry> = self
+            .log
+            .iter()
+            .skip((prev_log_index - self.snapshot_index) as usize)
+            .cloned()
+            .collect();
+        Envelope {
+            from: self.id,
+            to,
+            message: Message::AppendEntries {
+                term: self.current_term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        }
+    }
+
+    fn append_entries_to_all(&self) -> Vec<Envelope> {
+        self.peers
+            .iter()
+            .map(|&p| self.append_entries_to(p))
+            .collect()
+    }
+
+    /// Advances one logical tick; returns messages to send.
+    pub fn tick(&mut self) -> Vec<Envelope> {
+        self.ticks_since_reset += 1;
+        match self.role {
+            Role::Leader => {
+                if self.ticks_since_reset >= self.config.heartbeat_interval {
+                    self.ticks_since_reset = 0;
+                    self.append_entries_to_all()
+                } else {
+                    Vec::new()
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if self.ticks_since_reset >= self.election_deadline {
+                    if self.config.pre_vote && self.role == Role::Follower {
+                        self.start_pre_vote()
+                    } else {
+                        self.become_candidate()
+                    }
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Appends a command to the leader's log.
+    ///
+    /// # Errors
+    ///
+    /// [`NotLeader`] when this node is not the current leader; the caller
+    /// should retry against the leader.
+    pub fn propose(&mut self, command: Vec<u8>) -> Result<u64, NotLeader> {
+        if self.role != Role::Leader {
+            return Err(NotLeader);
+        }
+        let index = self.last_log_index() + 1;
+        self.log.push(LogEntry {
+            term: self.current_term,
+            index,
+            command,
+        });
+        // Single-node cluster commits immediately.
+        self.advance_commit_index();
+        Ok(index)
+    }
+
+    /// Handles one inbound message; returns messages to send.
+    pub fn receive(&mut self, from: NodeId, message: Message) -> Vec<Envelope> {
+        match message {
+            Message::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(from, term, last_log_index, last_log_term),
+            Message::RequestVoteResponse { term, granted } => {
+                self.on_vote_response(from, term, granted)
+            }
+            Message::AppendEntries {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => self.on_append_entries(from, term, prev_log_index, prev_log_term, entries, leader_commit),
+            Message::AppendEntriesResponse {
+                term,
+                success,
+                match_index,
+            } => self.on_append_response(from, term, success, match_index),
+            Message::PreVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.on_pre_vote(from, term, last_log_index, last_log_term),
+            Message::PreVoteResponse { term, granted } => {
+                self.on_pre_vote_response(from, term, granted)
+            }
+            Message::InstallSnapshot { term, snapshot } => {
+                self.on_install_snapshot(from, term, snapshot)
+            }
+            Message::InstallSnapshotResponse {
+                term,
+                last_included_index,
+            } => self.on_install_snapshot_response(from, term, last_included_index),
+        }
+    }
+
+    fn start_pre_vote(&mut self) -> Vec<Envelope> {
+        self.reset_election_timer();
+        self.pre_votes.clear();
+        self.pre_votes.insert(self.id);
+        if self.pre_votes.len() >= self.majority() {
+            return self.become_candidate();
+        }
+        let msg = Message::PreVote {
+            term: self.current_term + 1,
+            last_log_index: self.last_log_index(),
+            last_log_term: self.last_log_term(),
+        };
+        self.broadcast(msg)
+    }
+
+    fn on_pre_vote(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        last_log_index: u64,
+        last_log_term: u64,
+    ) -> Vec<Envelope> {
+        // Grant without changing any durable state: terms and votes are
+        // untouched, which is the whole point of PreVote.
+        let up_to_date = last_log_term > self.last_log_term()
+            || (last_log_term == self.last_log_term() && last_log_index >= self.last_log_index());
+        let granted = term > self.current_term && up_to_date;
+        vec![Envelope {
+            from: self.id,
+            to: from,
+            message: Message::PreVoteResponse {
+                term: self.current_term,
+                granted,
+            },
+        }]
+    }
+
+    fn on_pre_vote_response(&mut self, from: NodeId, term: u64, granted: bool) -> Vec<Envelope> {
+        if term > self.current_term {
+            self.become_follower(term);
+            return Vec::new();
+        }
+        if self.role != Role::Follower || !granted {
+            return Vec::new();
+        }
+        self.pre_votes.insert(from);
+        if self.pre_votes.len() >= self.majority() {
+            self.pre_votes.clear();
+            return self.become_candidate();
+        }
+        Vec::new()
+    }
+
+    fn on_install_snapshot(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        snapshot: Snapshot,
+    ) -> Vec<Envelope> {
+        if term > self.current_term
+            || (term == self.current_term && self.role == Role::Candidate)
+        {
+            self.become_follower(term);
+        }
+        if term < self.current_term {
+            return vec![Envelope {
+                from: self.id,
+                to: from,
+                message: Message::InstallSnapshotResponse {
+                    term: self.current_term,
+                    last_included_index: 0,
+                },
+            }];
+        }
+        self.reset_election_timer();
+        let last_included_index = snapshot.last_included_index;
+        if last_included_index > self.snapshot_index {
+            if last_included_index >= self.last_log_index() {
+                // Snapshot supersedes the entire log.
+                self.log.clear();
+            } else {
+                // Keep the suffix past the snapshot.
+                let keep_from = (last_included_index - self.snapshot_index) as usize;
+                self.log.drain(..keep_from);
+            }
+            self.snapshot_index = last_included_index;
+            self.snapshot_term = snapshot.last_included_term;
+            self.commit_index = self.commit_index.max(last_included_index);
+            self.last_applied = self.last_applied.max(last_included_index);
+            self.snapshot = Some(snapshot.clone());
+            self.pending_installed = Some(snapshot);
+        }
+        vec![Envelope {
+            from: self.id,
+            to: from,
+            message: Message::InstallSnapshotResponse {
+                term: self.current_term,
+                last_included_index: self.snapshot_index,
+            },
+        }]
+    }
+
+    fn on_install_snapshot_response(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        last_included_index: u64,
+    ) -> Vec<Envelope> {
+        if term > self.current_term {
+            self.become_follower(term);
+            return Vec::new();
+        }
+        if self.role != Role::Leader {
+            return Vec::new();
+        }
+        if last_included_index > 0 {
+            self.match_index.insert(from, last_included_index);
+            self.next_index.insert(from, last_included_index + 1);
+        }
+        Vec::new()
+    }
+
+    /// Compacts the log through `last_applied`, storing `data` as the
+    /// application snapshot. Returns the number of discarded entries.
+    /// No-op when nothing new is applied.
+    pub fn take_snapshot(&mut self, data: Vec<u8>) -> usize {
+        if self.last_applied <= self.snapshot_index {
+            return 0;
+        }
+        let upto = self.last_applied;
+        let discard = (upto - self.snapshot_index) as usize;
+        let term = self.term_at(upto);
+        self.log.drain(..discard);
+        self.snapshot_index = upto;
+        self.snapshot_term = term;
+        self.snapshot = Some(Snapshot {
+            last_included_index: upto,
+            last_included_term: term,
+            data,
+        });
+        discard
+    }
+
+    /// A snapshot installed from the leader since the last call, if any.
+    /// The application must restore its state from it, because the
+    /// individual commands it covers will never appear in
+    /// [`RaftNode::take_committed`].
+    pub fn take_installed_snapshot(&mut self) -> Option<Snapshot> {
+        self.pending_installed.take()
+    }
+
+    /// Index of the last entry compacted into the local snapshot.
+    pub fn snapshot_index(&self) -> u64 {
+        self.snapshot_index
+    }
+
+    fn on_request_vote(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        last_log_index: u64,
+        last_log_term: u64,
+    ) -> Vec<Envelope> {
+        if term > self.current_term {
+            self.become_follower(term);
+        }
+        let up_to_date = last_log_term > self.last_log_term()
+            || (last_log_term == self.last_log_term() && last_log_index >= self.last_log_index());
+        let granted = term == self.current_term
+            && up_to_date
+            && self.voted_for.map_or(true, |v| v == from);
+        if granted {
+            self.voted_for = Some(from);
+            self.reset_election_timer();
+        }
+        vec![Envelope {
+            from: self.id,
+            to: from,
+            message: Message::RequestVoteResponse {
+                term: self.current_term,
+                granted,
+            },
+        }]
+    }
+
+    fn on_vote_response(&mut self, from: NodeId, term: u64, granted: bool) -> Vec<Envelope> {
+        if term > self.current_term {
+            self.become_follower(term);
+            return Vec::new();
+        }
+        if self.role != Role::Candidate || term != self.current_term || !granted {
+            return Vec::new();
+        }
+        self.votes.insert(from);
+        if self.votes.len() >= self.majority() {
+            return self.become_leader();
+        }
+        Vec::new()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_entries(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        prev_log_index: u64,
+        prev_log_term: u64,
+        entries: Vec<LogEntry>,
+        leader_commit: u64,
+    ) -> Vec<Envelope> {
+        if term > self.current_term
+            || (term == self.current_term && self.role == Role::Candidate)
+        {
+            self.become_follower(term);
+        }
+        let reply = |node: &Self, success: bool, match_index: u64| {
+            vec![Envelope {
+                from: node.id,
+                to: from,
+                message: Message::AppendEntriesResponse {
+                    term: node.current_term,
+                    success,
+                    match_index,
+                },
+            }]
+        };
+        if term < self.current_term {
+            return reply(self, false, 0);
+        }
+        // Valid leader for this term.
+        self.reset_election_timer();
+        // Log consistency check.
+        if prev_log_index > self.last_log_index()
+            || self.term_at(prev_log_index) != prev_log_term
+        {
+            // Hint: back off to our log length.
+            return reply(self, false, self.last_log_index().min(prev_log_index.saturating_sub(1)));
+        }
+        // Append, truncating conflicts (positions are snapshot-relative).
+        for entry in entries {
+            if entry.index <= self.snapshot_index {
+                continue; // Already covered by the snapshot.
+            }
+            let pos = (entry.index - self.snapshot_index) as usize - 1;
+            if pos < self.log.len() {
+                if self.log[pos].term != entry.term {
+                    self.log.truncate(pos);
+                    self.log.push(entry);
+                }
+            } else {
+                self.log.push(entry);
+            }
+        }
+        if leader_commit > self.commit_index {
+            self.commit_index = leader_commit.min(self.last_log_index());
+        }
+        let match_index = self.last_log_index();
+        reply(self, true, match_index)
+    }
+
+    fn on_append_response(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        success: bool,
+        match_index: u64,
+    ) -> Vec<Envelope> {
+        if term > self.current_term {
+            self.become_follower(term);
+            return Vec::new();
+        }
+        if self.role != Role::Leader || term != self.current_term {
+            return Vec::new();
+        }
+        if success {
+            self.match_index.insert(from, match_index);
+            self.next_index.insert(from, match_index + 1);
+            self.advance_commit_index();
+            Vec::new()
+        } else {
+            // Back off and retry immediately.
+            let next = self.next_index.entry(from).or_insert(1);
+            *next = (*next - 1).max(1).min(match_index + 1).max(1);
+            vec![self.append_entries_to(from)]
+        }
+    }
+
+    fn advance_commit_index(&mut self) {
+        // Find the highest index replicated on a majority with an entry
+        // from the current term (§5.4.2: only current-term entries commit
+        // by counting).
+        for idx in (self.commit_index + 1..=self.last_log_index()).rev() {
+            if self.term_at(idx) != self.current_term {
+                continue;
+            }
+            let replicas = 1 + self
+                .match_index
+                .values()
+                .filter(|&&m| m >= idx)
+                .count();
+            if replicas >= self.majority() {
+                self.commit_index = idx;
+                break;
+            }
+        }
+    }
+
+    /// Drains commands committed since the last call, in log order.
+    pub fn take_committed(&mut self) -> Vec<LogEntry> {
+        let mut out = Vec::new();
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            if let Some(entry) = self.entry_at(self.last_applied) {
+                out.push(entry.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_elects_itself_and_commits() {
+        let mut n = RaftNode::new(1, vec![], RaftConfig::default(), 7);
+        // Tick until the election fires.
+        for _ in 0..25 {
+            n.tick();
+        }
+        assert_eq!(n.role(), Role::Leader);
+        n.propose(b"cmd".to_vec()).unwrap();
+        assert_eq!(n.commit_index(), 1);
+        let committed = n.take_committed();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].command, b"cmd");
+        // Draining again yields nothing.
+        assert!(n.take_committed().is_empty());
+    }
+
+    #[test]
+    fn follower_rejects_propose() {
+        let mut n = RaftNode::new(1, vec![2, 3], RaftConfig::default(), 7);
+        assert_eq!(n.propose(b"x".to_vec()), Err(NotLeader));
+    }
+
+    #[test]
+    fn vote_granted_once_per_term() {
+        let mut n = RaftNode::new(1, vec![2, 3], RaftConfig::default(), 7);
+        let out = n.receive(
+            2,
+            Message::RequestVote {
+                term: 1,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+        );
+        assert!(matches!(
+            out[0].message,
+            Message::RequestVoteResponse { granted: true, .. }
+        ));
+        // A different candidate in the same term is refused.
+        let out = n.receive(
+            3,
+            Message::RequestVote {
+                term: 1,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+        );
+        assert!(matches!(
+            out[0].message,
+            Message::RequestVoteResponse { granted: false, .. }
+        ));
+    }
+
+    #[test]
+    fn stale_term_vote_rejected() {
+        let mut n = RaftNode::new(1, vec![2, 3], RaftConfig::default(), 7);
+        n.become_follower(5);
+        let out = n.receive(
+            2,
+            Message::RequestVote {
+                term: 3,
+                last_log_index: 10,
+                last_log_term: 3,
+            },
+        );
+        assert!(matches!(
+            out[0].message,
+            Message::RequestVoteResponse { granted: false, .. }
+        ));
+    }
+
+    #[test]
+    fn outdated_log_denied_vote() {
+        let mut n = RaftNode::new(1, vec![2, 3], RaftConfig::default(), 7);
+        n.log.push(LogEntry {
+            term: 2,
+            index: 1,
+            command: vec![],
+        });
+        n.current_term = 2;
+        let out = n.receive(
+            2,
+            Message::RequestVote {
+                term: 3,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+        );
+        assert!(matches!(
+            out[0].message,
+            Message::RequestVoteResponse { granted: false, .. }
+        ));
+    }
+
+    #[test]
+    fn append_entries_truncates_conflicts() {
+        let mut n = RaftNode::new(1, vec![2], RaftConfig::default(), 7);
+        n.become_follower(1);
+        // Initial entries from leader term 1.
+        n.receive(
+            2,
+            Message::AppendEntries {
+                term: 1,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![
+                    LogEntry {
+                        term: 1,
+                        index: 1,
+                        command: b"a".to_vec(),
+                    },
+                    LogEntry {
+                        term: 1,
+                        index: 2,
+                        command: b"b".to_vec(),
+                    },
+                ],
+                leader_commit: 0,
+            },
+        );
+        assert_eq!(n.log_len(), 2);
+        // New leader at term 2 overwrites index 2.
+        n.receive(
+            2,
+            Message::AppendEntries {
+                term: 2,
+                prev_log_index: 1,
+                prev_log_term: 1,
+                entries: vec![LogEntry {
+                    term: 2,
+                    index: 2,
+                    command: b"c".to_vec(),
+                }],
+                leader_commit: 2,
+            },
+        );
+        assert_eq!(n.log_len(), 2);
+        assert_eq!(n.log()[1].command, b"c");
+        assert_eq!(n.commit_index(), 2);
+    }
+
+    #[test]
+    fn append_with_gap_fails_consistency_check() {
+        let mut n = RaftNode::new(1, vec![2], RaftConfig::default(), 7);
+        let out = n.receive(
+            2,
+            Message::AppendEntries {
+                term: 1,
+                prev_log_index: 5,
+                prev_log_term: 1,
+                entries: vec![],
+                leader_commit: 0,
+            },
+        );
+        assert!(matches!(
+            out[0].message,
+            Message::AppendEntriesResponse { success: false, .. }
+        ));
+    }
+}

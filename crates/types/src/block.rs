@@ -1,0 +1,160 @@
+//! Blocks: header, transaction list, and metadata with validity flags.
+
+use crate::identity::Identity;
+use crate::transaction::{Transaction, TxValidationCode};
+use fabric_crypto::{sha256, Hash256, Signature};
+use fabric_wire::Encode;
+
+/// A block header chaining to the previous block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height of this block (genesis is 0).
+    pub number: u64,
+    /// Hash of the previous block's header; all-zero for genesis.
+    pub previous_hash: Hash256,
+    /// Hash of the serialized transaction list.
+    pub data_hash: Hash256,
+}
+
+impl_wire_struct!(BlockHeader {
+    number,
+    previous_hash,
+    data_hash
+});
+
+impl BlockHeader {
+    /// The hash of this header, used as `previous_hash` by the next block.
+    pub fn hash(&self) -> Hash256 {
+        sha256(&self.to_wire())
+    }
+}
+
+/// Block metadata: the per-transaction validity vector written by
+/// committing peers, plus the orderer's signature.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockMetadata {
+    /// One code per transaction, aligned with `Block::transactions`. Empty
+    /// until a committing peer validates the block.
+    pub validation_codes: Vec<TxValidationCode>,
+    /// Identity of the orderer that cut the block.
+    pub orderer: Option<Identity>,
+    /// Orderer signature over the block header.
+    pub orderer_signature: Option<Signature>,
+}
+
+impl_wire_struct!(BlockMetadata {
+    validation_codes,
+    orderer,
+    orderer_signature
+});
+
+/// A block: header, transactions, metadata (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The chained header.
+    pub header: BlockHeader,
+    /// Ordered transactions.
+    pub transactions: Vec<Transaction>,
+    /// Validity flags and orderer signature.
+    pub metadata: BlockMetadata,
+}
+
+impl_wire_struct!(Block {
+    header,
+    transactions,
+    metadata
+});
+
+impl Block {
+    /// Builds a block over `transactions`, computing the data hash and
+    /// chaining to `previous_hash`.
+    pub fn new(number: u64, previous_hash: Hash256, transactions: Vec<Transaction>) -> Self {
+        let data_hash = Self::compute_data_hash(&transactions);
+        Block {
+            header: BlockHeader {
+                number,
+                previous_hash,
+                data_hash,
+            },
+            transactions,
+            metadata: BlockMetadata::default(),
+        }
+    }
+
+    /// Hash of the serialized transaction list.
+    pub fn compute_data_hash(transactions: &[Transaction]) -> Hash256 {
+        sha256(&transactions.to_vec().to_wire())
+    }
+
+    /// Hash of this block's header.
+    pub fn hash(&self) -> Hash256 {
+        self.header.hash()
+    }
+
+    /// Structural integrity: the stored data hash matches the transactions.
+    pub fn data_hash_is_consistent(&self) -> bool {
+        self.header.data_hash == Self::compute_data_hash(&self.transactions)
+    }
+
+    /// Whether this block correctly chains onto `previous`.
+    pub fn chains_onto(&self, previous: &Block) -> bool {
+        self.header.number == previous.header.number + 1
+            && self.header.previous_hash == previous.hash()
+    }
+
+    /// The validation code of transaction `idx`, if the block has been
+    /// validated.
+    pub fn validation_code(&self, idx: usize) -> Option<TxValidationCode> {
+        self.metadata.validation_codes.get(idx).copied()
+    }
+
+    /// Iterates over `(transaction, validation_code)` pairs of a validated
+    /// block; yields nothing when metadata is absent.
+    pub fn validated_transactions(
+        &self,
+    ) -> impl Iterator<Item = (&Transaction, TxValidationCode)> + '_ {
+        self.transactions
+            .iter()
+            .zip(self.metadata.validation_codes.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_wire::Decode;
+
+    #[test]
+    fn genesis_and_chaining() {
+        let genesis = Block::new(0, Hash256::default(), vec![]);
+        assert!(genesis.data_hash_is_consistent());
+        let next = Block::new(1, genesis.hash(), vec![]);
+        assert!(next.chains_onto(&genesis));
+
+        let forged = Block::new(2, genesis.hash(), vec![]);
+        assert!(!forged.chains_onto(&genesis));
+        let wrong_parent = Block::new(1, Hash256::default(), vec![]);
+        assert!(!wrong_parent.chains_onto(&genesis));
+    }
+
+    #[test]
+    fn data_hash_detects_tx_tampering() {
+        let block = Block::new(0, Hash256::default(), vec![]);
+        let mut tampered = block.clone();
+        tampered.header.data_hash = sha256(b"other");
+        assert!(!tampered.data_hash_is_consistent());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let block = Block::new(5, sha256(b"prev"), vec![]);
+        assert_eq!(Block::from_wire(&block.to_wire()).unwrap(), block);
+    }
+
+    #[test]
+    fn validated_transactions_empty_without_metadata() {
+        let block = Block::new(0, Hash256::default(), vec![]);
+        assert_eq!(block.validated_transactions().count(), 0);
+        assert_eq!(block.validation_code(0), None);
+    }
+}

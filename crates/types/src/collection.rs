@@ -1,0 +1,116 @@
+//! Private data collection configuration.
+//!
+//! Mirrors the `collections_config.json` schema the paper's static analyzer
+//! keys on: `Name`, `Policy`, `RequiredPeerCount`, `MaxPeerCount`,
+//! `BlockToLive`, `MemberOnlyRead`, plus the optional `EndorsementPolicy`
+//! that, when absent, leaves PDC transactions validated by the
+//! chaincode-level policy (Use Case 2).
+
+use crate::ids::{CollectionName, OrgId};
+
+/// Configuration of one private data collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionConfig {
+    /// Collection name (`Name` in the JSON definition).
+    pub name: CollectionName,
+    /// Membership policy expression (`Policy`), e.g.
+    /// `"OR('Org1MSP.member','Org2MSP.member')"`. Organizations matching it
+    /// store the plaintext private data.
+    pub member_policy: String,
+    /// Minimum peers the endorsing peer must disseminate plaintext data to
+    /// before signing (`RequiredPeerCount`).
+    pub required_peer_count: u32,
+    /// Upper bound on dissemination fan-out (`MaxPeerCount`).
+    pub max_peer_count: u32,
+    /// Number of blocks after which the private data is purged; `0` keeps it
+    /// forever (`BlockToLive`).
+    pub block_to_live: u64,
+    /// When true, only collection members may read the private data through
+    /// chaincode (`MemberOnlyRead`).
+    pub member_only_read: bool,
+    /// Optional collection-level endorsement policy
+    /// (`EndorsementPolicy`). `None` means write transactions fall back to
+    /// the chaincode-level policy — the misuse the paper's attacks exploit.
+    pub endorsement_policy: Option<String>,
+}
+
+impl CollectionConfig {
+    /// Creates a collection with Fabric-like defaults: data kept forever,
+    /// `member_only_read = true`, no collection-level endorsement policy.
+    pub fn new(name: impl Into<CollectionName>, member_policy: impl Into<String>) -> Self {
+        CollectionConfig {
+            name: name.into(),
+            member_policy: member_policy.into(),
+            required_peer_count: 0,
+            max_peer_count: 1,
+            block_to_live: 0,
+            member_only_read: true,
+            endorsement_policy: None,
+        }
+    }
+
+    /// Sets the collection-level endorsement policy (the paper's mitigation
+    /// for write-path attacks, and input to New Feature 1 for reads).
+    pub fn with_endorsement_policy(mut self, policy: impl Into<String>) -> Self {
+        self.endorsement_policy = Some(policy.into());
+        self
+    }
+
+    /// Sets `BlockToLive`.
+    pub fn with_block_to_live(mut self, blocks: u64) -> Self {
+        self.block_to_live = blocks;
+        self
+    }
+
+    /// Sets `MemberOnlyRead`.
+    pub fn with_member_only_read(mut self, v: bool) -> Self {
+        self.member_only_read = v;
+        self
+    }
+
+    /// Convenience: builds the usual `OR('OrgX.member', ...)` membership
+    /// policy from a list of member organizations.
+    pub fn membership_of(name: impl Into<CollectionName>, orgs: &[OrgId]) -> Self {
+        let principals: Vec<String> = orgs
+            .iter()
+            .map(|o| format!("'{}.member'", o.as_str()))
+            .collect();
+        Self::new(name, format!("OR({})", principals.join(",")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_fabric_conventions() {
+        let c = CollectionConfig::new("PDC1", "OR('Org1MSP.member')");
+        assert_eq!(c.block_to_live, 0);
+        assert!(c.member_only_read);
+        assert!(c.endorsement_policy.is_none());
+    }
+
+    #[test]
+    fn membership_builder_renders_or_policy() {
+        let c = CollectionConfig::membership_of(
+            "PDC1",
+            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
+        );
+        assert_eq!(c.member_policy, "OR('Org1MSP.member','Org2MSP.member')");
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = CollectionConfig::new("PDC1", "OR('Org1MSP.member')")
+            .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')")
+            .with_block_to_live(100)
+            .with_member_only_read(false);
+        assert_eq!(
+            c.endorsement_policy.as_deref(),
+            Some("AND('Org1MSP.peer','Org2MSP.peer')")
+        );
+        assert_eq!(c.block_to_live, 100);
+        assert!(!c.member_only_read);
+    }
+}

@@ -1,0 +1,73 @@
+//! Configuration of the paper's proposed defenses (§IV-C).
+
+/// Which of the paper's new Fabric features are enabled.
+///
+/// The default (`DefenseConfig::default()`) is the **original** Fabric
+/// behaviour the paper attacks; [`DefenseConfig::hardened`] enables every
+/// proposed mitigation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DefenseConfig {
+    /// New Feature 1: during validation, PDC **read-only** transactions are
+    /// checked against the collection-level endorsement policy when one is
+    /// defined (original Fabric always uses the chaincode-level policy for
+    /// reads — Use Case 2).
+    pub collection_policy_for_reads: bool,
+    /// New Feature 2: endorsers sign the proposal-response payload with the
+    /// chaincode response payload replaced by its SHA-256, and clients
+    /// assemble transactions from that hashed form, so committed blocks
+    /// never carry plaintext private values (fixes Use Case 3 leakage).
+    pub hashed_payload_commitment: bool,
+    /// Supplemental feature: during validation, reject transactions whose
+    /// endorsements include peers from organizations that are not members
+    /// of a touched collection.
+    pub filter_non_member_endorsers: bool,
+}
+
+impl DefenseConfig {
+    /// The unmodified Fabric framework (all defenses off).
+    pub fn original() -> Self {
+        DefenseConfig::default()
+    }
+
+    /// All defenses on: Features 1 and 2 plus the non-member filter.
+    pub fn hardened() -> Self {
+        DefenseConfig {
+            collection_policy_for_reads: true,
+            hashed_payload_commitment: true,
+            filter_non_member_endorsers: true,
+        }
+    }
+
+    /// Only New Feature 1 (collection-level policy for PDC reads).
+    pub fn feature1() -> Self {
+        DefenseConfig {
+            collection_policy_for_reads: true,
+            ..DefenseConfig::default()
+        }
+    }
+
+    /// Only New Feature 2 (cryptographic payload commitment).
+    pub fn feature2() -> Self {
+        DefenseConfig {
+            hashed_payload_commitment: true,
+            ..DefenseConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(DefenseConfig::original(), DefenseConfig::default());
+        let h = DefenseConfig::hardened();
+        assert!(h.collection_policy_for_reads);
+        assert!(h.hashed_payload_commitment);
+        assert!(h.filter_non_member_endorsers);
+        assert!(DefenseConfig::feature1().collection_policy_for_reads);
+        assert!(!DefenseConfig::feature1().hashed_payload_commitment);
+        assert!(DefenseConfig::feature2().hashed_payload_commitment);
+    }
+}

@@ -1,0 +1,132 @@
+//! Identities: who signs proposals, endorsements, and blocks.
+
+use crate::ids::OrgId;
+use fabric_crypto::PublicKey;
+use fabric_wire::Encode;
+use std::fmt;
+
+/// The role a certificate asserts within its organization.
+///
+/// Endorsement policy principals match on `Org.role` (e.g. `'Org1.peer'`).
+/// `Member` matches any role of the organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// A peer node (endorser/committer).
+    Peer,
+    /// A client application identity.
+    Client,
+    /// An organization administrator.
+    Admin,
+    /// An ordering service node.
+    Orderer,
+}
+
+impl_wire_enum!(Role {
+    Peer = 0,
+    Client = 1,
+    Admin = 2,
+    Orderer = 3,
+});
+
+impl Role {
+    /// The lowercase name used in policy expressions (`peer`, `client`, …).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Role::Peer => "peer",
+            Role::Client => "client",
+            Role::Admin => "admin",
+            Role::Orderer => "orderer",
+        }
+    }
+
+    /// Parses a policy-expression role name. `member` is handled by the
+    /// policy engine (it matches every role), so it is not a `Role`.
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "peer" => Some(Role::Peer),
+            "client" => Some(Role::Client),
+            "admin" => Some(Role::Admin),
+            "orderer" => Some(Role::Orderer),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An enrolled identity: organization, role, and public key.
+///
+/// Stands in for a Fabric X.509 certificate issued by the org's CA.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Identity {
+    /// Owning organization (MSP).
+    pub org: OrgId,
+    /// Role asserted by the certificate.
+    pub role: Role,
+    /// The identity's public key.
+    pub public_key: PublicKey,
+}
+
+impl Identity {
+    /// Creates an identity record.
+    pub fn new(org: impl Into<OrgId>, role: Role, public_key: PublicKey) -> Self {
+        Identity {
+            org: org.into(),
+            role,
+            public_key,
+        }
+    }
+
+    /// Canonical bytes used wherever Fabric would serialize the creator
+    /// certificate (e.g. into transaction IDs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_wire()
+    }
+}
+
+impl_wire_struct!(Identity {
+    org,
+    role,
+    public_key
+});
+
+impl fmt::Display for Identity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}({})", self.org, self.role, self.public_key.short_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::Keypair;
+    use fabric_wire::Decode;
+
+    #[test]
+    fn role_parse_roundtrip() {
+        for r in [Role::Peer, Role::Client, Role::Admin, Role::Orderer] {
+            assert_eq!(Role::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(Role::parse("member"), None);
+        assert_eq!(Role::parse(""), None);
+    }
+
+    #[test]
+    fn identity_wire_roundtrip() {
+        let kp = Keypair::generate_from_seed(11);
+        let id = Identity::new("Org1MSP", Role::Peer, kp.public_key());
+        assert_eq!(Identity::from_wire(&id.to_wire()).unwrap(), id);
+    }
+
+    #[test]
+    fn identity_display_names_org_and_role() {
+        let kp = Keypair::generate_from_seed(12);
+        let id = Identity::new("Org2MSP", Role::Client, kp.public_key());
+        let s = id.to_string();
+        assert!(s.starts_with("Org2MSP.client("), "{s}");
+    }
+}

@@ -1,0 +1,349 @@
+//! Transaction proposals, proposal responses and endorsements.
+
+use crate::identity::Identity;
+use crate::ids::{ChaincodeId, ChannelId, TxId};
+use crate::rwset::TxRwSet;
+use fabric_crypto::{sha256, Hash256, Signature};
+use fabric_wire::Encode;
+use std::collections::BTreeMap;
+
+/// Status code of a successful chaincode invocation.
+pub const RESPONSE_OK: u32 = 200;
+/// Status code of a failed chaincode invocation.
+pub const RESPONSE_ERROR: u32 = 500;
+
+/// A transaction proposal sent by a client to endorsing peers
+/// (Fig. 2, step 1). Carries the client identity, target chaincode, function
+/// and arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposal {
+    /// Transaction ID: `sha256(nonce || creator)`, as in Fabric.
+    pub tx_id: TxId,
+    /// Target channel.
+    pub channel: ChannelId,
+    /// Target chaincode.
+    pub chaincode: ChaincodeId,
+    /// Invoked function name.
+    pub function: String,
+    /// Function arguments.
+    pub args: Vec<Vec<u8>>,
+    /// Transient data: private values passed out-of-band so they never
+    /// appear in the (public) proposal args.
+    pub transient: BTreeMap<String, Vec<u8>>,
+    /// The proposing client identity.
+    pub creator: Identity,
+    /// Anti-replay nonce chosen by the client.
+    pub nonce: u64,
+}
+
+impl_wire_struct!(Proposal {
+    tx_id,
+    channel,
+    chaincode,
+    function,
+    args,
+    transient,
+    creator,
+    nonce
+});
+
+impl Proposal {
+    /// Builds a proposal, deriving its transaction ID from the creator and
+    /// nonce exactly as Fabric does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        channel: impl Into<ChannelId>,
+        chaincode: impl Into<ChaincodeId>,
+        function: impl Into<String>,
+        args: Vec<Vec<u8>>,
+        transient: BTreeMap<String, Vec<u8>>,
+        creator: Identity,
+        nonce: u64,
+    ) -> Self {
+        let tx_id = Self::derive_tx_id(&creator, nonce);
+        Proposal {
+            tx_id,
+            channel: channel.into(),
+            chaincode: chaincode.into(),
+            function: function.into(),
+            args,
+            transient,
+            creator,
+            nonce,
+        }
+    }
+
+    /// Derives the transaction ID for a `(creator, nonce)` pair.
+    pub fn derive_tx_id(creator: &Identity, nonce: u64) -> TxId {
+        let digest = sha256(&(nonce, creator).to_wire());
+        TxId::new(digest.to_hex())
+    }
+
+    /// The hash endorsers embed into their proposal response so the client
+    /// can confirm responses refer to this exact proposal.
+    pub fn hash(&self) -> Hash256 {
+        sha256(&self.to_wire())
+    }
+}
+
+/// The chaincode's reply to the client: `payload`, `status` and `message`
+/// (Use Case 3). For PDC reads, `payload` carries the requested private
+/// value **in plaintext** — the root cause of the paper's leakage attack.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Response {
+    /// `200` on success, `500` on chaincode error.
+    pub status: u32,
+    /// Error description when `status != 200`.
+    pub message: String,
+    /// Data returned by the chaincode function.
+    pub payload: Vec<u8>,
+}
+
+impl_wire_struct!(Response {
+    status,
+    message,
+    payload
+});
+
+impl Response {
+    /// A successful response carrying `payload`.
+    pub fn ok(payload: Vec<u8>) -> Self {
+        Response {
+            status: RESPONSE_OK,
+            message: String::new(),
+            payload,
+        }
+    }
+
+    /// A failed response with an error message.
+    pub fn error(message: impl Into<String>) -> Self {
+        Response {
+            status: RESPONSE_ERROR,
+            message: message.into(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// True when the status is `200`.
+    pub fn is_ok(&self) -> bool {
+        self.status == RESPONSE_OK
+    }
+}
+
+/// What form of the proposal-response payload an endorsement signature
+/// covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadCommitment {
+    /// The original Fabric behaviour: the signature covers the payload with
+    /// the plaintext chaincode `Response.payload` inside.
+    Plain,
+    /// The paper's New Feature 2: the signature covers the payload with
+    /// `Response.payload` replaced by its SHA-256, so the client can swap in
+    /// the hashed form before assembling the transaction.
+    HashedPayload,
+}
+
+impl_wire_enum!(PayloadCommitment {
+    Plain = 0,
+    HashedPayload = 1,
+});
+
+/// An event emitted by chaincode during simulation (`SetEvent`).
+/// Committed with the transaction and delivered to listeners once the
+/// transaction validates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaincodeEvent {
+    /// Event name.
+    pub name: String,
+    /// Event payload (application-defined; for PDC applications this is
+    /// another place plaintext can leak if written sloppily).
+    pub payload: Vec<u8>,
+}
+
+impl_wire_struct!(ChaincodeEvent { name, payload });
+
+/// The payload of a proposal response: proposal hash, chaincode response,
+/// the simulated read/write sets (hashed for PDC namespaces), and the
+/// optional chaincode event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposalResponsePayload {
+    /// Hash of the proposal this responds to.
+    pub proposal_hash: Hash256,
+    /// The chaincode response (`payload`/`status`/`message`).
+    pub response: Response,
+    /// Simulation results.
+    pub results: TxRwSet,
+    /// Event set by the chaincode, if any.
+    pub event: Option<ChaincodeEvent>,
+}
+
+impl_wire_struct!(ProposalResponsePayload {
+    proposal_hash,
+    response,
+    results,
+    event
+});
+
+impl ProposalResponsePayload {
+    /// Returns the New-Feature-2 form: `Response.payload` replaced by its
+    /// SHA-256 digest. Idempotent only in the sense that hashing twice
+    /// hashes the digest; callers must track which form they hold via
+    /// [`PayloadCommitment`].
+    pub fn to_hashed_payload_form(&self) -> ProposalResponsePayload {
+        let mut hashed = self.clone();
+        hashed.response.payload = sha256(&self.response.payload).0.to_vec();
+        hashed
+    }
+
+    /// The bytes an endorser signs under the given commitment scheme.
+    pub fn signed_bytes(&self, commitment: PayloadCommitment) -> Vec<u8> {
+        match commitment {
+            PayloadCommitment::Plain => self.to_wire(),
+            PayloadCommitment::HashedPayload => self.to_hashed_payload_form().to_wire(),
+        }
+    }
+}
+
+/// An endorsement: the endorser identity plus its signature over the
+/// proposal response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endorsement {
+    /// The endorsing peer's identity.
+    pub endorser: Identity,
+    /// Signature over [`ProposalResponsePayload::signed_bytes`].
+    pub signature: Signature,
+}
+
+impl_wire_struct!(Endorsement {
+    endorser,
+    signature
+});
+
+/// A proposal response returned from one endorser to the client
+/// (Fig. 2, steps 5/10): the payload, the commitment scheme its signature
+/// uses, and the endorsement itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposalResponse {
+    /// Payload with the plaintext chaincode response (the client always
+    /// receives the plaintext; Feature 2 only changes what is *signed*).
+    pub payload: ProposalResponsePayload,
+    /// Which payload form `endorsement.signature` covers.
+    pub commitment: PayloadCommitment,
+    /// The endorser's signature block.
+    pub endorsement: Endorsement,
+}
+
+impl_wire_struct!(ProposalResponse {
+    payload,
+    commitment,
+    endorsement
+});
+
+impl ProposalResponse {
+    /// Verifies the endorsement signature against the payload under the
+    /// declared commitment scheme.
+    pub fn verify(&self) -> bool {
+        self.endorsement.signature.verify(
+            &self.endorsement.endorser.public_key,
+            &self.payload.signed_bytes(self.commitment),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Role;
+    use fabric_crypto::Keypair;
+    use fabric_wire::Decode;
+
+    fn client_identity(seed: u64) -> (Keypair, Identity) {
+        let kp = Keypair::generate_from_seed(seed);
+        let id = Identity::new("Org1MSP", Role::Client, kp.public_key());
+        (kp, id)
+    }
+
+    #[test]
+    fn tx_id_depends_on_creator_and_nonce() {
+        let (_, a) = client_identity(1);
+        let (_, b) = client_identity(2);
+        assert_eq!(Proposal::derive_tx_id(&a, 1), Proposal::derive_tx_id(&a, 1));
+        assert_ne!(Proposal::derive_tx_id(&a, 1), Proposal::derive_tx_id(&a, 2));
+        assert_ne!(Proposal::derive_tx_id(&a, 1), Proposal::derive_tx_id(&b, 1));
+    }
+
+    #[test]
+    fn proposal_wire_roundtrip() {
+        let (_, id) = client_identity(3);
+        let p = Proposal::new(
+            "ch1",
+            "cc1",
+            "readPrivate",
+            vec![b"k1".to_vec()],
+            BTreeMap::new(),
+            id,
+            7,
+        );
+        assert_eq!(Proposal::from_wire(&p.to_wire()).unwrap(), p);
+    }
+
+    #[test]
+    fn hashed_payload_form_replaces_only_payload() {
+        let payload = ProposalResponsePayload {
+            proposal_hash: sha256(b"prop"),
+            response: Response::ok(b"secret-value".to_vec()),
+            results: TxRwSet::new(),
+            event: None,
+        };
+        let hashed = payload.to_hashed_payload_form();
+        assert_eq!(hashed.response.status, RESPONSE_OK);
+        assert_eq!(hashed.response.payload, sha256(b"secret-value").0.to_vec());
+        assert_eq!(hashed.proposal_hash, payload.proposal_hash);
+        assert_eq!(hashed.results, payload.results);
+    }
+
+    #[test]
+    fn endorsement_verifies_under_declared_commitment() {
+        let kp = Keypair::generate_from_seed(4);
+        let endorser = Identity::new("Org1MSP", Role::Peer, kp.public_key());
+        let payload = ProposalResponsePayload {
+            proposal_hash: sha256(b"p"),
+            response: Response::ok(b"v".to_vec()),
+            results: TxRwSet::new(),
+            event: None,
+        };
+        for commitment in [PayloadCommitment::Plain, PayloadCommitment::HashedPayload] {
+            let sig = kp.sign(&payload.signed_bytes(commitment));
+            let pr = ProposalResponse {
+                payload: payload.clone(),
+                commitment,
+                endorsement: Endorsement {
+                    endorser: endorser.clone(),
+                    signature: sig,
+                },
+            };
+            assert!(pr.verify(), "{commitment:?}");
+        }
+
+        // A signature over the plain form does not verify as hashed form.
+        let sig = kp.sign(&payload.signed_bytes(PayloadCommitment::Plain));
+        let pr = ProposalResponse {
+            payload,
+            commitment: PayloadCommitment::HashedPayload,
+            endorsement: Endorsement {
+                endorser,
+                signature: sig,
+            },
+        };
+        assert!(!pr.verify());
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert!(Response::ok(vec![]).is_ok());
+        let e = Response::error("boom");
+        assert!(!e.is_ok());
+        assert_eq!(e.status, RESPONSE_ERROR);
+        assert_eq!(e.message, "boom");
+    }
+}

@@ -1,0 +1,224 @@
+//! Assembled transactions and their validation codes.
+
+use crate::identity::Identity;
+use crate::ids::{ChaincodeId, ChannelId, TxId};
+use crate::proposal::{Endorsement, PayloadCommitment, ProposalResponsePayload};
+use crate::rwset::{TxKind, TxRwSet};
+use fabric_crypto::Signature;
+use fabric_wire::Encode;
+use std::fmt;
+
+/// Why a transaction was marked valid or invalid during the validation
+/// phase. Mirrors Fabric's `TxValidationCode`, restricted to the outcomes
+/// the simulator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxValidationCode {
+    /// Passed endorsement policy and version-conflict checks.
+    Valid,
+    /// A read version no longer matches the world state (MVCC conflict).
+    MvccReadConflict,
+    /// Endorsements do not satisfy the applicable endorsement policy.
+    EndorsementPolicyFailure,
+    /// An endorsement signature failed cryptographic verification.
+    InvalidEndorserSignature,
+    /// The client signature failed verification.
+    InvalidClientSignature,
+    /// Rejected by the supplemental defense: an endorsement was produced by
+    /// a peer that is not a member of a touched collection.
+    NonMemberEndorsement,
+    /// A transaction with the same ID was already committed.
+    DuplicateTxId,
+    /// Structurally bad payload (e.g. endorsers disagreed, missing fields).
+    BadPayload,
+}
+
+impl_wire_enum!(TxValidationCode {
+    Valid = 0,
+    MvccReadConflict = 1,
+    EndorsementPolicyFailure = 2,
+    InvalidEndorserSignature = 3,
+    InvalidClientSignature = 4,
+    NonMemberEndorsement = 5,
+    DuplicateTxId = 6,
+    BadPayload = 7,
+});
+
+impl TxValidationCode {
+    /// True only for [`TxValidationCode::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, TxValidationCode::Valid)
+    }
+}
+
+impl fmt::Display for TxValidationCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxValidationCode::Valid => "VALID",
+            TxValidationCode::MvccReadConflict => "MVCC_READ_CONFLICT",
+            TxValidationCode::EndorsementPolicyFailure => "ENDORSEMENT_POLICY_FAILURE",
+            TxValidationCode::InvalidEndorserSignature => "INVALID_ENDORSER_SIGNATURE",
+            TxValidationCode::InvalidClientSignature => "INVALID_CLIENT_SIGNATURE",
+            TxValidationCode::NonMemberEndorsement => "NON_MEMBER_ENDORSEMENT",
+            TxValidationCode::DuplicateTxId => "DUPLICATE_TXID",
+            TxValidationCode::BadPayload => "BAD_PAYLOAD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An assembled transaction as submitted to the ordering service and stored
+/// in blocks (Fig. 3): header fields, the representative proposal-response
+/// payload, and the collected endorsements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Transaction ID (from the proposal).
+    pub tx_id: TxId,
+    /// Channel the transaction belongs to.
+    pub channel: ChannelId,
+    /// Chaincode that produced it.
+    pub chaincode: ChaincodeId,
+    /// The client that assembled and submitted the transaction.
+    pub creator: Identity,
+    /// The proposal-response payload all endorsers agreed on. Under
+    /// [`PayloadCommitment::HashedPayload`] (New Feature 2) the chaincode
+    /// response payload inside is the SHA-256 digest, not the plaintext.
+    pub payload: ProposalResponsePayload,
+    /// Which payload form the endorsement signatures cover.
+    pub commitment: PayloadCommitment,
+    /// Collected endorsements.
+    pub endorsements: Vec<Endorsement>,
+    /// Client signature over the transaction content.
+    pub client_signature: Signature,
+}
+
+impl_wire_struct!(Transaction {
+    tx_id,
+    channel,
+    chaincode,
+    creator,
+    payload,
+    commitment,
+    endorsements,
+    client_signature
+});
+
+impl Transaction {
+    /// The bytes the client signs when assembling the transaction.
+    pub fn client_signed_bytes(
+        tx_id: &TxId,
+        payload: &ProposalResponsePayload,
+        endorsements: &[Endorsement],
+    ) -> Vec<u8> {
+        (tx_id, payload, endorsements.to_vec()).to_wire()
+    }
+
+    /// The read/write sets carried by this transaction.
+    pub fn rwset(&self) -> &TxRwSet {
+        &self.payload.results
+    }
+
+    /// Table-I classification of the carried rwset.
+    pub fn kind(&self) -> TxKind {
+        self.payload.results.kind()
+    }
+
+    /// Verifies every endorsement signature against the stored payload.
+    ///
+    /// The stored payload is always exactly what the endorsers signed: the
+    /// plaintext form originally, or — when the client assembled under New
+    /// Feature 2 — the hashed-payload form (`commitment` records which).
+    /// Note this is *cryptographic* verification only; whether the
+    /// endorsers satisfy the endorsement policy is the committer's policy
+    /// check.
+    pub fn verify_endorsement_signatures(&self) -> bool {
+        let signed = self.payload.signed_bytes(PayloadCommitment::Plain);
+        self.endorsements
+            .iter()
+            .all(|e| e.signature.verify(&e.endorser.public_key, &signed))
+    }
+
+    /// Verifies the client signature.
+    pub fn verify_client_signature(&self) -> bool {
+        let bytes = Self::client_signed_bytes(&self.tx_id, &self.payload, &self.endorsements);
+        self.client_signature
+            .verify(&self.creator.public_key, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Role;
+    use crate::proposal::Response;
+    use fabric_crypto::{sha256, Keypair};
+    use fabric_wire::Decode;
+
+    fn sample_tx() -> Transaction {
+        let client_kp = Keypair::generate_from_seed(21);
+        let client = Identity::new("Org1MSP", Role::Client, client_kp.public_key());
+        let endorser_kp = Keypair::generate_from_seed(22);
+        let endorser = Identity::new("Org1MSP", Role::Peer, endorser_kp.public_key());
+        let payload = ProposalResponsePayload {
+            proposal_hash: sha256(b"prop"),
+            response: Response::ok(b"value".to_vec()),
+            results: TxRwSet::new(),
+            event: None,
+        };
+        let commitment = PayloadCommitment::Plain;
+        let endorsement = Endorsement {
+            endorser,
+            signature: endorser_kp.sign(&payload.signed_bytes(commitment)),
+        };
+        let tx_id = TxId::new("tx-1");
+        let endorsements = vec![endorsement];
+        let client_signature =
+            client_kp.sign(&Transaction::client_signed_bytes(&tx_id, &payload, &endorsements));
+        Transaction {
+            tx_id,
+            channel: ChannelId::new("ch1"),
+            chaincode: ChaincodeId::new("cc1"),
+            creator: client,
+            payload,
+            commitment,
+            endorsements,
+            client_signature,
+        }
+    }
+
+    #[test]
+    fn signatures_verify() {
+        let tx = sample_tx();
+        assert!(tx.verify_endorsement_signatures());
+        assert!(tx.verify_client_signature());
+    }
+
+    #[test]
+    fn tampering_payload_breaks_endorsements() {
+        let mut tx = sample_tx();
+        tx.payload.response.payload = b"forged".to_vec();
+        assert!(!tx.verify_endorsement_signatures());
+    }
+
+    #[test]
+    fn tampering_endorsements_breaks_client_signature() {
+        let mut tx = sample_tx();
+        tx.endorsements.clear();
+        assert!(!tx.verify_client_signature());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let tx = sample_tx();
+        assert_eq!(Transaction::from_wire(&tx.to_wire()).unwrap(), tx);
+    }
+
+    #[test]
+    fn validation_code_display_and_validity() {
+        assert!(TxValidationCode::Valid.is_valid());
+        assert!(!TxValidationCode::MvccReadConflict.is_valid());
+        assert_eq!(
+            TxValidationCode::EndorsementPolicyFailure.to_string(),
+            "ENDORSEMENT_POLICY_FAILURE"
+        );
+    }
+}

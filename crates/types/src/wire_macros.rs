@@ -1,0 +1,46 @@
+//! Lightweight derive replacements for [`fabric_wire::Encode`] /
+//! [`fabric_wire::Decode`] on protocol structs and fieldless enums.
+
+/// Implements `Encode`/`Decode` for a struct by encoding fields in
+/// declaration order.
+macro_rules! impl_wire_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl fabric_wire::Encode for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $( self.$field.encode(buf); )+
+            }
+        }
+        impl fabric_wire::Decode for $ty {
+            fn decode(r: &mut fabric_wire::Reader<'_>) -> Result<Self, fabric_wire::WireError> {
+                Ok(Self {
+                    $( $field: fabric_wire::Decode::decode(r)?, )+
+                })
+            }
+        }
+    };
+}
+
+/// Implements `Encode`/`Decode` for a fieldless enum via a one-byte tag.
+macro_rules! impl_wire_enum {
+    ($ty:ident { $($variant:ident = $tag:literal),+ $(,)? }) => {
+        impl fabric_wire::Encode for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                let tag: u8 = match self {
+                    $( $ty::$variant => $tag, )+
+                };
+                buf.push(tag);
+            }
+        }
+        impl fabric_wire::Decode for $ty {
+            fn decode(r: &mut fabric_wire::Reader<'_>) -> Result<Self, fabric_wire::WireError> {
+                match r.read_byte()? {
+                    $( $tag => Ok($ty::$variant), )+
+                    other => Err(fabric_wire::WireError::InvalidTag {
+                        ty: stringify!($ty),
+                        tag: u64::from(other),
+                    }),
+                }
+            }
+        }
+    };
+}

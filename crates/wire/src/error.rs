@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Errors produced while decoding the canonical wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes still needed to make progress.
+        needed: usize,
+    },
+    /// A varint ran past its maximum width (10 bytes for 64-bit values).
+    VarintTooLong,
+    /// The encoding was valid but not the unique canonical form.
+    NonCanonical(&'static str),
+    /// A boolean byte was neither `0` nor `1`.
+    InvalidBool(u8),
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// A declared length exceeds the remaining input (guards against
+    /// allocation bombs from hostile input).
+    LengthOverflow {
+        /// Declared element/byte count.
+        declared: u64,
+        /// Remaining bytes in the input.
+        remaining: usize,
+    },
+    /// Input remained after decoding a complete value with
+    /// [`Decode::from_wire`](crate::Decode::from_wire).
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+    /// An enum tag byte did not match any known variant.
+    InvalidTag {
+        /// The type being decoded.
+        ty: &'static str,
+        /// The offending tag.
+        tag: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed } => {
+                write!(f, "unexpected end of input, {needed} more byte(s) needed")
+            }
+            WireError::VarintTooLong => write!(f, "varint exceeds 10 bytes"),
+            WireError::NonCanonical(what) => write!(f, "non-canonical encoding: {what}"),
+            WireError::InvalidBool(b) => write!(f, "invalid boolean byte {b:#x}"),
+            WireError::InvalidUtf8 => write!(f, "string field is not valid utf-8"),
+            WireError::LengthOverflow {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining input {remaining}"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after value")
+            }
+            WireError::InvalidTag { ty, tag } => {
+                write!(f, "invalid tag {tag} while decoding {ty}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

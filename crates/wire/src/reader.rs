@@ -1,0 +1,105 @@
+use crate::WireError;
+
+/// A cursor over an input buffer being decoded.
+///
+/// Tracks position and exposes bounded reads; all higher-level decoding is
+/// built on [`Reader::read_byte`] and [`Reader::read_exact`].
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if the input is exhausted.
+    pub fn read_byte(&mut self) -> Result<u8, WireError> {
+        if self.pos >= self.buf.len() {
+            return Err(WireError::UnexpectedEof { needed: 1 });
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads exactly `n` bytes, returning a slice borrowed from the input.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn read_exact(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Checks that a declared count of items, each at least `min_item_size`
+    /// bytes, can possibly fit in the remaining input.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::LengthOverflow`] when the declared length is impossible,
+    /// which guards decoders against allocation bombs.
+    pub fn check_len(&self, declared: u64, min_item_size: usize) -> Result<usize, WireError> {
+        let declared_usize = usize::try_from(declared).map_err(|_| WireError::LengthOverflow {
+            declared,
+            remaining: self.remaining(),
+        })?;
+        let need = declared_usize.checked_mul(min_item_size.max(1));
+        match need {
+            Some(n) if n <= self.remaining() => Ok(declared_usize),
+            _ => Err(WireError::LengthOverflow {
+                declared,
+                remaining: self.remaining(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_tracks_position() {
+        let data = [1u8, 2, 3];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.read_byte().unwrap(), 1);
+        assert_eq!(r.position(), 1);
+        assert_eq!(r.read_exact(2).unwrap(), &[2, 3]);
+        assert_eq!(r.remaining(), 0);
+        assert!(r.read_byte().is_err());
+    }
+
+    #[test]
+    fn check_len_rejects_bombs() {
+        let data = [0u8; 4];
+        let r = Reader::new(&data);
+        assert!(r.check_len(u64::MAX, 1).is_err());
+        assert!(r.check_len(5, 1).is_err());
+        assert_eq!(r.check_len(4, 1).unwrap(), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's §V-C GitHub study: generate a synthetic Fabric-project
+//! corpus on disk, run the static analyzer over the real file trees, and
+//! print Figs. 7–10.
+//!
+//! Run with `cargo run -p fabric-pdc --example corpus_scan [--full]`.
+//! The default scans a 320-project corpus; `--full` scans the paper-scale
+//! 6392-project corpus (a few seconds and ~40 MB of temp files).
+
+use fabric_pdc::analyzer::{scan_corpus, CorpusReport, CorpusSpec};
+use std::error::Error;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let spec = if full {
+        CorpusSpec::default()
+    } else {
+        CorpusSpec::small(2021)
+    };
+    let root = std::env::temp_dir().join(format!(
+        "fabric-pdc-corpus-{}-{}",
+        if full { "full" } else { "small" },
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&root);
+
+    println!(
+        "materializing {} synthetic Fabric projects under {} ...",
+        spec.total(),
+        root.display()
+    );
+    fabric_pdc::analyzer::corpus::materialize(&spec, &root)?;
+
+    println!("scanning with the static analyzer ...\n");
+    let reports = scan_corpus(&root)?;
+    let agg = CorpusReport::from_reports(&reports);
+
+    println!("{}", agg.render_fig7());
+    println!("{}", agg.render_fig8());
+    println!("{}", agg.render_fig9());
+    println!("{}", agg.render_fig10());
+
+    println!(
+        "headline numbers: {:.2} % of explicit PDC projects use the (vulnerable) \
+         chaincode-level policy; {:.2} % have PDC leakage issues",
+        agg.pct_chaincode_level(),
+        agg.pct_leaky()
+    );
+
+    let _ = fs::remove_dir_all(&root);
+    Ok(())
+}

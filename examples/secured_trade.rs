@@ -1,0 +1,88 @@
+//! Secured asset trade: the legitimate, privacy-preserving use of
+//! `GetPrivateDataHash` — the same API the paper's endorsement forgery
+//! abuses (§IV-A1). A seller's appraisal never enters a block; a buyer
+//! verifies the claimed value against the on-chain hash at its *own* peer.
+//!
+//! Run with `cargo run -p fabric-pdc --example secured_trade`.
+
+use fabric_pdc::prelude::*;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut net = NetworkBuilder::new("trade-channel")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(4)
+        .build();
+    let definition = ChaincodeDefinition::new("trade")
+        // One endorsement suffices on this channel; the collection policy
+        // pins writes to the seller.
+        .with_endorsement_policy("ANY Endorsement")
+        .with_collection(
+            CollectionConfig::membership_of("sellerCollection", &[OrgId::new("Org1MSP")])
+                .with_endorsement_policy("OR('Org1MSP.peer')"),
+        );
+    net.deploy_chaincode(definition, Arc::new(SecuredTrade::new("sellerCollection")));
+
+    // The seller (org1) offers an asset; the appraisal travels in the
+    // transient map and only its SHA-256 reaches the ledger.
+    let appraisal = b"appraised-at-9500-USD";
+    let outcome = net.submit_transaction(
+        "client0.org1",
+        "trade",
+        "offer",
+        &["asset1"],
+        &[("appraisal", appraisal)],
+        &["peer0.org1"],
+    )?;
+    println!("offer committed: {}", outcome.validation_code);
+
+    // Nothing private is in any block: scan the non-member's chain.
+    let leaks = fabric_pdc::attacks::extract_payload_leaks(net.peer("peer0.org2"));
+    let leaked = leaks.iter().any(|l| l.payload == appraisal.to_vec());
+    println!("appraisal visible in org2's blocks: {leaked}");
+
+    // Off-band, the seller tells the buyer the appraisal. The buyer (org2)
+    // verifies against the hash at ITS OWN peer — no trust in the seller's
+    // peer needed.
+    let mut buyer = Client::new(
+        "Org2MSP",
+        Keypair::generate_from_seed(77),
+        DefenseConfig::original(),
+    );
+    let proposal = buyer.create_proposal(
+        net.channel().clone(),
+        ChaincodeId::new("trade"),
+        "verify",
+        vec![b"asset1".to_vec()],
+        [("claimed".to_string(), appraisal.to_vec())].into_iter().collect(),
+    );
+    let response = net.endorse("peer0.org2", &proposal)?;
+    println!(
+        "buyer verification of the truthful claim: {}",
+        String::from_utf8_lossy(&response.payload.response.payload)
+    );
+
+    // A dishonest seller claiming a higher appraisal is caught.
+    let proposal = buyer.create_proposal(
+        net.channel().clone(),
+        ChaincodeId::new("trade"),
+        "verify",
+        vec![b"asset1".to_vec()],
+        [("claimed".to_string(), b"appraised-at-15000-USD".to_vec())]
+            .into_iter()
+            .collect(),
+    );
+    let response = net.endorse("peer0.org2", &proposal)?;
+    println!(
+        "buyer verification of an inflated claim:  {}",
+        String::from_utf8_lossy(&response.payload.response.payload)
+    );
+
+    println!(
+        "\nGetPrivateDataHash is dual-use: here it verifies claims without \
+         revealing data;\nin the paper's attack the same call hands non-members \
+         valid (key, version) pairs to forge read endorsements."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! §V-A6: attacks when a collection-level endorsement policy
+//! `AND(org1, org2)` is defined — without New Feature 1 the read-only
+//! attack still works, because reads are validated with the chaincode-level
+//! policy only (Use Case 2).
+
+use fabric_pdc::attacks::{build_lab, run_attack, AttackKind, LabConfig};
+use fabric_pdc::prelude::*;
+
+fn config(seed: u64) -> LabConfig {
+    LabConfig {
+        collection_policy: Some("AND('Org1MSP.peer','Org2MSP.peer')".to_string()),
+        seed,
+        ..LabConfig::default()
+    }
+}
+
+#[test]
+fn read_only_attack_still_works() {
+    let mut lab = build_lab(&config(300));
+    let outcome = run_attack(&mut lab, AttackKind::FakeRead);
+    assert!(
+        outcome.succeeded,
+        "read-only bypasses the collection policy: {}",
+        outcome.note
+    );
+    assert_eq!(outcome.validation_code, Some(TxValidationCode::Valid));
+}
+
+#[test]
+fn write_related_attacks_fail_policy_check() {
+    for (i, kind) in [
+        AttackKind::FakeWrite,
+        AttackKind::FakeReadWrite,
+        AttackKind::FakeDelete,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut lab = build_lab(&config(310 + i as u64));
+        let outcome = run_attack(&mut lab, kind);
+        assert!(!outcome.succeeded, "{kind} should fail: {}", outcome.note);
+        assert_eq!(
+            outcome.validation_code,
+            Some(TxValidationCode::EndorsementPolicyFailure),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn victim_state_is_untouched_by_failed_attacks() {
+    let mut lab = build_lab(&config(320));
+    let _ = run_attack(&mut lab, AttackKind::FakeWrite);
+    let v = lab
+        .net
+        .peer("peer0.org2")
+        .world_state()
+        .get_private(
+            &ChaincodeId::new("guarded"),
+            &CollectionName::new("PDC1"),
+            "k1",
+        )
+        .unwrap();
+    // Still the genuine value.
+    assert_eq!(v.value, b"12");
+}
+
+#[test]
+fn honest_transactions_still_pass_the_collection_policy() {
+    // The defense must not break legitimate use: a write endorsed by both
+    // members satisfies AND(org1, org2).
+    let mut lab = build_lab(&config(330));
+    let outcome = lab
+        .net
+        .submit_transaction(
+            "client0.org1",
+            "guarded",
+            "write",
+            &["k1", "13"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+}

@@ -1,0 +1,121 @@
+//! §V-A1–A4: the four fake PDC results injection attacks against the
+//! default `MAJORITY Endorsement` chaincode-level policy, on the paper's
+//! 3-org prototype (org1 + org3 malicious, org2 the victim).
+
+use fabric_pdc::attacks::{build_lab, run_attack, AttackKind, LabConfig};
+use fabric_pdc::prelude::*;
+
+const NS: &str = "guarded";
+const COL: &str = "PDC1";
+
+#[test]
+fn fake_read_result_injection() {
+    let mut lab = build_lab(&LabConfig::default());
+    let outcome = run_attack(&mut lab, AttackKind::FakeRead);
+    assert!(outcome.succeeded, "{}", outcome.note);
+    assert_eq!(outcome.validation_code, Some(TxValidationCode::Valid));
+    // The genuine value is untouched — the lie lives in the blockchain.
+    let v = lab
+        .net
+        .peer("peer0.org2")
+        .world_state()
+        .get_private(&ChaincodeId::new(NS), &CollectionName::new(COL), "k1")
+        .unwrap();
+    assert_eq!(v.value, b"12");
+}
+
+#[test]
+fn fake_read_transaction_is_committed_at_every_peer() {
+    let mut lab = build_lab(&LabConfig::default());
+    let outcome = run_attack(&mut lab, AttackKind::FakeRead);
+    assert!(outcome.succeeded);
+    // All three peers recorded the fabricated transaction as VALID — the
+    // immutable blockchain now contains the fake value.
+    for peer in ["peer0.org1", "peer0.org2", "peer0.org3"] {
+        let store = lab.net.peer(peer).block_store();
+        assert!(store.verify_chain());
+        let found = store.iter().any(|b| {
+            b.validated_transactions().any(|(tx, code)| {
+                code.is_valid() && tx.payload.response.payload == b"3".to_vec()
+            })
+        });
+        assert!(found, "{peer} lacks the fabricated read");
+    }
+}
+
+#[test]
+fn fake_write_result_injection() {
+    let mut lab = build_lab(&LabConfig::default());
+    let outcome = run_attack(&mut lab, AttackKind::FakeWrite);
+    assert!(outcome.succeeded, "{}", outcome.note);
+    // The victim's world state violates its own business rule (> 10).
+    let v = lab
+        .net
+        .peer("peer0.org2")
+        .world_state()
+        .get_private(&ChaincodeId::new(NS), &CollectionName::new(COL), "k1")
+        .unwrap();
+    assert_eq!(v.value, b"5");
+    // org2's own chaincode would have refused this value.
+    assert!(!Guard::GreaterThan(10).allows(5));
+}
+
+#[test]
+fn fake_read_write_result_injection() {
+    let mut lab = build_lab(&LabConfig::default());
+    let outcome = run_attack(&mut lab, AttackKind::FakeReadWrite);
+    assert!(outcome.succeeded, "{}", outcome.note);
+    // Colluders pretended k1 = 3 and added 2; the genuine 12 was ignored.
+    let v = lab
+        .net
+        .peer("peer0.org2")
+        .world_state()
+        .get_private(&ChaincodeId::new(NS), &CollectionName::new(COL), "k1")
+        .unwrap();
+    assert_eq!(v.value, b"5");
+}
+
+#[test]
+fn pdc_delete_attack() {
+    let mut lab = build_lab(&LabConfig::default());
+    let outcome = run_attack(&mut lab, AttackKind::FakeDelete);
+    assert!(outcome.succeeded, "{}", outcome.note);
+    let ws = lab.net.peer("peer0.org2").world_state();
+    assert!(ws
+        .get_private(&ChaincodeId::new(NS), &CollectionName::new(COL), "k1")
+        .is_none());
+    assert!(ws
+        .get_private_hash(&ChaincodeId::new(NS), &CollectionName::new(COL), "k1")
+        .is_none());
+}
+
+#[test]
+fn honest_victim_cannot_distinguish_the_fabrication_by_version() {
+    // The heart of §IV-A1: the MVCC check compares only versions, so a
+    // forged read with the GetPrivateDataHash version passes at honest
+    // peers. Demonstrate that the committed fake-read tx carries the same
+    // version the genuine data has.
+    let mut lab = build_lab(&LabConfig::default());
+    let outcome = run_attack(&mut lab, AttackKind::FakeRead);
+    assert!(outcome.succeeded);
+    let ns = ChaincodeId::new(NS);
+    let col = CollectionName::new(COL);
+    let genuine_version = lab
+        .net
+        .peer("peer0.org2")
+        .world_state()
+        .get_private(&ns, &col, "k1")
+        .unwrap()
+        .version;
+    let store = lab.net.peer("peer0.org2").block_store();
+    let fake_tx_version = store
+        .iter()
+        .flat_map(|b| b.transactions.iter())
+        .filter(|tx| tx.payload.response.payload == b"3".to_vec())
+        .flat_map(|tx| tx.payload.results.ns_rwsets.iter())
+        .flat_map(|ns| ns.collections.iter())
+        .flat_map(|c| c.reads.iter())
+        .next()
+        .and_then(|r| r.version);
+    assert_eq!(fake_tx_version, Some(genuine_version));
+}

@@ -1,0 +1,45 @@
+//! Table II, re-run as an integration test: every attack × configuration
+//! cell on a freshly built prototype network.
+
+use fabric_pdc::attacks::{render_table2, run_table2};
+
+#[test]
+fn table2_reproduces_the_paper() {
+    let rows = run_table2(20210704);
+    let rendered = render_table2(&rows);
+    println!("{rendered}");
+
+    // Encode the paper's table as the expected matrix.
+    // Columns: MAJORITY, 2OutOf5, AND(org1,org2), Feature1, Original, Feature2.
+    let expect: [(&str, [Option<bool>; 6]); 6] = [
+        (
+            "Read-Only",
+            [Some(true), Some(true), Some(true), Some(false), None, None],
+        ),
+        (
+            "Write-Only",
+            [Some(true), Some(true), Some(false), Some(false), None, None],
+        ),
+        (
+            "Read-Write",
+            [Some(true), Some(true), Some(false), Some(false), None, None],
+        ),
+        (
+            "Delete-Related",
+            [Some(true), Some(true), Some(false), Some(false), None, None],
+        ),
+        ("PDC-Read", [None, None, None, None, Some(true), Some(false)]),
+        ("PDC-Write", [None, None, None, None, Some(true), Some(false)]),
+    ];
+
+    for (row, (label, cells)) in rows.iter().zip(expect.iter()) {
+        assert_eq!(&row.label, label);
+        for (i, expected) in cells.iter().enumerate() {
+            assert_eq!(
+                &row.cells[i].works, expected,
+                "{label} / column {} ({})",
+                i, row.cells[i].config
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! §V-A5: attacks under the `2OutOf(org1..org5)` endorsement policy.
+//! Only the two malicious *non-member* organizations (org3, org4) collude —
+//! no PDC member participates, and far fewer than 51 % of organizations
+//! are malicious.
+
+use fabric_pdc::attacks::{build_lab, run_attack, AttackKind, ChaincodePolicy, LabConfig};
+use fabric_pdc::prelude::*;
+
+fn noutof_config(seed: u64) -> LabConfig {
+    LabConfig {
+        org_count: 5,
+        chaincode_policy: ChaincodePolicy::NOutOf(2),
+        seed,
+        ..LabConfig::default()
+    }
+}
+
+#[test]
+fn all_four_attacks_succeed_with_only_non_member_colluders() {
+    for (i, kind) in AttackKind::all().into_iter().enumerate() {
+        let cfg = noutof_config(900 + i as u64);
+        // Sanity: the attackers are PDC non-members only.
+        assert_eq!(cfg.malicious_peers(), vec!["peer0.org3", "peer0.org4"]);
+        let mut lab = build_lab(&cfg);
+        let outcome = run_attack(&mut lab, kind);
+        assert!(outcome.succeeded, "{kind}: {}", outcome.note);
+        assert_eq!(outcome.validation_code, Some(TxValidationCode::Valid));
+    }
+}
+
+#[test]
+fn two_of_five_is_far_below_majority() {
+    let cfg = noutof_config(950);
+    // 2 malicious orgs of 5 = 40 % — the paper's point that NOutOf can be
+    // exploited without a 51 % coalition.
+    assert!(cfg.malicious_peers().len() * 2 < cfg.org_count * 2 + 1);
+    let mut lab = build_lab(&cfg);
+    let outcome = run_attack(&mut lab, AttackKind::FakeWrite);
+    assert!(outcome.succeeded, "{}", outcome.note);
+    // Victims: BOTH collection members (org1 and org2) committed the
+    // injected value without any member endorsement existing.
+    for victim in ["peer0.org1", "peer0.org2"] {
+        let v = lab
+            .net
+            .peer(victim)
+            .world_state()
+            .get_private(
+                &ChaincodeId::new("guarded"),
+                &CollectionName::new("PDC1"),
+                "k1",
+            )
+            .unwrap();
+        assert_eq!(v.value, b"5", "{victim}");
+    }
+}
+
+#[test]
+fn noutof_with_defense_filter_blocks_non_members() {
+    let cfg = LabConfig {
+        defense: DefenseConfig {
+            filter_non_member_endorsers: true,
+            ..DefenseConfig::original()
+        },
+        ..noutof_config(960)
+    };
+    let mut lab = build_lab(&cfg);
+    let outcome = run_attack(&mut lab, AttackKind::FakeWrite);
+    assert!(!outcome.succeeded);
+    assert_eq!(
+        outcome.validation_code,
+        Some(TxValidationCode::NonMemberEndorsement)
+    );
+}

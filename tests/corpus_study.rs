@@ -1,0 +1,70 @@
+//! §V-C at reduced scale: generate a corpus on disk, scan it, and verify
+//! the headline percentages track the paper's findings.
+
+use fabric_pdc::analyzer::{corpus, scan_corpus, CorpusReport, CorpusSpec};
+use std::fs;
+
+#[test]
+fn small_corpus_percentages_track_the_paper() {
+    let spec = CorpusSpec::small(12345);
+    let root = std::env::temp_dir().join(format!(
+        "fabric-pdc-corpus-it-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&root);
+    corpus::materialize(&spec, &root).unwrap();
+
+    let reports = scan_corpus(&root).unwrap();
+    let agg = CorpusReport::from_reports(&reports);
+
+    // The small spec preserves the paper's structure approximately; the
+    // key claims must hold qualitatively:
+    // 1. The overwhelming majority of explicit projects rely on the
+    //    chaincode-level policy (paper: 86.51 %).
+    assert!(
+        agg.pct_chaincode_level() > 75.0,
+        "{}",
+        agg.pct_chaincode_level()
+    );
+    // 2. The overwhelming majority have leakage issues (paper: 91.67 %).
+    assert!(agg.pct_leaky() > 75.0, "{}", agg.pct_leaky());
+    // 3. MAJORITY Endorsement dominates configtx defaults (paper: 116/120).
+    assert!(agg.configtx_majority * 2 > agg.configtx_found);
+    // 4. PDC usage only appears from 2018 (the feature's release).
+    for row in &agg.years {
+        if row.year < 2018 {
+            assert_eq!(row.pdc, 0, "year {}", row.year);
+        }
+    }
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The full 6392-project corpus — the actual §V-C scale. Ignored by
+/// default; run with `cargo test -p fabric-pdc --test corpus_study -- --ignored`.
+#[test]
+#[ignore = "paper-scale corpus (~25k files); run explicitly"]
+fn full_corpus_reproduces_exact_paper_numbers() {
+    let spec = CorpusSpec::default();
+    let root = std::env::temp_dir().join(format!(
+        "fabric-pdc-corpus-full-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&root);
+    corpus::materialize(&spec, &root).unwrap();
+    let reports = scan_corpus(&root).unwrap();
+    let agg = CorpusReport::from_reports(&reports);
+
+    assert_eq!(agg.total, 6392);
+    assert_eq!(agg.explicit, 252);
+    assert_eq!(agg.total_pdc(), 256);
+    assert_eq!(agg.chaincode_level_policy, 218);
+    assert_eq!(agg.configtx_found, 120);
+    assert_eq!(agg.configtx_majority, 116);
+    assert_eq!(agg.read_leak, 231);
+    assert_eq!(agg.read_and_write_leak, 20);
+    assert!((agg.pct_chaincode_level() - 86.51).abs() < 0.01);
+    assert!((agg.pct_leaky() - 91.67).abs() < 0.01);
+
+    let _ = fs::remove_dir_all(&root);
+}

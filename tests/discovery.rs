@@ -1,0 +1,97 @@
+//! Service discovery end to end: the network computes a minimal
+//! endorsement plan from the chaincode policy, and transactions endorsed
+//! by exactly that plan validate.
+
+use fabric_pdc::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn discovered_plan_satisfies_majority() {
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP", "Org4MSP", "Org5MSP"])
+        .seed(970)
+        .build();
+    net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
+
+    let plan = net.discover_endorsers("assets").expect("plan exists");
+    // MAJORITY of 5 orgs = 3 endorsers.
+    assert_eq!(plan.len(), 3);
+
+    let endorsers: Vec<&str> = plan.iter().map(String::as_str).collect();
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "assets",
+            "CreateAsset",
+            &["a1", "red", "alice", "100"],
+            &[],
+            &endorsers,
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+}
+
+#[test]
+fn discovery_honours_explicit_policies() {
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(971)
+        .build();
+    net.deploy_chaincode(
+        ChaincodeDefinition::new("pinned")
+            .with_endorsement_policy("AND('Org2MSP.peer','Org3MSP.peer')"),
+        Arc::new(AssetTransfer),
+    );
+    let plan = net.discover_endorsers("pinned").unwrap();
+    assert_eq!(plan, vec!["peer0.org2", "peer0.org3"]);
+
+    // One-endorser policies yield one-peer plans.
+    net.deploy_chaincode(
+        ChaincodeDefinition::new("single").with_endorsement_policy("OR('Org1MSP.peer')"),
+        Arc::new(AssetTransfer),
+    );
+    assert_eq!(net.discover_endorsers("single").unwrap(), vec!["peer0.org1"]);
+}
+
+#[test]
+fn discovery_fails_for_unsatisfiable_or_unknown() {
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP"])
+        .seed(972)
+        .build();
+    net.deploy_chaincode(
+        ChaincodeDefinition::new("impossible")
+            .with_endorsement_policy("AND('Org1MSP.peer','Org9MSP.peer')"),
+        Arc::new(AssetTransfer),
+    );
+    assert!(net.discover_endorsers("impossible").is_none());
+    assert!(net.discover_endorsers("ghost").is_none());
+}
+
+#[test]
+fn attackers_view_of_discovery_excludes_victims() {
+    // The planner run over only the attacker-controlled peers answers the
+    // paper's §IV-A5 question: can non-members alone satisfy the policy?
+    use fabric_pdc::policy::{minimal_endorsement_set, SignaturePolicy};
+    let non_members: Vec<Identity> = [("Org3MSP", 1u64), ("Org4MSP", 2)]
+        .iter()
+        .map(|(org, seed)| {
+            Identity::new(
+                *org,
+                Role::Peer,
+                Keypair::generate_from_seed(980 + seed).public_key(),
+            )
+        })
+        .collect();
+    let noutof = SignaturePolicy::parse(
+        "OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer','Org4MSP.peer','Org5MSP.peer')",
+    )
+    .unwrap();
+    let plan = minimal_endorsement_set(&noutof, &non_members).expect("attack is feasible");
+    assert_eq!(plan.len(), 2);
+
+    // AND(org1, org2) is NOT satisfiable by the attackers — which is why
+    // the collection-level policy mitigation works for writes.
+    let and = SignaturePolicy::parse("AND('Org1MSP.peer','Org2MSP.peer')").unwrap();
+    assert!(minimal_endorsement_set(&and, &non_members).is_none());
+}

@@ -1,0 +1,85 @@
+//! §V-B: PDC leakage through the plaintext `payload` field, reproduced on
+//! the two vulnerable GitHub projects' chaincode shapes (Listings 1 & 2).
+
+use fabric_pdc::attacks::{
+    extract_payload_leaks, run_read_leakage_scenario, run_write_leakage_scenario,
+};
+use fabric_pdc::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn read_transactions_leak_to_non_members() {
+    let s = run_read_leakage_scenario(DefenseConfig::original(), 601);
+    assert!(s.leaked);
+    // The non-member recovered the exact private asset.
+    assert!(s.recovered.iter().any(|r| r.payload == s.secret));
+}
+
+#[test]
+fn write_transactions_leak_to_non_members() {
+    let s = run_write_leakage_scenario(DefenseConfig::original(), 602);
+    assert!(s.leaked);
+}
+
+#[test]
+fn leakage_requires_no_malicious_node() {
+    // Every node in the scenario is honest: the leak is pure protocol
+    // behaviour (Use Case 3). The scenario only used honest networks'
+    // submit_transaction; reaching here with `leaked` proves the point.
+    let s = run_read_leakage_scenario(DefenseConfig::original(), 603);
+    assert!(s.leaked);
+}
+
+#[test]
+fn fixed_chaincode_variant_does_not_leak_via_write() {
+    // SaccPrivateFixed returns only the key and takes the value through
+    // the transient map; the non-member sees nothing private.
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(604)
+        .build();
+    let definition = ChaincodeDefinition::new("sacc").with_collection(
+        CollectionConfig::membership_of(
+            "demo",
+            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
+        ),
+    );
+    net.deploy_chaincode(definition, Arc::new(SaccPrivateFixed::new("demo")));
+    let secret = b"super-secret".as_slice();
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sacc",
+            "set",
+            &["k1"],
+            &[("value", secret)],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+    let recovered = extract_payload_leaks(net.peer("peer0.org3"));
+    assert!(recovered.iter().all(|r| r.payload != secret));
+    // The members still committed the plaintext value privately.
+    assert_eq!(
+        net.peer("peer0.org1")
+            .world_state()
+            .get_private(&ChaincodeId::new("sacc"), &CollectionName::new("demo"), "k1")
+            .unwrap()
+            .value,
+        secret
+    );
+}
+
+#[test]
+fn hashed_rwset_alone_reveals_nothing() {
+    // Even in the leaky scenario, the rwset inside the block is hashed:
+    // what leaks is specifically the payload. Check that no hashed write
+    // carries the plaintext.
+    let s = run_write_leakage_scenario(DefenseConfig::original(), 605);
+    assert!(s.leaked);
+    for rec in &s.recovered {
+        // Recovered payloads come only from the payload field; the secret
+        // must not be derivable from the rwset (it only holds SHA-256s).
+        assert_ne!(rec.payload, sha256(&s.secret).0.to_vec());
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's Fig. 1 topology: four organizations, two channels, and a
+//! PDC inside one channel. Verifies the three isolation layers the paper
+//! describes: channel-level ledger isolation, PDC plaintext isolation
+//! within a channel, and identity continuity across channels.
+
+use fabric_pdc::network::Consortium;
+use fabric_pdc::prelude::*;
+use std::sync::Arc;
+
+/// Builds the Fig. 1 system: channel C1 = {org1, org2, org4} hosting
+/// chaincode S1 with PDC {org1, org4}; channel C2 = {org2, org3} hosting
+/// chaincode S2.
+fn fig1_consortium() -> Consortium {
+    let mut consortium = Consortium::new(20210701);
+    {
+        let c1 = consortium.create_channel("C1", &["Org1MSP", "Org2MSP", "Org4MSP"]);
+        let s1 = ChaincodeDefinition::new("S1").with_collection(
+            CollectionConfig::membership_of(
+                "PDC14",
+                &[OrgId::new("Org1MSP"), OrgId::new("Org4MSP")],
+            )
+            .with_member_only_read(false),
+        );
+        c1.deploy_chaincode(s1, Arc::new(GuardedPdc::unconstrained("PDC14")));
+        c1.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
+    }
+    {
+        let c2 = consortium.create_channel("C2", &["Org2MSP", "Org3MSP"]);
+        c2.deploy_chaincode(ChaincodeDefinition::new("S2"), Arc::new(AssetTransfer));
+    }
+    consortium
+}
+
+#[test]
+fn channels_maintain_separate_ledgers() {
+    let mut consortium = fig1_consortium();
+
+    // Transact on C1.
+    let outcome = consortium
+        .channel_mut("C1")
+        .submit_transaction(
+            "client0.org1",
+            "assets",
+            "CreateAsset",
+            &["a1", "red", "alice", "100"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+
+    // Transact on C2 (MAJORITY of 2 orgs needs both).
+    let outcome = consortium
+        .channel_mut("C2")
+        .submit_transaction(
+            "client0.org2",
+            "S2",
+            "CreateAsset",
+            &["b1", "blue", "bob", "50"],
+            &[],
+            &["peer0.org2", "peer0.org3"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+
+    // Ledger isolation: C1's chain knows nothing of C2's and vice versa.
+    let c1_height = consortium.channel("C1").peer("peer0.org2").block_store().height();
+    let c2_height = consortium.channel("C2").peer("peer0.org2").block_store().height();
+    assert_eq!(c1_height, 1);
+    assert_eq!(c2_height, 1);
+    assert!(consortium
+        .channel("C1")
+        .peer("peer0.org2")
+        .world_state()
+        .get_public(&ChaincodeId::new("S2"), "b1")
+        .is_none());
+    assert!(consortium
+        .channel("C2")
+        .peer("peer0.org2")
+        .world_state()
+        .get_public(&ChaincodeId::new("assets"), "a1")
+        .is_none());
+    // The chains differ cryptographically.
+    assert_ne!(
+        consortium.channel("C1").peer("peer0.org2").block_store().tip_hash(),
+        consortium.channel("C2").peer("peer0.org2").block_store().tip_hash()
+    );
+}
+
+#[test]
+fn org2_uses_one_identity_in_both_channels() {
+    let consortium = fig1_consortium();
+    let on_c1 = consortium.channel("C1").peer("peer0.org2").identity().clone();
+    let on_c2 = consortium.channel("C2").peer("peer0.org2").identity().clone();
+    assert_eq!(on_c1.public_key, on_c2.public_key);
+    assert_eq!(on_c1.org, on_c2.org);
+}
+
+#[test]
+fn pdc_isolates_within_channel_c1() {
+    let mut consortium = fig1_consortium();
+    // org1 writes private data shared with org4 only.
+    let outcome = consortium
+        .channel_mut("C1")
+        .submit_transaction(
+            "client0.org1",
+            "S1",
+            "write",
+            &["secret-k", "77"],
+            &[],
+            &["peer0.org1", "peer0.org4"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+
+    let ns = ChaincodeId::new("S1");
+    let col = CollectionName::new("PDC14");
+    let c1 = consortium.channel("C1");
+    // Members (P1, P4) hold plaintext.
+    assert!(c1.peer("peer0.org1").world_state().get_private(&ns, &col, "secret-k").is_some());
+    assert!(c1.peer("peer0.org4").world_state().get_private(&ns, &col, "secret-k").is_some());
+    // P2 is in the channel but not the PDC: hash only (the paper's Fig. 1).
+    assert!(c1.peer("peer0.org2").world_state().get_private(&ns, &col, "secret-k").is_none());
+    assert!(c1
+        .peer("peer0.org2")
+        .world_state()
+        .get_private_hash(&ns, &col, "secret-k")
+        .is_some());
+    // org3 is not even in the channel; its C2 peer has no trace at all.
+    assert!(consortium
+        .channel("C2")
+        .peer("peer0.org3")
+        .world_state()
+        .get_private_hash(&ns, &col, "secret-k")
+        .is_none());
+}
+
+#[test]
+fn non_channel_member_cannot_be_endorser() {
+    let mut consortium = fig1_consortium();
+    // org3 has no peer on C1 at all — the network cannot even route to it.
+    let err = consortium
+        .channel_mut("C1")
+        .submit_transaction(
+            "client0.org1",
+            "assets",
+            "CreateAsset",
+            &["x", "red", "alice", "1"],
+            &[],
+            &["peer0.org3"],
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        fabric_pdc::network::NetworkError::UnknownPeer(_)
+    ));
+}

@@ -1,0 +1,105 @@
+//! Parallel signature validation must be an observationally pure
+//! optimization: identical validation codes and identical resulting state.
+
+use fabric_pdc::prelude::*;
+use fabric_pdc::types::Block;
+use std::sync::Arc;
+
+/// Builds a block of `n` independent asset-creation transactions plus a
+/// few corrupted ones.
+fn build_block(net: &mut FabricNetwork, n: usize) -> Block {
+    let mut txs = Vec::new();
+    for i in 0..n {
+        let mut client = Client::new(
+            "Org1MSP",
+            Keypair::generate_from_seed(5000 + i as u64),
+            DefenseConfig::original(),
+        );
+        let proposal = client.create_proposal(
+            net.channel().clone(),
+            ChaincodeId::new("assets"),
+            "CreateAsset",
+            vec![
+                format!("a{i}").into_bytes(),
+                b"red".to_vec(),
+                b"alice".to_vec(),
+                b"1".to_vec(),
+            ],
+            Default::default(),
+        );
+        let r1 = net.endorse("peer0.org1", &proposal).unwrap();
+        let r2 = net.endorse("peer0.org2", &proposal).unwrap();
+        let (mut tx, _) = client.assemble_transaction(&proposal, &[r1, r2]).unwrap();
+        // Corrupt every fifth transaction's payload (breaks endorsements).
+        if i % 5 == 4 {
+            tx.payload.response.payload = b"tampered".to_vec();
+        }
+        txs.push(tx);
+    }
+    let peer = net.peer("peer0.org1");
+    Block::new(
+        peer.block_store().height(),
+        peer.block_store().tip_hash(),
+        txs,
+    )
+}
+
+#[test]
+fn parallel_and_sequential_validation_agree() {
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(990)
+        .build();
+    net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
+    let block = build_block(&mut net, 25);
+
+    let mut sequential = net.peer("peer0.org3").clone();
+    let mut parallel = net.peer("peer0.org3").clone();
+    parallel.set_parallel_validation(true);
+
+    let mut no_pvt = |_: &TxId| None;
+    let seq_outcome = sequential.process_block(block.clone(), &mut no_pvt).unwrap();
+    let par_outcome = parallel.process_block(block, &mut no_pvt).unwrap();
+
+    assert_eq!(seq_outcome, par_outcome);
+    // The corrupted ones failed, the rest passed.
+    let valid = seq_outcome
+        .validation_codes
+        .iter()
+        .filter(|c| c.is_valid())
+        .count();
+    assert_eq!(valid, 20);
+    // Tampering broke the client signature (checked first).
+    assert!(seq_outcome.validation_codes.iter().any(|c| matches!(
+        c,
+        TxValidationCode::InvalidClientSignature
+            | TxValidationCode::InvalidEndorserSignature
+    )));
+    // Identical resulting ledgers.
+    assert_eq!(
+        sequential.block_store().tip_hash(),
+        parallel.block_store().tip_hash()
+    );
+    assert_eq!(
+        sequential.world_state().public_len(),
+        parallel.world_state().public_len()
+    );
+}
+
+#[test]
+fn small_blocks_take_the_sequential_path() {
+    // Below the parallel threshold, the flag changes nothing (and the code
+    // path still works for 1-tx blocks).
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(991)
+        .build();
+    net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
+    let block = build_block(&mut net, 2);
+    let mut peer = net.peer("peer0.org3").clone();
+    peer.set_parallel_validation(true);
+    let mut no_pvt = |_: &TxId| None;
+    let outcome = peer.process_block(block, &mut no_pvt).unwrap();
+    assert_eq!(outcome.validation_codes.len(), 2);
+    assert!(outcome.validation_codes.iter().all(|c| c.is_valid()));
+}

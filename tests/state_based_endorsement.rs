@@ -1,0 +1,204 @@
+//! State-based (key-level) endorsement end to end: the Fabric machinery
+//! (`validator_keylevel.go`) the paper cites for Use Case 2. Key-level
+//! policies govern *writes* to a key; reads remain governed by the
+//! chaincode-level policy — the same asymmetry the paper exploits for PDC.
+
+use fabric_pdc::prelude::*;
+use fabric_pdc::chaincode::samples::SbeDemo;
+use std::sync::Arc;
+
+fn network(seed: u64) -> FabricNetwork {
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(seed)
+        .build();
+    net.deploy_chaincode(ChaincodeDefinition::new("sbe"), Arc::new(SbeDemo));
+    net
+}
+
+#[test]
+fn key_level_policy_governs_writes() {
+    let mut net = network(910);
+    // Create the key and pin it to AND(org1, org2).
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "put",
+            &["k1", "v1"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "set_policy",
+            &["k1", "AND('Org1MSP.peer','Org2MSP.peer')"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+
+    // A write endorsed by org1 + org3 satisfies MAJORITY (2 of 3) but NOT
+    // the key-level AND(org1, org2): rejected.
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "put",
+            &["k1", "attacker"],
+            &[],
+            &["peer0.org1", "peer0.org3"],
+        )
+        .unwrap();
+    assert_eq!(
+        outcome.validation_code,
+        TxValidationCode::EndorsementPolicyFailure
+    );
+    // State unchanged.
+    let v = net
+        .peer("peer0.org2")
+        .world_state()
+        .get_public(&ChaincodeId::new("sbe"), "k1")
+        .unwrap();
+    assert_eq!(v.value, b"v1");
+
+    // The compliant endorser set still works.
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "put",
+            &["k1", "v2"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+}
+
+#[test]
+fn reads_ignore_key_level_policy_like_use_case_2() {
+    // The same asymmetry as the paper's Use Case 2: key-level policies
+    // never govern read-only transactions.
+    let mut net = network(911);
+    net.submit_transaction(
+        "client0.org1",
+        "sbe",
+        "put",
+        &["k1", "v1"],
+        &[],
+        &["peer0.org1", "peer0.org2"],
+    )
+    .unwrap();
+    net.submit_transaction(
+        "client0.org1",
+        "sbe",
+        "set_policy",
+        &["k1", "AND('Org1MSP.peer','Org2MSP.peer')"],
+        &[],
+        &["peer0.org1", "peer0.org2"],
+    )
+    .unwrap();
+
+    // A read-only transaction endorsed by org1 + org3 — the key-level
+    // policy would reject this set, but reads only face MAJORITY.
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "get",
+            &["k1"],
+            &[],
+            &["peer0.org1", "peer0.org3"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+    assert_eq!(outcome.payload, b"v1");
+}
+
+#[test]
+fn changing_the_policy_requires_satisfying_the_existing_one() {
+    let mut net = network(912);
+    net.submit_transaction(
+        "client0.org1",
+        "sbe",
+        "put",
+        &["k1", "v1"],
+        &[],
+        &["peer0.org1", "peer0.org2"],
+    )
+    .unwrap();
+    net.submit_transaction(
+        "client0.org1",
+        "sbe",
+        "set_policy",
+        &["k1", "AND('Org1MSP.peer','Org2MSP.peer')"],
+        &[],
+        &["peer0.org1", "peer0.org2"],
+    )
+    .unwrap();
+
+    // org1 + org3 try to *loosen* the policy: must fail the existing AND.
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "set_policy",
+            &["k1", "OR('Org3MSP.peer')"],
+            &[],
+            &["peer0.org1", "peer0.org3"],
+        )
+        .unwrap();
+    assert_eq!(
+        outcome.validation_code,
+        TxValidationCode::EndorsementPolicyFailure
+    );
+
+    // Clearing it with the right endorsers works; afterwards MAJORITY
+    // governs writes again.
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "clear_policy",
+            &["k1"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            "sbe",
+            "put",
+            &["k1", "v3"],
+            &[],
+            &["peer0.org1", "peer0.org3"],
+        )
+        .unwrap();
+    assert!(outcome.validation_code.is_valid());
+}
+
+#[test]
+fn policy_is_queryable_after_commit() {
+    let mut net = network(913);
+    net.submit_transaction(
+        "client0.org1",
+        "sbe",
+        "set_policy",
+        &["k1", "OR('Org2MSP.peer')"],
+        &[],
+        &["peer0.org1", "peer0.org2"],
+    )
+    .unwrap();
+    let payload = net
+        .evaluate_transaction("client0.org1", "peer0.org3", "sbe", "get_policy", &["k1"])
+        .unwrap();
+    assert_eq!(payload, b"OR('Org2MSP.peer')");
+}
