@@ -2,33 +2,109 @@
 //! Python tool).
 //!
 //! ```console
-//! $ analyze scan <dir> [--json]      # scan a corpus directory
-//! $ analyze project <dir>            # detail scan of one project
-//! $ analyze generate <dir> [--full]  # materialize a synthetic corpus
+//! $ analyze scan <dir> [--json]            # scan a corpus directory
+//! $ analyze project <dir> [--json]         # detail scan of one project
+//! $ analyze lint <dir> [--json] [--sarif <path>]
+//!                                          # scan + run the PDC linter
+//! $ analyze generate <dir> [--full]        # materialize a synthetic corpus
 //! ```
+//!
+//! Unknown flags are errors: a typo like `--jsno` fails loudly instead of
+//! silently changing the output format.
 
-use fabric_analyzer::{corpus, scan_corpus, scan_project, CorpusReport, CorpusSpec};
-use std::path::Path;
+use fabric_analyzer::{
+    corpus, dir_is_project, lint_corpus, scan_corpus, scan_project, CorpusReport, CorpusSpec,
+};
+use fabric_lint::render;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  analyze scan <corpus-dir> [--json]
+  analyze project <project-dir> [--json]
+  analyze lint <dir> [--json] [--sarif <path>]
+  analyze generate <out-dir> [--full]";
+
+/// Parsed command line: positionals plus the accepted flags.
+struct Cli {
+    command: String,
+    dir: PathBuf,
+    json: bool,
+    full: bool,
+    sarif: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Parses the argument vector; any unknown flag or missing value is
+    /// an `Err` with a message.
+    fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut positionals: Vec<&str> = Vec::new();
+        let mut json = false;
+        let mut full = false;
+        let mut sarif = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => json = true,
+                "--full" => full = true,
+                "--sarif" => {
+                    let path = it
+                        .next()
+                        .ok_or_else(|| "--sarif requires an output path".to_string())?;
+                    sarif = Some(PathBuf::from(path));
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag: {flag}"));
+                }
+                positional => positionals.push(positional),
+            }
+        }
+        let [command, dir] = positionals[..] else {
+            return Err(format!(
+                "expected exactly a command and a directory, got {} positional argument(s)",
+                positionals.len()
+            ));
+        };
+        let allowed: &[&str] = match command {
+            "scan" | "project" => &["--json"],
+            "lint" => &["--json", "--sarif"],
+            "generate" => &["--full"],
+            other => return Err(format!("unknown command: {other}")),
+        };
+        if json && !allowed.contains(&"--json") {
+            return Err(format!("--json is not accepted by `{command}`"));
+        }
+        if full && !allowed.contains(&"--full") {
+            return Err(format!("--full is not accepted by `{command}`"));
+        }
+        if sarif.is_some() && !allowed.contains(&"--sarif") {
+            return Err(format!("--sarif is not accepted by `{command}`"));
+        }
+        Ok(Cli {
+            command: command.to_string(),
+            dir: PathBuf::from(dir),
+            json,
+            full,
+            sarif,
+        })
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
-    let command = positional.next().map(String::as_str);
-    let dir = positional.next().map(String::as_str);
-    let json = args.iter().any(|a| a == "--json");
-    let full = args.iter().any(|a| a == "--full");
-
-    match (command, dir) {
-        (Some("scan"), Some(dir)) => cmd_scan(Path::new(dir), json),
-        (Some("project"), Some(dir)) => cmd_project(Path::new(dir)),
-        (Some("generate"), Some(dir)) => cmd_generate(Path::new(dir), full),
-        _ => {
-            eprintln!(
-                "usage:\n  analyze scan <corpus-dir> [--json]\n  analyze project <project-dir>\n  analyze generate <out-dir> [--full]"
-            );
-            ExitCode::FAILURE
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}");
+            return ExitCode::FAILURE;
         }
+    };
+    match cli.command.as_str() {
+        "scan" => cmd_scan(&cli.dir, cli.json),
+        "project" => cmd_project(&cli.dir, cli.json),
+        "lint" => cmd_lint(&cli.dir, cli.json, cli.sarif.as_deref()),
+        "generate" => cmd_generate(&cli.dir, cli.full),
+        _ => unreachable!("validated by Cli::parse"),
     }
 }
 
@@ -52,7 +128,7 @@ fn cmd_scan(dir: &Path, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_project(dir: &Path) -> ExitCode {
+fn cmd_project(dir: &Path, json: bool) -> ExitCode {
     let report = match scan_project(dir) {
         Ok(r) => r,
         Err(e) => {
@@ -60,6 +136,10 @@ fn cmd_project(dir: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if json {
+        println!("{}", project_json(&report));
+        return ExitCode::SUCCESS;
+    }
     println!("project: {}", report.path.display());
     println!("explicit PDC:  {}", report.explicit_pdc);
     println!("implicit PDC:  {}", report.implicit_pdc);
@@ -77,12 +157,7 @@ fn cmd_project(dir: &Path) -> ExitCode {
         println!("leaks: none detected");
     } else {
         for l in &report.leaks {
-            println!(
-                "  LEAK [{}] {} in {}",
-                l.kind,
-                l.function,
-                l.file.display()
-            );
+            println!("  LEAK [{}] {} in {}", l.kind, l.function, l.file.display());
         }
     }
     if report.explicit_pdc && report.uses_chaincode_level_policy() {
@@ -92,6 +167,93 @@ fn cmd_project(dir: &Path) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// JSON detail report for one project (hand-rolled, like the rest of the
+/// workspace's encoders).
+fn project_json(report: &fabric_analyzer::ProjectReport) -> String {
+    use fabric_analyzer::json::escape;
+    let collections: Vec<String> = report
+        .collections
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"name\": \"{}\", \"endorsement_policy_customized\": {}}}",
+                escape(&c.name),
+                c.has_endorsement_policy
+            )
+        })
+        .collect();
+    let leaks: Vec<String> = report
+        .leaks
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"file\": \"{}\", \"function\": \"{}\", \"kind\": \"{}\"}}",
+                escape(&l.file.to_string_lossy()),
+                escape(&l.function),
+                l.kind
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"path\": \"{}\",\n  \"explicit_pdc\": {},\n  \"implicit_pdc\": {},\n  \
+         \"collections\": [{}],\n  \"default_policy\": {},\n  \"leaks\": [{}]\n}}",
+        escape(&report.path.to_string_lossy()),
+        report.explicit_pdc,
+        report.implicit_pdc,
+        collections.join(", "),
+        report
+            .default_policy
+            .as_deref()
+            .map_or("null".to_string(), |p| format!("\"{}\"", escape(p))),
+        leaks.join(", "),
+    )
+}
+
+fn cmd_lint(dir: &Path, json: bool, sarif: Option<&Path>) -> ExitCode {
+    // A directory with scannable files at its top level is one project
+    // (even when it has subdirectories like `chaincode/`); a corpus root
+    // holds only project subdirectories.
+    let reports = match dir_is_project(dir) {
+        Ok(true) => scan_project(dir).map(|r| vec![r]),
+        Ok(false) => scan_corpus(dir).and_then(|reports| {
+            if reports.is_empty() {
+                scan_project(dir).map(|r| vec![r])
+            } else {
+                Ok(reports)
+            }
+        }),
+        Err(e) => Err(e),
+    };
+    let reports = match reports {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot scan {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = lint_corpus(&reports);
+    if let Some(path) = sarif {
+        if let Err(e) = std::fs::write(path, render::render_sarif(&findings)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("SARIF report written to {}", path.display());
+    }
+    if json {
+        print!("{}", render::render_json(&findings));
+    } else {
+        print!("{}", render::render_text(&findings));
+    }
+    if findings
+        .iter()
+        .any(|f| f.severity == fabric_lint::Severity::Error)
+    {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_generate(dir: &Path, full: bool) -> ExitCode {

@@ -82,7 +82,13 @@ impl CorpusSpec {
     /// structure).
     pub fn small(seed: u64) -> Self {
         CorpusSpec {
-            per_year: vec![(2016, 6, 0), (2017, 19, 0), (2018, 45, 1), (2019, 110, 4), (2020, 140, 8)],
+            per_year: vec![
+                (2016, 6, 0),
+                (2017, 19, 0),
+                (2018, 45, 1),
+                (2019, 110, 4),
+                (2020, 140, 8),
+            ],
             explicit_only: 11,
             both: 1,
             implicit_only: 1,
@@ -228,9 +234,8 @@ pub fn generate(spec: &CorpusSpec) -> Vec<SyntheticProject> {
     }
 
     // Custom collection policy: assign to the first N explicit plans.
-    let mut explicit_indices: Vec<usize> = (0..plans.len())
-        .filter(|&i| plans[i].explicit)
-        .collect();
+    let mut explicit_indices: Vec<usize> =
+        (0..plans.len()).filter(|&i| plans[i].explicit).collect();
     explicit_indices.shuffle(&mut rng);
     for &i in explicit_indices.iter().take(spec.custom_collection_policy) {
         plans[i].custom_policy = true;
@@ -443,7 +448,9 @@ fn configtx_yaml(rule: ConfigtxRule) -> String {
 fn chaincode_source(truth: &ProjectTruth, go_style: bool) -> String {
     let mut src = String::new();
     if go_style {
-        src.push_str("package main\n\nimport \"github.com/hyperledger/fabric-chaincode-go/shim\"\n\n");
+        src.push_str(
+            "package main\n\nimport \"github.com/hyperledger/fabric-chaincode-go/shim\"\n\n",
+        );
         if truth.explicit {
             if truth.read_leak {
                 src.push_str(

@@ -57,6 +57,22 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The numeric content if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean content if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -247,8 +263,8 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             self.pos += 4;
@@ -268,8 +284,7 @@ impl<'a> Parser<'a> {
                         .bytes
                         .get(start..end)
                         .ok_or_else(|| self.err("truncated utf-8"))?;
-                    let s =
-                        std::str::from_utf8(slice).map_err(|_| self.err("invalid utf-8"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid utf-8"))?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -320,7 +335,10 @@ mod tests {
         ]"#;
         let v = parse(doc).unwrap();
         let first = &v.as_array().unwrap()[0];
-        assert_eq!(first.get("Name").unwrap().as_str(), Some("collectionMarbles"));
+        assert_eq!(
+            first.get("Name").unwrap().as_str(),
+            Some("collectionMarbles")
+        );
         assert_eq!(first.get("RequiredPeerCount"), Some(&Value::Number(0.0)));
         assert_eq!(first.get("MemberOnlyRead"), Some(&Value::Bool(true)));
         assert!(first.get("EndorsementPolicy").is_none());

@@ -27,10 +27,15 @@
 
 pub mod corpus;
 pub mod json;
+pub mod lint;
 pub mod report;
 pub mod scan;
 pub mod yamlish;
 
 pub use corpus::{CorpusSpec, SyntheticProject};
+pub use lint::{lint_corpus, subject_from_report};
 pub use report::{CorpusReport, YearRow};
-pub use scan::{scan_corpus, scan_project, CollectionDef, LeakFinding, LeakKind, ProjectReport};
+pub use scan::{
+    dir_is_project, scan_corpus, scan_corpus_sequential, scan_corpus_with, scan_project,
+    CollectionDef, LeakFinding, LeakKind, ProjectReport,
+};

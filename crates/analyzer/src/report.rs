@@ -89,9 +89,7 @@ impl CorpusReport {
             .count();
         let read_and_write_leak = reports
             .iter()
-            .filter(|r| {
-                r.explicit_pdc && r.leaks_by(LeakKind::Read) && r.leaks_by(LeakKind::Write)
-            })
+            .filter(|r| r.explicit_pdc && r.leaks_by(LeakKind::Read) && r.leaks_by(LeakKind::Write))
             .count();
 
         CorpusReport {
@@ -270,8 +268,7 @@ mod tests {
     #[test]
     fn scanner_rederives_ground_truth() {
         let spec = CorpusSpec::small(9);
-        let root =
-            std::env::temp_dir().join(format!("fabric-corpus-test-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("fabric-corpus-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
         let projects = crate::corpus::materialize(&spec, &root).unwrap();
         assert_eq!(projects.len(), spec.total());
@@ -311,7 +308,11 @@ mod tests {
     #[test]
     fn json_report_parses_back() {
         let agg = CorpusReport {
-            years: vec![YearRow { year: 2020, total: 10, pdc: 2 }],
+            years: vec![YearRow {
+                year: 2020,
+                total: 10,
+                pdc: 2,
+            }],
             total: 10,
             explicit: 2,
             implicit: 1,
@@ -351,6 +352,7 @@ mod tests {
                     r.collections.push(crate::scan::CollectionDef {
                         name: "c".into(),
                         has_endorsement_policy: p.truth.custom_policy,
+                        ..crate::scan::CollectionDef::default()
                     });
                 }
                 r

@@ -23,7 +23,12 @@ const IMPLICIT_MARKER: &str = "_implicit_org_";
 const CHAINCODE_EXTENSIONS: [&str; 4] = ["go", "js", "ts", "java"];
 
 /// One collection found in an explicit definition file.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Beyond the paper's binary "is `EndorsementPolicy` customized" signal,
+/// the scanner retains every configuration field it saw so the linter
+/// (`fabric-lint`) can check the full misconfiguration surface. Fields a
+/// definition file omitted stay `None` — the linter never guesses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CollectionDef {
     /// The `Name` field.
     pub name: String,
@@ -31,6 +36,22 @@ pub struct CollectionDef {
     /// the chaincode-level policy validates PDC transactions — the
     /// vulnerable default.
     pub has_endorsement_policy: bool,
+    /// The membership `Policy` expression.
+    pub member_policy: Option<String>,
+    /// The `EndorsementPolicy` signature-policy expression, when the file
+    /// customizes one (`EndorsementPolicy.SignaturePolicy`, or a bare
+    /// string).
+    pub endorsement_policy: Option<String>,
+    /// `RequiredPeerCount`, when present.
+    pub required_peer_count: Option<u32>,
+    /// `MaxPeerCount`, when present.
+    pub max_peer_count: Option<u32>,
+    /// `BlockToLive`, when present.
+    pub block_to_live: Option<u64>,
+    /// `MemberOnlyRead`, when present.
+    pub member_only_read: Option<bool>,
+    /// `MemberOnlyWrite`, when present.
+    pub member_only_write: Option<bool>,
 }
 
 /// Which direction a leaky chaincode function leaks.
@@ -101,6 +122,30 @@ impl ProjectReport {
     }
 }
 
+/// Whether `dir` looks like a single project rather than a corpus of
+/// projects: a project keeps scannable files (JSON/YAML configuration or
+/// chaincode sources) at its top level, while a corpus root holds only
+/// project subdirectories.
+///
+/// # Errors
+///
+/// Returns an I/O error when the directory cannot be read.
+pub fn dir_is_project(dir: &Path) -> std::io::Result<bool> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+            continue;
+        };
+        if matches!(ext, "json" | "yaml" | "yml") || CHAINCODE_EXTENSIONS.contains(&ext) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
 /// Scans one Fabric project directory.
 ///
 /// # Errors
@@ -132,13 +177,12 @@ pub fn scan_project(root: &Path) -> std::io::Result<ProjectReport> {
             };
             match ext {
                 "json" => scan_json_file(&content, &mut report),
-                "yaml" | "yml" => {
+                "yaml" | "yml"
                     if path
                         .file_name()
-                        .is_some_and(|n| n.to_string_lossy().starts_with("configtx"))
-                    {
-                        scan_configtx(&content, &mut report);
-                    }
+                        .is_some_and(|n| n.to_string_lossy().starts_with("configtx")) =>
+                {
+                    scan_configtx(&content, &mut report);
                 }
                 e if CHAINCODE_EXTENSIONS.contains(&e) => {
                     let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
@@ -151,23 +195,68 @@ pub fn scan_project(root: &Path) -> std::io::Result<ProjectReport> {
     Ok(report)
 }
 
-/// Scans a directory of project directories (a corpus checkout).
+/// Scans a directory of project directories (a corpus checkout), using
+/// one scan worker per available core (capped at 8).
+///
+/// The report order — and therefore every rendered aggregate — is
+/// byte-identical to a sequential scan: projects are assigned to workers
+/// by index into the sorted directory list and results land back in
+/// their slots, so parallelism never reorders output.
 ///
 /// # Errors
 ///
-/// Propagates traversal failures of the corpus root itself.
+/// Propagates traversal failures of the corpus root itself, or the first
+/// (in directory order) project scan error.
 pub fn scan_corpus(corpus_root: &Path) -> std::io::Result<Vec<ProjectReport>> {
-    let mut reports = Vec::new();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    scan_corpus_with(corpus_root, workers)
+}
+
+/// Sequential [`scan_corpus`] — the reference implementation parallel
+/// scans must byte-match.
+pub fn scan_corpus_sequential(corpus_root: &Path) -> std::io::Result<Vec<ProjectReport>> {
+    scan_corpus_with(corpus_root, 1)
+}
+
+/// Scans a corpus with an explicit worker count (`0` is treated as `1`).
+///
+/// # Errors
+///
+/// See [`scan_corpus`].
+pub fn scan_corpus_with(corpus_root: &Path, workers: usize) -> std::io::Result<Vec<ProjectReport>> {
     let mut project_dirs: Vec<PathBuf> = fs::read_dir(corpus_root)?
         .flatten()
         .map(|e| e.path())
         .filter(|p| p.is_dir())
         .collect();
     project_dirs.sort();
-    for dir in project_dirs {
-        reports.push(scan_project(&dir)?);
-    }
-    Ok(reports)
+    let workers = workers.clamp(1, project_dirs.len().max(1));
+
+    let mut slots: Vec<Option<std::io::Result<ProjectReport>>> =
+        (0..project_dirs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let dirs = &project_dirs;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    // Strided assignment: worker `w` scans dirs w, w+workers, …
+                    (w..dirs.len())
+                        .step_by(workers)
+                        .map(|i| (i, scan_project(&dirs[i])))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("scan worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot scanned"))
+        .collect()
 }
 
 /// Explicit-PDC detection: the `.json` must parse, contain objects with
@@ -201,9 +290,29 @@ fn scan_json_file(content: &str, report: &mut ProjectReport) {
             continue;
         }
         report.explicit_pdc = true;
+        let endorsement_policy = col.get("EndorsementPolicy").and_then(|ep| {
+            ep.get("SignaturePolicy")
+                .and_then(json::Value::as_str)
+                .or_else(|| ep.as_str())
+                .map(str::to_string)
+        });
+        let count = |key: &str| col.get(key).and_then(json::Value::as_f64).map(|n| n as u32);
         report.collections.push(CollectionDef {
             name: name.to_string(),
             has_endorsement_policy: col.get("EndorsementPolicy").is_some(),
+            member_policy: col
+                .get("Policy")
+                .and_then(json::Value::as_str)
+                .map(str::to_string),
+            endorsement_policy,
+            required_peer_count: count("RequiredPeerCount"),
+            max_peer_count: count("MaxPeerCount"),
+            block_to_live: col
+                .get("BlockToLive")
+                .and_then(json::Value::as_f64)
+                .map(|n| n as u64),
+            member_only_read: col.get("MemberOnlyRead").and_then(json::Value::as_bool),
+            member_only_write: col.get("MemberOnlyWrite").and_then(json::Value::as_bool),
         });
     }
 }
@@ -260,7 +369,10 @@ fn scan_chaincode(content: &str, rel_path: &Path, report: &mut ProjectReport) {
                 put_values.push(arg);
             }
             if let Some(expr) = returned_expression(line) {
-                if put_values.iter().any(|v| !v.is_empty() && expr.contains(v.as_str())) {
+                if put_values
+                    .iter()
+                    .any(|v| !v.is_empty() && expr.contains(v.as_str()))
+                {
                     report.leaks.push(LeakFinding {
                         file: rel_path.to_path_buf(),
                         function: function.name.clone(),
@@ -591,7 +703,10 @@ func readOwn(stub shim.ChaincodeStubInterface) (string, error) {
             "Application:\n    Policies:\n        Endorsement:\n            Type: ImplicitMeta\n            Rule: \"MAJORITY Endorsement\"\n",
             &mut report,
         );
-        assert_eq!(report.default_policy.as_deref(), Some("MAJORITY Endorsement"));
+        assert_eq!(
+            report.default_policy.as_deref(),
+            Some("MAJORITY Endorsement")
+        );
     }
 
     #[test]
@@ -614,7 +729,10 @@ func readOwn(stub shim.ChaincodeStubInterface) (string, error) {
         assert!(report.explicit_pdc);
         assert!(report.uses_chaincode_level_policy());
         assert!(report.leaks_by(LeakKind::Write));
-        assert_eq!(report.default_policy.as_deref(), Some("MAJORITY Endorsement"));
+        assert_eq!(
+            report.default_policy.as_deref(),
+            Some("MAJORITY Endorsement")
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -109,9 +109,7 @@ pub fn parse(input: &str) -> Result<Yaml, YamlError> {
         if trimmed.trim().is_empty() || trimmed.trim() == "---" {
             continue;
         }
-        if trimmed.trim_start_matches(' ').starts_with('\t')
-            || trimmed.starts_with('\t')
-        {
+        if trimmed.trim_start_matches(' ').starts_with('\t') || trimmed.starts_with('\t') {
             return Err(YamlError {
                 line: number,
                 message: "tab indentation is not supported".into(),
@@ -137,11 +135,9 @@ fn strip_comment(line: &str) -> String {
         match c {
             '\'' if !in_double => in_single = !in_single,
             '"' if !in_single => in_double = !in_double,
-            '#' if !in_single && !in_double => {
-                // A comment starts at '#' at start-of-line or after space.
-                if i == 0 || line[..i].ends_with(' ') {
-                    return out;
-                }
+            // A comment starts at '#' at start-of-line or after space.
+            '#' if !in_single && !in_double && (i == 0 || line[..i].ends_with(' ')) => {
+                return out;
             }
             _ => {}
         }
@@ -206,8 +202,8 @@ fn parse_list(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, Ya
             items.push(Yaml::Map(pairs));
         } else {
             let scalar = clean_scalar(&rest);
-            let has_nested_block = scalar.is_empty()
-                && lines.get(*pos).is_some_and(|next| next.indent > indent);
+            let has_nested_block =
+                scalar.is_empty() && lines.get(*pos).is_some_and(|next| next.indent > indent);
             if has_nested_block {
                 // "- &Anchor" followed by an indented mapping: the anchor
                 // is stripped and the nested block is the list item.
@@ -256,8 +252,8 @@ fn parse_map(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, Yam
             }
         } else {
             let scalar = clean_scalar(&value);
-            let has_nested_block = scalar.is_empty()
-                && lines.get(*pos).is_some_and(|next| next.indent > indent);
+            let has_nested_block =
+                scalar.is_empty() && lines.get(*pos).is_some_and(|next| next.indent > indent);
             if has_nested_block {
                 // "Key: &Anchor" followed by an indented block: the anchor
                 // is stripped and the block is the value.
@@ -364,10 +360,7 @@ Application: &ApplicationDefaults
         match orgs {
             Yaml::List(items) => {
                 assert_eq!(items.len(), 1);
-                assert_eq!(
-                    items[0].get("Name").and_then(Yaml::as_str),
-                    Some("Org1MSP")
-                );
+                assert_eq!(items[0].get("Name").and_then(Yaml::as_str), Some("Org1MSP"));
                 // The org's own signature policy is reachable too.
                 assert_eq!(
                     items[0].find_rule("Endorsement"),
@@ -381,7 +374,10 @@ Application: &ApplicationDefaults
     #[test]
     fn comments_and_quotes() {
         let doc = parse("key: \"value # not a comment\" # real comment\nother: 1\n").unwrap();
-        assert_eq!(doc.get("key").and_then(Yaml::as_str), Some("value # not a comment"));
+        assert_eq!(
+            doc.get("key").and_then(Yaml::as_str),
+            Some("value # not a comment")
+        );
         assert_eq!(doc.get("other").and_then(Yaml::as_str), Some("1"));
     }
 

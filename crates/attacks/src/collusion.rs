@@ -39,11 +39,7 @@ impl ColludingGuardedPdc {
     /// Forges the read-set entry: `GetPrivateDataHash` records the same
     /// `(key, version)` a member's `GetPrivateData` would, without needing
     /// the plaintext.
-    fn forge_read(
-        &self,
-        stub: &mut ChaincodeStub<'_>,
-        key: &str,
-    ) -> Result<(), ChaincodeError> {
+    fn forge_read(&self, stub: &mut ChaincodeStub<'_>, key: &str) -> Result<(), ChaincodeError> {
         if stub.get_private_data_hash(&self.collection, key).is_none() {
             // Even forging needs an existing key (a correct version).
             return Err(ChaincodeError::KeyNotFound {
@@ -137,10 +133,7 @@ mod tests {
     ) {
         let ws = non_member_state();
         let def = ChaincodeDefinition::new("guarded").with_collection(
-            CollectionConfig::membership_of(
-                COL,
-                &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-            ),
+            CollectionConfig::membership_of(COL, &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")]),
         );
         // The malicious peer is org3: NOT a member.
         let memberships: HashSet<CollectionName> = HashSet::new();

@@ -132,10 +132,7 @@ pub fn run_write_leakage_scenario(defense: DefenseConfig, seed: u64) -> LeakScen
         .defense(defense)
         .build();
     let definition = ChaincodeDefinition::new("sacc").with_collection(
-        CollectionConfig::membership_of(
-            "demo",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        ),
+        CollectionConfig::membership_of("demo", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")]),
     );
     net.deploy_chaincode(definition, Arc::new(SaccPrivate::new("demo")));
 

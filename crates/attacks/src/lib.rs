@@ -24,10 +24,15 @@ mod mal_client;
 mod table2;
 
 pub use collusion::ColludingGuardedPdc;
-pub use lab::{build_lab, run_all, run_attack, AttackKind, AttackLab, AttackOutcome, ChaincodePolicy, LabConfig};
+pub use lab::{
+    build_lab, run_all, run_attack, AttackKind, AttackLab, AttackOutcome, ChaincodePolicy,
+    LabConfig,
+};
 pub use leakage::{
     extract_payload_leaks, run_read_leakage_scenario, run_write_leakage_scenario, LeakScenario,
     LeakedRecord,
 };
 pub use mal_client::MaliciousClient;
-pub use table2::{render_table2, run_supplemental_filter_matrix, run_table2, Table2Cell, Table2Row};
+pub use table2::{
+    render_table2, run_supplemental_filter_matrix, run_table2, Table2Cell, Table2Row,
+};

@@ -69,10 +69,8 @@ impl MaliciousClient {
     ) -> Option<Transaction> {
         let first = responses.first()?;
         let payload = first.payload.clone();
-        let endorsements: Vec<Endorsement> = responses
-            .iter()
-            .map(|r| r.endorsement.clone())
-            .collect();
+        let endorsements: Vec<Endorsement> =
+            responses.iter().map(|r| r.endorsement.clone()).collect();
         let client_signature = self.keypair.sign(&Transaction::client_signed_bytes(
             &proposal.tx_id,
             &payload,

@@ -100,7 +100,8 @@ pub fn run_table2(seed: u64) -> Vec<Table2Row> {
         });
     }
 
-    let leak_runs: [(&str, Box<dyn Fn(DefenseConfig, u64) -> bool>); 2] = [
+    type LeakRun = Box<dyn Fn(DefenseConfig, u64) -> bool>;
+    let leak_runs: [(&str, LeakRun); 2] = [
         (
             "PDC-Read",
             Box::new(|d, s| run_read_leakage_scenario(d, s).leaked),

@@ -99,7 +99,12 @@ fn ledger_benches(c: &mut Criterion) {
             let mut ws = WorldState::new();
             let ns = ChaincodeId::new(NS);
             for i in 0..1000u64 {
-                ws.put_public(&ns, &format!("k{i}"), i.to_be_bytes().to_vec(), Version::new(1, i));
+                ws.put_public(
+                    &ns,
+                    &format!("k{i}"),
+                    i.to_be_bytes().to_vec(),
+                    Version::new(1, i),
+                );
             }
             for i in 0..1000u64 {
                 black_box(ws.get_public(&ns, &format!("k{i}")));
@@ -112,7 +117,13 @@ fn ledger_benches(c: &mut Criterion) {
             let ns = ChaincodeId::new(NS);
             let col = CollectionName::new("PDC1");
             for i in 0..1000u64 {
-                ws.put_private(&ns, &col, &format!("k{i}"), vec![1u8; 64], Version::new(1, i));
+                ws.put_private(
+                    &ns,
+                    &col,
+                    &format!("k{i}"),
+                    vec![1u8; 64],
+                    Version::new(1, i),
+                );
             }
             black_box(ws.hashed_len())
         })
@@ -249,10 +260,7 @@ fn parallel_validation_benches(c: &mut Criterion) {
     group.sample_size(20);
     // A 64-transaction block of independent public writes.
     let mut net = fixture_network(DefenseConfig::original(), 15);
-    net.deploy_chaincode(
-        ChaincodeDefinition::new("assets"),
-        Arc::new(AssetTransfer),
-    );
+    net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
     let mut txs = Vec::new();
     for i in 0..64u64 {
         let mut client = Client::new(

@@ -15,10 +15,7 @@ const RUNS: usize = 100;
 const WARMUP: usize = 10;
 
 fn fmt(stats: Stats) -> String {
-    format!(
-        "{:>9.1?} (min {:>9.1?})",
-        stats.mean, stats.min
-    )
+    format!("{:>9.1?} (min {:>9.1?})", stats.mean, stats.min)
 }
 
 fn main() {
@@ -44,8 +41,7 @@ fn main() {
             });
             cells.push(stats);
         }
-        let overhead =
-            cells[1].mean.as_secs_f64() / cells[0].mean.as_secs_f64() * 100.0 - 100.0;
+        let overhead = cells[1].mean.as_secs_f64() / cells[0].mean.as_secs_f64() * 100.0 - 100.0;
         println!(
             "{:<8} | {:<28} | {:<28} | {:+.1} %",
             op.label(),
@@ -76,8 +72,7 @@ fn main() {
             });
             cells.push(stats);
         }
-        let overhead =
-            cells[1].mean.as_secs_f64() / cells[0].mean.as_secs_f64() * 100.0 - 100.0;
+        let overhead = cells[1].mean.as_secs_f64() / cells[0].mean.as_secs_f64() * 100.0 - 100.0;
         println!(
             "{:<8} | {:<28} | {:<28} | {:+.1} %",
             op.label(),

@@ -100,8 +100,8 @@ fn main() {
     println!("TABLE I — READ/WRITE SET IN DIFFERENT TYPES OF TRANSACTIONS ON <k1, val1>");
     println!("(k1 exists at version 1:0; sets produced by real chaincode simulation)\n");
     println!(
-        "{:<14} | {:<12} | {:<18} | {}",
-        "Tx Type", "Kind", "Read Set", "Write Set"
+        "{:<14} | {:<12} | {:<18} | Write Set",
+        "Tx Type", "Kind", "Read Set"
     );
     println!("{}", "-".repeat(84));
     for function in ["read_only", "write_only", "read_write", "delete_only"] {

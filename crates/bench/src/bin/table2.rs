@@ -42,7 +42,11 @@ fn main() {
         println!(
             "  {:<14} -> {}",
             label,
-            if works { "WORKS (filter failed!)" } else { "blocked" }
+            if works {
+                "WORKS (filter failed!)"
+            } else {
+                "blocked"
+            }
         );
     }
 }

@@ -24,12 +24,9 @@ pub fn fixture_network(defense: DefenseConfig, seed: u64) -> FabricNetwork {
     let def = ChaincodeDefinition::new(NS)
         .with_endorsement_policy("MAJORITY Endorsement")
         .with_collection(
-            CollectionConfig::membership_of(
-                COL,
-                &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-            )
-            .with_member_only_read(false)
-            .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')"),
+            CollectionConfig::membership_of(COL, &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+                .with_member_only_read(false)
+                .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')"),
         );
     net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained(COL)));
     let outcome = net
@@ -120,8 +117,14 @@ pub fn prepared_block(
         args,
         Default::default(),
     );
-    let (r1, pvt) = net.peer("peer0.org1").endorse(&proposal).expect("endorse org1");
-    let (r2, _) = net.peer("peer0.org2").endorse(&proposal).expect("endorse org2");
+    let (r1, pvt) = net
+        .peer("peer0.org1")
+        .endorse(&proposal)
+        .expect("endorse org1");
+    let (r2, _) = net
+        .peer("peer0.org2")
+        .endorse(&proposal)
+        .expect("endorse org2");
     let (tx, _) = client
         .assemble_transaction(&proposal, &[r1, r2])
         .expect("assemble");

@@ -123,7 +123,10 @@ impl Chaincode for AssetTransfer {
                 let mut asset = Asset::from_bytes(&bytes)?;
                 let old_owner = std::mem::replace(&mut asset.owner, new_owner.clone());
                 stub.put_state(&id, asset.to_bytes());
-                stub.set_event("TransferAsset", format!("{id}:{old_owner}->{new_owner}").into_bytes());
+                stub.set_event(
+                    "TransferAsset",
+                    format!("{id}:{old_owner}->{new_owner}").into_bytes(),
+                );
                 Ok(old_owner.into_bytes())
             }
             "DeleteAsset" => {
@@ -206,12 +209,7 @@ mod tests {
             owner: "alice".into(),
             value: 100,
         };
-        ws.put_public(
-            &"assets".into(),
-            "a1",
-            asset.to_bytes(),
-            Version::new(1, 0),
-        );
+        ws.put_public(&"assets".into(), "a1", asset.to_bytes(), Version::new(1, 0));
         ws
     }
 

@@ -68,7 +68,11 @@ pub struct GuardedPdc {
 
 impl GuardedPdc {
     /// Creates an org's variant with its guards.
-    pub fn new(collection: impl Into<CollectionName>, write_guard: Guard, delete_guard: Guard) -> Self {
+    pub fn new(
+        collection: impl Into<CollectionName>,
+        write_guard: Guard,
+        delete_guard: Guard,
+    ) -> Self {
         GuardedPdc {
             collection: collection.into(),
             write_guard,
@@ -91,11 +95,7 @@ impl GuardedPdc {
         self.write_guard
     }
 
-    fn read_int(
-        &self,
-        stub: &mut ChaincodeStub<'_>,
-        key: &str,
-    ) -> Result<i64, ChaincodeError> {
+    fn read_int(&self, stub: &mut ChaincodeStub<'_>, key: &str) -> Result<i64, ChaincodeError> {
         let bytes = stub
             .get_private_data(&self.collection, key)?
             .ok_or_else(|| ChaincodeError::KeyNotFound {

@@ -127,11 +127,7 @@ mod tests {
     fn commit(ws: &mut WorldState, function: &str, args: &[&str], height: u64) {
         let (out, results) = invoke(ws, function, args);
         out.expect("invocation succeeds");
-        ws.apply_public_writes(
-            &"indexed".into(),
-            &results.public,
-            Version::new(height, 0),
-        );
+        ws.apply_public_writes(&"indexed".into(), &results.public, Version::new(height, 0));
     }
 
     #[test]

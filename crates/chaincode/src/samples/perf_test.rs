@@ -159,12 +159,7 @@ mod tests {
 
     #[test]
     fn create_stores_transient_asset() {
-        let out = run(
-            "createPrivatePerfTest",
-            &["t1"],
-            &[("asset", "data")],
-            None,
-        );
+        let out = run("createPrivatePerfTest", &["t1"], &[("asset", "data")], None);
         assert!(out.unwrap().is_empty());
     }
 }

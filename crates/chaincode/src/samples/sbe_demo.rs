@@ -24,11 +24,10 @@ impl Chaincode for SbeDemo {
         match stub.function() {
             "put" => {
                 let key = stub.arg_str(0)?;
-                let value = stub
-                    .args()
-                    .get(1)
-                    .cloned()
-                    .ok_or_else(|| ChaincodeError::InvalidArguments("put needs a value".into()))?;
+                let value =
+                    stub.args().get(1).cloned().ok_or_else(|| {
+                        ChaincodeError::InvalidArguments("put needs a value".into())
+                    })?;
                 stub.put_state(&key, value);
                 Ok(Vec::new())
             }
@@ -98,7 +97,11 @@ mod tests {
     #[test]
     fn set_policy_stages_metadata_write() {
         let ws = WorldState::new();
-        let (out, results) = run(&ws, "set_policy", &["k1", "AND('Org1MSP.peer','Org2MSP.peer')"]);
+        let (out, results) = run(
+            &ws,
+            "set_policy",
+            &["k1", "AND('Org1MSP.peer','Org2MSP.peer')"],
+        );
         assert!(out.is_ok());
         assert_eq!(results.metadata_writes.len(), 1);
         assert_eq!(results.metadata_writes[0].key, "k1");

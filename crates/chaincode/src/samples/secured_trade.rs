@@ -64,19 +64,27 @@ impl Chaincode for SecuredTrade {
                     .to_vec();
                 // Any peer — member or not — can serve this: only hashes
                 // are compared.
-                let on_chain =
-                    stub.get_private_data_hash(&self.collection, &id)
-                        .ok_or_else(|| ChaincodeError::KeyNotFound {
-                            collection: Some(self.collection.clone()),
-                            key: id,
-                        })?;
+                let on_chain = stub
+                    .get_private_data_hash(&self.collection, &id)
+                    .ok_or_else(|| ChaincodeError::KeyNotFound {
+                        collection: Some(self.collection.clone()),
+                        key: id,
+                    })?;
                 let matches = sha256(&claimed) == on_chain;
-                Ok(if matches { b"true".to_vec() } else { b"false".to_vec() })
+                Ok(if matches {
+                    b"true".to_vec()
+                } else {
+                    b"false".to_vec()
+                })
             }
             "exists" => {
                 let id = stub.arg_str(0)?;
                 let exists = stub.get_private_data_hash(&self.collection, &id).is_some();
-                Ok(if exists { b"true".to_vec() } else { b"false".to_vec() })
+                Ok(if exists {
+                    b"true".to_vec()
+                } else {
+                    b"false".to_vec()
+                })
             }
             other => Err(ChaincodeError::FunctionNotFound(other.to_string())),
         }
@@ -185,7 +193,13 @@ mod tests {
 
     #[test]
     fn exists_probe() {
-        assert_eq!(run(false, Some(b"x"), "exists", &["asset1"], &[]).unwrap(), b"true");
-        assert_eq!(run(false, None, "exists", &["asset1"], &[]).unwrap(), b"false");
+        assert_eq!(
+            run(false, Some(b"x"), "exists", &["asset1"], &[]).unwrap(),
+            b"true"
+        );
+        assert_eq!(
+            run(false, None, "exists", &["asset1"], &[]).unwrap(),
+            b"false"
+        );
     }
 }

@@ -112,9 +112,10 @@ impl<'a> ChaincodeStub<'a> {
     ///
     /// [`ChaincodeError::InvalidArguments`] when absent or not UTF-8.
     pub fn arg_str(&self, i: usize) -> Result<String, ChaincodeError> {
-        let bytes = self.args.get(i).ok_or_else(|| {
-            ChaincodeError::InvalidArguments(format!("missing argument {i}"))
-        })?;
+        let bytes = self
+            .args
+            .get(i)
+            .ok_or_else(|| ChaincodeError::InvalidArguments(format!("missing argument {i}")))?;
         String::from_utf8(bytes.clone())
             .map_err(|_| ChaincodeError::InvalidArguments(format!("argument {i} is not utf-8")))
     }
@@ -336,8 +337,7 @@ impl<'a> ChaincodeStub<'a> {
             });
         }
         if let Some(cfg) = self.definition.collection(collection) {
-            if cfg.member_only_read
-                && !self.definition.org_is_member(&self.creator.org, collection)
+            if cfg.member_only_read && !self.definition.org_is_member(&self.creator.org, collection)
             {
                 return Err(ChaincodeError::MemberOnlyRead {
                     collection: collection.clone(),
@@ -434,12 +434,10 @@ mod tests {
 
     fn setup() -> (WorldState, ChaincodeDefinition) {
         let mut ws = WorldState::new();
-        let def = ChaincodeDefinition::new("cc").with_collection(
-            CollectionConfig::membership_of(
-                "PDC1",
-                &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-            ),
-        );
+        let def = ChaincodeDefinition::new("cc").with_collection(CollectionConfig::membership_of(
+            "PDC1",
+            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
+        ));
         ws.put_public(&def.id, "pub1", b"v".to_vec(), Version::new(1, 0));
         ws.put_private(
             &def.id,

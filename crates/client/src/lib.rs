@@ -159,10 +159,8 @@ impl Client {
             PayloadCommitment::Plain => first.payload.clone(),
             PayloadCommitment::HashedPayload => first.payload.to_hashed_payload_form(),
         };
-        let endorsements: Vec<Endorsement> = responses
-            .iter()
-            .map(|r| r.endorsement.clone())
-            .collect();
+        let endorsements: Vec<Endorsement> =
+            responses.iter().map(|r| r.endorsement.clone()).collect();
         let client_signature = self.keypair.sign(&Transaction::client_signed_bytes(
             &proposal.tx_id,
             &tx_payload,

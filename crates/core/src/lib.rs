@@ -27,6 +27,7 @@
 //! | network | [`network`] | in-process composition of everything above |
 //! | attacks | [`attacks`] | §IV attacks and the §V-A/§V-B experiment labs |
 //! | analyzer | [`analyzer`] | §V-C static analyzer + synthetic corpus |
+//! | lint | [`lint`] | rule-based PDC misconfiguration linter (text/JSON/SARIF) |
 //!
 //! ## Quick start
 //!
@@ -73,6 +74,7 @@ pub use fabric_client as client;
 pub use fabric_crypto as crypto;
 pub use fabric_gossip as gossip;
 pub use fabric_ledger as ledger;
+pub use fabric_lint as lint;
 pub use fabric_network as network;
 pub use fabric_orderer as orderer;
 pub use fabric_peer as peer;

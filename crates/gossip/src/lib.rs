@@ -260,7 +260,9 @@ mod tests {
         assert_eq!(delivered, 2);
         assert!(hub.get(&PeerId::new("m1"), &TxId::new("tx1")).is_some());
         assert!(hub.get(&PeerId::new("m2"), &TxId::new("tx1")).is_some());
-        assert!(hub.get(&PeerId::new("outsider"), &TxId::new("tx1")).is_none());
+        assert!(hub
+            .get(&PeerId::new("outsider"), &TxId::new("tx1"))
+            .is_none());
         assert!(hub.get(&PeerId::new("e"), &TxId::new("tx1")).is_none());
     }
 

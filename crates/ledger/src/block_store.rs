@@ -68,10 +68,7 @@ impl BlockStore {
     /// Hash of the chain tip, or the all-zero hash for an empty chain
     /// (used as `previous_hash` of the genesis block).
     pub fn tip_hash(&self) -> Hash256 {
-        self.blocks
-            .last()
-            .map(|b| b.hash())
-            .unwrap_or_default()
+        self.blocks.last().map(|b| b.hash()).unwrap_or_default()
     }
 
     /// Appends a block after verifying number, chain hash, and data hash.

@@ -75,8 +75,22 @@ mod tests {
     #[test]
     fn records_in_commit_order() {
         let mut db = HistoryDb::new();
-        db.record(&ns(), "k", &TxId::new("t1"), Version::new(1, 0), Some(b"a".to_vec()), false);
-        db.record(&ns(), "k", &TxId::new("t2"), Version::new(2, 0), Some(b"b".to_vec()), false);
+        db.record(
+            &ns(),
+            "k",
+            &TxId::new("t1"),
+            Version::new(1, 0),
+            Some(b"a".to_vec()),
+            false,
+        );
+        db.record(
+            &ns(),
+            "k",
+            &TxId::new("t2"),
+            Version::new(2, 0),
+            Some(b"b".to_vec()),
+            false,
+        );
         db.record(&ns(), "k", &TxId::new("t3"), Version::new(3, 0), None, true);
         let h = db.key_history(&ns(), "k");
         assert_eq!(h.len(), 3);
@@ -95,7 +109,14 @@ mod tests {
     #[test]
     fn namespaces_are_isolated() {
         let mut db = HistoryDb::new();
-        db.record(&ns(), "k", &TxId::new("t1"), Version::new(1, 0), Some(vec![1]), false);
+        db.record(
+            &ns(),
+            "k",
+            &TxId::new("t1"),
+            Version::new(1, 0),
+            Some(vec![1]),
+            false,
+        );
         assert!(db.key_history(&ChaincodeId::new("other"), "k").is_empty());
     }
 }

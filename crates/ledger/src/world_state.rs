@@ -85,8 +85,10 @@ impl WorldState {
 
     /// Applies a public write at `version`.
     pub fn put_public(&mut self, ns: &ChaincodeId, key: &str, value: Vec<u8>, version: Version) {
-        self.public
-            .insert((ns.clone(), key.to_string()), VersionedValue { value, version });
+        self.public.insert(
+            (ns.clone(), key.to_string()),
+            VersionedValue { value, version },
+        );
     }
 
     /// Deletes a public key.
@@ -174,8 +176,10 @@ impl WorldState {
         value_hash: Hash256,
         version: Version,
     ) {
-        self.hashed
-            .insert((ns.clone(), collection.clone(), key_hash), (value_hash, version));
+        self.hashed.insert(
+            (ns.clone(), collection.clone(), key_hash),
+            (value_hash, version),
+        );
     }
 
     /// Deletes a hashed private entry by key hash.
@@ -219,10 +223,12 @@ impl WorldState {
     ) {
         match policy {
             Some(p) => {
-                self.validation_params.insert((ns.clone(), key.to_string()), p);
+                self.validation_params
+                    .insert((ns.clone(), key.to_string()), p);
             }
             None => {
-                self.validation_params.remove(&(ns.clone(), key.to_string()));
+                self.validation_params
+                    .remove(&(ns.clone(), key.to_string()));
             }
         }
     }
@@ -242,12 +248,7 @@ impl WorldState {
             if w.is_delete {
                 self.delete_public(ns, &w.key);
             } else {
-                self.put_public(
-                    ns,
-                    &w.key,
-                    w.value.clone().unwrap_or_default(),
-                    version,
-                );
+                self.put_public(ns, &w.key, w.value.clone().unwrap_or_default(), version);
             }
         }
     }
@@ -292,7 +293,7 @@ impl WorldState {
                     ns,
                     collection,
                     w.key_hash,
-                    w.value_hash.unwrap_or_default().into(),
+                    w.value_hash.unwrap_or_default(),
                     version,
                 );
             }
@@ -444,7 +445,10 @@ mod tests {
     fn private_put_maintains_hashed_store() {
         let mut ws = WorldState::new();
         ws.put_private(&ns(), &col(), "k1", b"secret".to_vec(), Version::new(2, 3));
-        assert_eq!(ws.get_private(&ns(), &col(), "k1").unwrap().value, b"secret");
+        assert_eq!(
+            ws.get_private(&ns(), &col(), "k1").unwrap().value,
+            b"secret"
+        );
         let (vh, ver) = ws.get_private_hash(&ns(), &col(), "k1").unwrap();
         assert_eq!(vh, sha256(b"secret"));
         assert_eq!(ver, Version::new(2, 3));
@@ -503,7 +507,13 @@ mod tests {
     #[test]
     fn mvcc_hashed_compares_versions_only() {
         let mut ws = WorldState::new();
-        ws.put_private_hash(&ns(), &col(), sha256(b"k1"), sha256(b"real"), Version::new(1, 0));
+        ws.put_private_hash(
+            &ns(),
+            &col(),
+            sha256(b"k1"),
+            sha256(b"real"),
+            Version::new(1, 0),
+        );
         // A read claiming the correct version passes even though the reader
         // never saw the plaintext — the crux of the fake-read attack.
         let reads = vec![HashedRead {
@@ -539,7 +549,10 @@ mod tests {
             ],
         };
         ws.apply_public_writes(&ns(), &rwset, Version::new(2, 0));
-        assert_eq!(ws.get_public(&ns(), "k1").unwrap().version, Version::new(2, 0));
+        assert_eq!(
+            ws.get_public(&ns(), "k1").unwrap().version,
+            Version::new(2, 0)
+        );
         assert!(ws.get_public(&ns(), "gone").is_none());
     }
 
@@ -610,7 +623,12 @@ mod tests {
         let mut ws = WorldState::new();
         ws.put_public(&ns(), "a", b"1".to_vec(), Version::new(1, 0));
         ws.put_public(&ns(), "b", b"2".to_vec(), Version::new(1, 1));
-        ws.put_public(&ChaincodeId::new("zz"), "c", b"3".to_vec(), Version::new(1, 2));
+        ws.put_public(
+            &ChaincodeId::new("zz"),
+            "c",
+            b"3".to_vec(),
+            Version::new(1, 2),
+        );
         let cc = ns();
         let keys: Vec<&str> = ws.public_range(&cc).map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "b"]);

@@ -1,0 +1,217 @@
+//! Dynamic payload-leak probing.
+//!
+//! The static scanner (`fabric-analyzer`) finds Listing 1/2 patterns in
+//! source text; this module finds them in *running* chaincode. It invokes
+//! a [`Chaincode`] through the stub API with a sentinel private value and
+//! reports a [`LeakFact`] whenever the sentinel comes back through the
+//! response payload — the channel Use Case 3 shows is recorded in the
+//! public block.
+//!
+//! Write probes pass the sentinel both as the second argument and in the
+//! `value` transient entry, so both the vulnerable (args-based) and fixed
+//! (transient-based) calling conventions execute; only the vulnerable one
+//! echoes the sentinel back. Read probes pre-seed the sentinel into every
+//! collection's world state and then invoke the read function.
+
+use crate::subject::{LeakChannel, LeakFact};
+use fabric_chaincode::{Chaincode, ChaincodeDefinition, ChaincodeStub};
+use fabric_ledger::WorldState;
+use fabric_policy::SignaturePolicy;
+use fabric_types::{CollectionName, Identity, Proposal, Role, Version};
+use std::collections::{BTreeMap, HashSet};
+
+/// The sentinel planted as the private value. Long and high-entropy enough
+/// that an honest payload (a key echo, an error string, JSON scaffolding)
+/// will not contain it by accident.
+pub const SENTINEL: &[u8] = b"__pdc_lint_sentinel_7f3a9c51e0b2__";
+
+/// Key used for probe reads/writes.
+const PROBE_KEY: &str = "__pdc_lint_probe_key__";
+
+/// One probe invocation: which function to call and through which channel
+/// the sentinel could leak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// Function to invoke.
+    pub function: String,
+    /// Leak direction this probe tests.
+    pub channel: LeakChannel,
+}
+
+impl ProbeSpec {
+    /// A write probe: invokes `function(key, sentinel)` with the sentinel
+    /// also in the `value` transient entry. A Listing 2 chaincode echoes
+    /// the sentinel back in the payload.
+    pub fn write(function: impl Into<String>) -> Self {
+        ProbeSpec {
+            function: function.into(),
+            channel: LeakChannel::WritePayload,
+        }
+    }
+
+    /// A read probe: pre-seeds the sentinel as private data under the
+    /// probe key in every collection, then invokes `function(key)`. A
+    /// Listing 1 chaincode returns it in the payload.
+    pub fn read(function: impl Into<String>) -> Self {
+        ProbeSpec {
+            function: function.into(),
+            channel: LeakChannel::ReadPayload,
+        }
+    }
+}
+
+/// The default probe set for key/value chaincodes following the sacc
+/// convention (`set`/`get`).
+pub fn sacc_probes() -> Vec<ProbeSpec> {
+    vec![ProbeSpec::write("set"), ProbeSpec::read("get")]
+}
+
+/// Runs every probe against `chaincode` (deployed as `definition`) and
+/// returns the leaks observed. `uri` labels the resulting facts (use the
+/// subject's artifact URI). Probes run at a fully-member peer with a
+/// member-org client so membership guards (`MemberOnlyRead`) pass and the
+/// payload path itself is what is under test. Probes whose invocation
+/// errors are counted as silent — an unknown function cannot leak.
+pub fn probe_leaks(
+    chaincode: &dyn Chaincode,
+    definition: &ChaincodeDefinition,
+    uri: impl Into<String>,
+    probes: &[ProbeSpec],
+) -> Vec<LeakFact> {
+    let uri = uri.into();
+    let memberships: HashSet<CollectionName> = definition
+        .collections
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let creator = probe_identity(definition);
+
+    let mut leaks = Vec::new();
+    for probe in probes {
+        let mut state = WorldState::new();
+        let args: Vec<Vec<u8>> = match probe.channel {
+            LeakChannel::WritePayload => {
+                vec![PROBE_KEY.as_bytes().to_vec(), SENTINEL.to_vec()]
+            }
+            LeakChannel::ReadPayload => {
+                for c in &definition.collections {
+                    state.put_private(
+                        &definition.id,
+                        &c.name,
+                        PROBE_KEY,
+                        SENTINEL.to_vec(),
+                        Version::new(0, 0),
+                    );
+                }
+                vec![PROBE_KEY.as_bytes().to_vec()]
+            }
+        };
+        let transient: BTreeMap<String, Vec<u8>> = [("value".to_string(), SENTINEL.to_vec())]
+            .into_iter()
+            .collect();
+        let proposal = Proposal::new(
+            "probe-channel",
+            definition.id.clone(),
+            probe.function.clone(),
+            args,
+            transient,
+            creator.clone(),
+            1,
+        );
+        let mut stub = ChaincodeStub::new(&state, definition, &memberships, &proposal);
+        if let Ok(payload) = chaincode.invoke(&mut stub) {
+            if contains_sentinel(&payload) {
+                leaks.push(LeakFact {
+                    uri: uri.clone(),
+                    function: probe.function.clone(),
+                    channel: probe.channel,
+                });
+            }
+        }
+    }
+    leaks.sort();
+    leaks
+}
+
+/// A client identity belonging to some collection member org, so
+/// `MemberOnlyRead` guards admit the probe. Falls back to `Org1MSP` when
+/// the definition has no parsable membership policy.
+fn probe_identity(definition: &ChaincodeDefinition) -> Identity {
+    let org = definition
+        .collections
+        .iter()
+        .find_map(|c| {
+            SignaturePolicy::parse(&c.member_policy)
+                .ok()
+                .and_then(|p| p.organizations().into_iter().next())
+        })
+        .unwrap_or_else(|| "Org1MSP".into());
+    let keypair = fabric_crypto::Keypair::generate_from_seed(0x11d7);
+    Identity::new(org, Role::Client, keypair.public_key())
+}
+
+fn contains_sentinel(payload: &[u8]) -> bool {
+    payload.len() >= SENTINEL.len() && payload.windows(SENTINEL.len()).any(|w| w == SENTINEL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_chaincode::samples::{SaccPrivate, SaccPrivateFixed};
+    use fabric_types::CollectionConfig;
+
+    fn demo_definition() -> ChaincodeDefinition {
+        ChaincodeDefinition::new("sacc")
+            .with_collection(CollectionConfig::membership_of("demo", &["Org1MSP".into()]))
+    }
+
+    #[test]
+    fn vulnerable_sacc_leaks_on_both_probes() {
+        let leaks = probe_leaks(
+            &SaccPrivate::default(),
+            &demo_definition(),
+            "network:sacc",
+            &sacc_probes(),
+        );
+        let channels: Vec<LeakChannel> = leaks.iter().map(|l| l.channel).collect();
+        assert_eq!(
+            channels,
+            vec![LeakChannel::ReadPayload, LeakChannel::WritePayload]
+        );
+        assert!(leaks.iter().all(|l| l.uri == "network:sacc"));
+    }
+
+    #[test]
+    fn fixed_sacc_write_is_silent_but_read_still_leaks() {
+        // The fix removes the Listing 2 write echo; `get` still returns
+        // the private value (leaky when submitted as a transaction).
+        let leaks = probe_leaks(
+            &SaccPrivateFixed::default(),
+            &demo_definition(),
+            "network:sacc",
+            &sacc_probes(),
+        );
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].channel, LeakChannel::ReadPayload);
+        assert_eq!(leaks[0].function, "get");
+    }
+
+    #[test]
+    fn unknown_functions_do_not_leak() {
+        let leaks = probe_leaks(
+            &SaccPrivate::default(),
+            &demo_definition(),
+            "network:sacc",
+            &[ProbeSpec::write("no-such-function")],
+        );
+        assert!(leaks.is_empty());
+    }
+
+    #[test]
+    fn sentinel_matching_is_substring_based() {
+        assert!(contains_sentinel(
+            &[b"prefix".as_slice(), SENTINEL, b"suffix"].concat()
+        ));
+        assert!(!contains_sentinel(b"the probe key came back"));
+    }
+}

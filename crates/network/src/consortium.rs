@@ -112,11 +112,23 @@ mod tests {
         let mut consortium = Consortium::new(10);
         consortium.create_channel("c1", &["Org1MSP", "Org2MSP"]);
         consortium.create_channel("c2", &["Org2MSP", "Org3MSP"]);
-        let p2_on_c1 = consortium.channel("c1").peer("peer0.org2").identity().clone();
-        let p2_on_c2 = consortium.channel("c2").peer("peer0.org2").identity().clone();
+        let p2_on_c1 = consortium
+            .channel("c1")
+            .peer("peer0.org2")
+            .identity()
+            .clone();
+        let p2_on_c2 = consortium
+            .channel("c2")
+            .peer("peer0.org2")
+            .identity()
+            .clone();
         assert_eq!(p2_on_c1.public_key, p2_on_c2.public_key);
         // Distinct orgs still have distinct identities.
-        let p1 = consortium.channel("c1").peer("peer0.org1").identity().clone();
+        let p1 = consortium
+            .channel("c1")
+            .peer("peer0.org1")
+            .identity()
+            .clone();
         assert_ne!(p1.public_key, p2_on_c1.public_key);
     }
 

@@ -83,6 +83,13 @@ impl FabricNetwork {
         &self.orgs
     }
 
+    /// The chaincode definitions deployed on this channel, in deployment
+    /// order — the artifacts configuration auditors (e.g. `fabric-lint`)
+    /// inspect together with [`orgs`](Self::orgs).
+    pub fn deployed_definitions(&self) -> Vec<&ChaincodeDefinition> {
+        self.deployed.iter().map(|(d, _)| d).collect()
+    }
+
     /// Peer names in deterministic order.
     pub fn peer_names(&self) -> Vec<String> {
         self.peers.keys().cloned().collect()
@@ -138,16 +145,11 @@ impl FabricNetwork {
         let cc = ChaincodeId::new(chaincode);
         let any_peer = self.peers.values().next()?;
         let definition = &any_peer.chaincode(&cc)?.definition;
-        let policy =
-            fabric_policy::Policy::parse(&definition.endorsement_policy).ok()?;
+        let policy = fabric_policy::Policy::parse(&definition.endorsement_policy).ok()?;
         let identities: Vec<fabric_types::Identity> =
             self.peers.values().map(|p| p.identity().clone()).collect();
         let org_policies = any_peer.channel_policies().org_policies();
-        let plan = fabric_policy::minimal_endorsement_set_for(
-            &policy,
-            org_policies,
-            &identities,
-        )?;
+        let plan = fabric_policy::minimal_endorsement_set_for(&policy, org_policies, &identities)?;
         let names = plan
             .iter()
             .filter_map(|id| {
@@ -197,10 +199,12 @@ impl FabricNetwork {
             .peers
             .get(peer_name)
             .ok_or_else(|| NetworkError::UnknownPeer(peer_name.to_string()))?;
-        let (response, pvt) = peer.endorse(proposal).map_err(|error| NetworkError::Endorse {
-            peer: peer_name.to_string(),
-            error,
-        })?;
+        let (response, pvt) = peer
+            .endorse(proposal)
+            .map_err(|error| NetworkError::Endorse {
+                peer: peer_name.to_string(),
+                error,
+            })?;
         if let Some(pkg) = pvt {
             self.disseminate(peer_name, proposal, pkg)?;
         }
@@ -380,23 +384,15 @@ impl FabricNetwork {
             self.orgs.contains(&org_id),
             "{org} is not an organization of this channel"
         );
-        let short = org
-            .to_ascii_lowercase()
-            .trim_end_matches("msp")
-            .to_string();
-        let index = self
-            .peers
-            .values()
-            .filter(|p| p.org() == &org_id)
-            .count();
+        let short = org.to_ascii_lowercase().trim_end_matches("msp").to_string();
+        let index = self.peers.values().filter(|p| p.org() == &org_id).count();
         let name = format!("peer{index}.{short}");
 
         let template = self.peers.values().next().expect("channel has peers");
         let policies = template.channel_policies().clone();
         let defense = template.defense();
         let channel = self.channel.clone();
-        let blocks: Vec<fabric_types::Block> =
-            template.block_store().iter().cloned().collect();
+        let blocks: Vec<fabric_types::Block> = template.block_store().iter().cloned().collect();
 
         let mut peer = Peer::new(
             name.clone(),
@@ -475,10 +471,7 @@ mod tests {
             .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
             .seed(11)
             .build();
-        net.deploy_chaincode(
-            ChaincodeDefinition::new("assets"),
-            Arc::new(AssetTransfer),
-        );
+        net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
         net
     }
 
@@ -490,17 +483,20 @@ mod tests {
             .seed(12)
             .defense(defense)
             .build();
-        let def = ChaincodeDefinition::new("guarded").with_collection(
-            CollectionConfig::membership_of(
+        let def =
+            ChaincodeDefinition::new("guarded").with_collection(CollectionConfig::membership_of(
                 "PDC1",
                 &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-            ),
-        );
+            ));
         // org1: value < 15; org2: value > 10; org3: unconstrained.
         net.install_custom_chaincode(
             "peer0.org1",
             def.clone(),
-            Arc::new(GuardedPdc::new("PDC1", Guard::LessThan(15), Guard::LessThan(15))),
+            Arc::new(GuardedPdc::new(
+                "PDC1",
+                Guard::LessThan(15),
+                Guard::LessThan(15),
+            )),
         );
         net.install_custom_chaincode(
             "peer0.org2",

@@ -172,8 +172,7 @@ impl OrderingService {
             };
             let mut block = Block::new(self.next_number, self.prev_hash, batch);
             block.metadata.orderer = Some(self.identity.clone());
-            block.metadata.orderer_signature =
-                Some(self.keypair.sign(&block.header.to_wire()));
+            block.metadata.orderer_signature = Some(self.keypair.sign(&block.header.to_wire()));
             self.next_number += 1;
             self.prev_hash = block.hash();
             self.ready.push_back(block);
@@ -189,8 +188,7 @@ mod tests {
     use super::*;
     use fabric_crypto::sha256;
     use fabric_types::{
-        ChaincodeId, ChannelId, PayloadCommitment, ProposalResponsePayload, Response, TxId,
-        TxRwSet,
+        ChaincodeId, ChannelId, PayloadCommitment, ProposalResponsePayload, Response, TxId, TxRwSet,
     };
 
     fn dummy_tx(n: u64) -> Transaction {
@@ -203,8 +201,7 @@ mod tests {
             event: None,
         };
         let tx_id = TxId::new(format!("tx{n}"));
-        let client_signature =
-            kp.sign(&Transaction::client_signed_bytes(&tx_id, &payload, &[]));
+        let client_signature = kp.sign(&Transaction::client_signed_bytes(&tx_id, &payload, &[]));
         Transaction {
             tx_id,
             channel: ChannelId::new("ch1"),
@@ -312,10 +309,9 @@ mod tests {
         o.run_ticks(200);
         let blocks = o.take_blocks();
         // The new observer replays history; block numbering stays chained.
-        assert!(blocks.iter().any(|b| b
-            .transactions
+        assert!(blocks
             .iter()
-            .any(|t| t.tx_id == TxId::new("tx1"))));
+            .any(|b| b.transactions.iter().any(|t| t.tx_id == TxId::new("tx1"))));
     }
 
     #[test]

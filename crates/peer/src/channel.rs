@@ -69,7 +69,7 @@ mod tests {
             Role::Peer,
             Keypair::generate_from_seed(1).public_key(),
         );
-        assert!(policies.org_policies()[&orgs[0]].satisfied_by(&[p1.clone()]));
+        assert!(policies.org_policies()[&orgs[0]].satisfied_by(std::slice::from_ref(&p1)));
         assert!(!policies.org_policies()[&orgs[1]].satisfied_by(&[p1]));
     }
 }

@@ -191,11 +191,7 @@ impl Peer {
             return TxValidationCode::DuplicateTxId;
         }
 
-        let endorsers: Vec<Identity> = tx
-            .endorsements
-            .iter()
-            .map(|e| e.endorser.clone())
-            .collect();
+        let endorsers: Vec<Identity> = tx.endorsements.iter().map(|e| e.endorser.clone()).collect();
 
         for ns in &tx.payload.results.ns_rwsets {
             let Some(installed) = self.chaincodes.get(&ns.namespace) else {
@@ -275,8 +271,7 @@ impl Peer {
                 // New Feature 1 extends the collection-level policy to
                 // read-only transactions (§IV-C1).
                 let apply_collection_policy = cfg.endorsement_policy.is_some()
-                    && (has_writes
-                        || (self.defense.collection_policy_for_reads && has_reads));
+                    && (has_writes || (self.defense.collection_policy_for_reads && has_reads));
                 if apply_collection_policy {
                     let expr = cfg
                         .endorsement_policy
@@ -372,17 +367,12 @@ impl Peer {
                             .namespaces
                             .iter()
                             .zip(&pkg.collections)
-                            .find(|(n, c)| {
-                                **n == ns.namespace && c.collection == col.collection
-                            })
+                            .find(|(n, c)| **n == ns.namespace && c.collection == col.collection)
                             .map(|(_, c)| c);
                         if let Some(pvt) = matching {
                             if pvt.to_hashed() == *col {
-                                self.world_state.apply_private_writes(
-                                    &ns.namespace,
-                                    pvt,
-                                    version,
-                                );
+                                self.world_state
+                                    .apply_private_writes(&ns.namespace, pvt, version);
                                 applied_plaintext = true;
                             }
                         }
@@ -454,7 +444,11 @@ mod tests {
     }
 
     /// Builds a valid write transaction endorsed by the given peers.
-    fn write_tx(endorsing_peers: &[&Peer], value: i64, nonce: u64) -> (Transaction, PvtDataPackage) {
+    fn write_tx(
+        endorsing_peers: &[&Peer],
+        value: i64,
+        nonce: u64,
+    ) -> (Transaction, PvtDataPackage) {
         let client_kp = Keypair::generate_from_seed(1000 + nonce);
         let creator = Identity::new("Org1MSP", Role::Client, client_kp.public_key());
         let proposal = Proposal::new(
@@ -477,8 +471,7 @@ mod tests {
         }
         let payload = responses[0].payload.clone();
         let commitment = responses[0].commitment;
-        let endorsements: Vec<Endorsement> =
-            responses.into_iter().map(|r| r.endorsement).collect();
+        let endorsements: Vec<Endorsement> = responses.into_iter().map(|r| r.endorsement).collect();
         let client_signature = client_kp.sign(&Transaction::client_signed_bytes(
             &proposal.tx_id,
             &payload,

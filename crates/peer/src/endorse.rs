@@ -29,7 +29,10 @@ impl fmt::Display for EndorseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EndorseError::WrongChannel { expected, found } => {
-                write!(f, "proposal for channel {found:?}, peer serves {expected:?}")
+                write!(
+                    f,
+                    "proposal for channel {found:?}, peer serves {expected:?}"
+                )
             }
             EndorseError::UnknownChaincode(cc) => write!(f, "chaincode {cc:?} not installed"),
             EndorseError::Chaincode(e) => write!(f, "chaincode error: {e}"),
@@ -89,11 +92,8 @@ impl Peer {
         let results = stub.into_results();
 
         // Assemble the tx rwset: public part plaintext, PDC parts hashed.
-        let hashed_collections: Vec<CollectionHashedRwSet> = results
-            .collections
-            .iter()
-            .map(|c| c.to_hashed())
-            .collect();
+        let hashed_collections: Vec<CollectionHashedRwSet> =
+            results.collections.iter().map(|c| c.to_hashed()).collect();
         let tx_rwset = TxRwSet {
             ns_rwsets: vec![NsRwSet {
                 namespace: proposal.chaincode.clone(),
@@ -152,9 +152,7 @@ mod tests {
     use fabric_chaincode::samples::{Guard, GuardedPdc};
     use fabric_chaincode::ChaincodeDefinition;
     use fabric_crypto::Keypair;
-    use fabric_types::{
-        CollectionConfig, CollectionName, Identity, OrgId, Role, TxKind, Version,
-    };
+    use fabric_types::{CollectionConfig, CollectionName, Identity, OrgId, Role, TxKind, Version};
     use std::collections::BTreeMap;
     use std::sync::Arc;
 
@@ -170,12 +168,15 @@ mod tests {
             Keypair::generate_from_seed(seed),
             defense,
         );
-        let def = ChaincodeDefinition::new("guarded").with_collection(
-            CollectionConfig::membership_of(COL, &orgs[..2]),
-        );
+        let def = ChaincodeDefinition::new("guarded")
+            .with_collection(CollectionConfig::membership_of(COL, &orgs[..2]));
         p.install_chaincode(
             def,
-            Arc::new(GuardedPdc::new(COL, Guard::LessThan(15), Guard::LessThan(15))),
+            Arc::new(GuardedPdc::new(
+                COL,
+                Guard::LessThan(15),
+                Guard::LessThan(15),
+            )),
         );
         p
     }
@@ -277,9 +278,7 @@ mod tests {
     #[test]
     fn business_rule_rejection_surfaces_as_chaincode_error() {
         let p = peer("peer0.org1", "Org1MSP", 46, DefenseConfig::original());
-        let err = p
-            .endorse(&proposal("write", &["k1", "20"], 1))
-            .unwrap_err();
+        let err = p.endorse(&proposal("write", &["k1", "20"], 1)).unwrap_err();
         assert!(matches!(
             err,
             EndorseError::Chaincode(ChaincodeError::BusinessRule(_))

@@ -5,9 +5,7 @@ use fabric_chaincode::{ChaincodeDefinition, ChaincodeHandle};
 use fabric_crypto::Keypair;
 use fabric_gossip::PeerId;
 use fabric_ledger::{BlockStore, HistoryDb, WorldState};
-use fabric_types::{
-    ChaincodeId, ChannelId, CollectionName, DefenseConfig, Identity, OrgId, Role,
-};
+use fabric_types::{ChaincodeId, ChannelId, CollectionName, DefenseConfig, Identity, OrgId, Role};
 use std::collections::{HashMap, HashSet};
 
 /// A chaincode installed on a peer: the channel-agreed definition plus this
@@ -162,7 +160,11 @@ impl Peer {
     }
 
     /// Whether this peer's org is a member of `collection` in `chaincode`.
-    pub fn is_collection_member(&self, chaincode: &ChaincodeId, collection: &CollectionName) -> bool {
+    pub fn is_collection_member(
+        &self,
+        chaincode: &ChaincodeId,
+        collection: &CollectionName,
+    ) -> bool {
         self.chaincodes
             .get(chaincode)
             .is_some_and(|cc| cc.memberships.contains(collection))
@@ -178,7 +180,11 @@ mod tests {
 
     #[test]
     fn install_derives_memberships() {
-        let orgs = vec![OrgId::new("Org1MSP"), OrgId::new("Org2MSP"), OrgId::new("Org3MSP")];
+        let orgs = vec![
+            OrgId::new("Org1MSP"),
+            OrgId::new("Org2MSP"),
+            OrgId::new("Org3MSP"),
+        ];
         let policies = ChannelPolicies::default_for(&orgs);
         let mut p1 = Peer::new(
             "peer0.org1",
@@ -196,9 +202,8 @@ mod tests {
             Keypair::generate_from_seed(33),
             DefenseConfig::original(),
         );
-        let def = ChaincodeDefinition::new("cc").with_collection(
-            CollectionConfig::membership_of("PDC1", &orgs[..2]),
-        );
+        let def = ChaincodeDefinition::new("cc")
+            .with_collection(CollectionConfig::membership_of("PDC1", &orgs[..2]));
         p1.install_chaincode(def.clone(), Arc::new(AssetTransfer));
         p3.install_chaincode(def, Arc::new(AssetTransfer));
         let cc = ChaincodeId::new("cc");

@@ -103,6 +103,42 @@ impl SignaturePolicy {
         satisfy_all(&[self], &unique, &mut used)
     }
 
+    /// Whether the policy could be satisfied using only identities from
+    /// `allowed` organizations, assuming each of them can produce
+    /// arbitrarily many distinct identities of every role.
+    ///
+    /// This is the static-analysis counterpart of
+    /// [`satisfied_by`](Self::satisfied_by): rather than checking one
+    /// concrete endorsement set, it asks if *some* endorsement set drawn
+    /// from `allowed` exists. With unlimited identities per organization,
+    /// `AND`/`OutOf` distinctness never binds, so the evaluation is a
+    /// simple monotone recursion. The linter uses it to decide whether an
+    /// endorsement policy is reachable by collection non-members (the
+    /// paper's Use Cases 1 and 2) and, with `allowed` set to all channel
+    /// organizations, whether the policy is satisfiable at all.
+    pub fn satisfiable_within(&self, allowed: &[OrgId]) -> bool {
+        match self {
+            SignaturePolicy::Principal(p) => allowed.contains(&p.org),
+            SignaturePolicy::And(children) => {
+                children.iter().all(|c| c.satisfiable_within(allowed))
+            }
+            SignaturePolicy::Or(children) => children.iter().any(|c| c.satisfiable_within(allowed)),
+            SignaturePolicy::OutOf(n, children) => {
+                children
+                    .iter()
+                    .filter(|c| c.satisfiable_within(allowed))
+                    .count()
+                    >= *n as usize
+            }
+        }
+    }
+
+    /// Whether no endorsement set can ever satisfy the policy — e.g.
+    /// `OutOf(3, a, b)` demanding more branches than exist.
+    pub fn is_unsatisfiable(&self) -> bool {
+        !self.satisfiable_within(&self.organizations())
+    }
+
     /// All organizations mentioned anywhere in the policy.
     pub fn organizations(&self) -> Vec<OrgId> {
         let mut orgs = Vec::new();
@@ -128,10 +164,7 @@ impl SignaturePolicy {
 
 impl fmt::Display for SignaturePolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn join(
-            f: &mut fmt::Formatter<'_>,
-            children: &[SignaturePolicy],
-        ) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, children: &[SignaturePolicy]) -> fmt::Result {
             for (i, c) in children.iter().enumerate() {
                 if i > 0 {
                     f.write_str(",")?;
@@ -421,8 +454,7 @@ mod tests {
     fn backtracking_finds_non_greedy_assignment() {
         // A member principal could "steal" the only Org1 peer; backtracking
         // must still find the valid assignment.
-        let policy =
-            SignaturePolicy::parse("AND('Org1MSP.member','Org1MSP.peer')").unwrap();
+        let policy = SignaturePolicy::parse("AND('Org1MSP.member','Org1MSP.peer')").unwrap();
         let p = peer("Org1MSP", 1);
         let c = id("Org1MSP", Role::Client, 2);
         assert!(policy.satisfied_by(&[p.clone(), c.clone()]));
@@ -479,20 +511,18 @@ mod tests {
 
     #[test]
     fn duplicate_identities_count_once() {
-        let policy = SignaturePolicy::parse(
-            "OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer')",
-        )
-        .unwrap();
+        let policy =
+            SignaturePolicy::parse("OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer')")
+                .unwrap();
         let p1 = peer("Org1MSP", 1);
         assert!(!policy.satisfied_by(&[p1.clone(), p1.clone(), p1]));
     }
 
     #[test]
     fn organizations_lists_unique_orgs() {
-        let policy = SignaturePolicy::parse(
-            "OR(AND('Org1MSP.peer','Org2MSP.peer'),'Org1MSP.admin')",
-        )
-        .unwrap();
+        let policy =
+            SignaturePolicy::parse("OR(AND('Org1MSP.peer','Org2MSP.peer'),'Org1MSP.admin')")
+                .unwrap();
         let orgs = policy.organizations();
         assert_eq!(orgs, vec![OrgId::new("Org1MSP"), OrgId::new("Org2MSP")]);
     }
@@ -508,6 +538,54 @@ mod tests {
             let reparsed = SignaturePolicy::parse(&p.to_string()).unwrap();
             assert_eq!(p, reparsed);
         }
+    }
+
+    #[test]
+    fn satisfiable_within_models_org_subsets() {
+        let orgs =
+            |names: &[&str]| -> Vec<OrgId> { names.iter().map(|n| OrgId::new(*n)).collect() };
+        let policy = SignaturePolicy::parse(
+            "OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer','Org4MSP.peer','Org5MSP.peer')",
+        )
+        .unwrap();
+        // Two non-member orgs reach the threshold — the Use Case 1 premise.
+        assert!(policy.satisfiable_within(&orgs(&["Org3MSP", "Org4MSP"])));
+        assert!(!policy.satisfiable_within(&orgs(&["Org3MSP"])));
+
+        let and = SignaturePolicy::parse("AND('Org1MSP.peer','Org2MSP.peer')").unwrap();
+        assert!(and.satisfiable_within(&orgs(&["Org1MSP", "Org2MSP"])));
+        assert!(!and.satisfiable_within(&orgs(&["Org1MSP", "Org3MSP"])));
+
+        // Unlimited identities per org: AND of two same-org principals is
+        // satisfiable within that single org.
+        let twice = SignaturePolicy::parse("AND('Org1MSP.peer','Org1MSP.peer')").unwrap();
+        assert!(twice.satisfiable_within(&orgs(&["Org1MSP"])));
+    }
+
+    #[test]
+    fn unsatisfiable_policies_detected() {
+        // The parser rejects thresholds above the operand count, so an
+        // unsatisfiable tree can only arise programmatically.
+        let too_many = SignaturePolicy::OutOf(
+            3,
+            vec![
+                SignaturePolicy::Principal(Principal::new(
+                    "Org1MSP",
+                    PrincipalRole::Exact(Role::Peer),
+                )),
+                SignaturePolicy::Principal(Principal::new(
+                    "Org2MSP",
+                    PrincipalRole::Exact(Role::Peer),
+                )),
+            ],
+        );
+        assert!(too_many.is_unsatisfiable());
+        let fine = SignaturePolicy::parse("OR('Org1MSP.peer')").unwrap();
+        assert!(!fine.is_unsatisfiable());
+        // Vacuous 0-of is satisfiable (by the empty set), not unsatisfiable.
+        let vacuous = SignaturePolicy::parse("OutOf(0,'Org1MSP.peer')").unwrap();
+        assert!(!vacuous.is_unsatisfiable());
+        assert!(vacuous.satisfied_by(&[]));
     }
 
     #[test]

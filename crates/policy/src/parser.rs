@@ -9,9 +9,7 @@
 //! * `2OutOf(org1.peer, org2.peer, org3.peer)` (paper §IV-A5)
 //! * implicitMeta: `MAJORITY Endorsement`, `ANY Readers`, `ALL Writers`
 
-use crate::ast::{
-    ImplicitMetaPolicy, ImplicitMetaRule, Principal, PrincipalRole, SignaturePolicy,
-};
+use crate::ast::{ImplicitMetaPolicy, ImplicitMetaRule, Principal, PrincipalRole, SignaturePolicy};
 use fabric_types::Role;
 use std::fmt;
 
@@ -26,7 +24,11 @@ pub struct ParsePolicyError {
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "policy parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "policy parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -147,9 +149,9 @@ impl<'a> Parser<'a> {
         // `<digits>OutOf(...)` — the paper's NOutOf spelling.
         if let Some(num_end) = word.find(|c: char| !c.is_ascii_digit()) {
             if num_end > 0 && word[num_end..].eq_ignore_ascii_case("outof") {
-                let n: u32 = word[..num_end].parse().map_err(|_| {
-                    self.error("invalid count before OutOf")
-                })?;
+                let n: u32 = word[..num_end]
+                    .parse()
+                    .map_err(|_| self.error("invalid count before OutOf"))?;
                 let children = self.parse_args(None)?;
                 return self.finish_out_of(n, children);
             }
@@ -273,9 +275,7 @@ impl<'a> Parser<'a> {
 
     fn parse_principal_text(&self, text: &str) -> Result<SignaturePolicy, ParsePolicyError> {
         let Some((org, role)) = text.rsplit_once('.') else {
-            return Err(self.error(format!(
-                "principal {text:?} must have the form Org.role"
-            )));
+            return Err(self.error(format!("principal {text:?} must have the form Org.role")));
         };
         if org.is_empty() {
             return Err(self.error("principal has empty organization"));
@@ -318,10 +318,9 @@ mod tests {
     #[test]
     fn parses_paper_spelling() {
         // §IV-A5: 2OutOf(org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)
-        let p = parse_signature_policy(
-            "2OutOf(org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)",
-        )
-        .unwrap();
+        let p =
+            parse_signature_policy("2OutOf(org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)")
+                .unwrap();
         match p {
             SignaturePolicy::OutOf(2, children) => assert_eq!(children.len(), 5),
             other => panic!("unexpected parse: {other:?}"),
@@ -345,10 +344,8 @@ mod tests {
 
     #[test]
     fn parses_nested_expressions() {
-        let p = parse_signature_policy(
-            "OR(AND('Org1MSP.peer','Org2MSP.peer'), 'Org3MSP.admin')",
-        )
-        .unwrap();
+        let p = parse_signature_policy("OR(AND('Org1MSP.peer','Org2MSP.peer'), 'Org3MSP.admin')")
+            .unwrap();
         match p {
             SignaturePolicy::Or(children) => {
                 assert_eq!(children.len(), 2);

@@ -119,11 +119,17 @@ mod tests {
     use fabric_types::Role;
 
     fn peer(org: &str, seed: u64) -> Identity {
-        Identity::new(org, Role::Peer, Keypair::generate_from_seed(seed).public_key())
+        Identity::new(
+            org,
+            Role::Peer,
+            Keypair::generate_from_seed(seed).public_key(),
+        )
     }
 
     fn channel_peers() -> Vec<Identity> {
-        (1..=5).map(|i| peer(&format!("Org{i}MSP"), 700 + i)).collect()
+        (1..=5)
+            .map(|i| peer(&format!("Org{i}MSP"), 700 + i))
+            .collect()
     }
 
     #[test]
@@ -137,8 +143,7 @@ mod tests {
 
     #[test]
     fn or_needs_exactly_one() {
-        let policy =
-            SignaturePolicy::parse("OR('Org3MSP.peer','Org4MSP.peer')").unwrap();
+        let policy = SignaturePolicy::parse("OR('Org3MSP.peer','Org4MSP.peer')").unwrap();
         let plan = minimal_endorsement_set(&policy, &channel_peers()).unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].org, OrgId::new("Org3MSP"));
@@ -170,8 +175,7 @@ mod tests {
             );
         }
         let policy = Policy::parse("MAJORITY Endorsement").unwrap();
-        let plan =
-            minimal_endorsement_set_for(&policy, &org_policies, &channel_peers()).unwrap();
+        let plan = minimal_endorsement_set_for(&policy, &org_policies, &channel_peers()).unwrap();
         assert_eq!(plan.len(), 3, "3 of 5 is the strict majority");
     }
 
@@ -189,21 +193,21 @@ mod tests {
         }
         let policy = Policy::parse("MAJORITY Endorsement").unwrap();
         // Only non-member peers are "available" (an attacker's view).
-        let non_members: Vec<Identity> =
-            (3..=5).map(|i| peer(&format!("Org{i}MSP"), 800 + i)).collect();
-        let plan =
-            minimal_endorsement_set_for(&policy, &org_policies, &non_members).unwrap();
+        let non_members: Vec<Identity> = (3..=5)
+            .map(|i| peer(&format!("Org{i}MSP"), 800 + i))
+            .collect();
+        let plan = minimal_endorsement_set_for(&policy, &org_policies, &non_members).unwrap();
         assert_eq!(plan.len(), 3);
-        assert!(plan.iter().all(|p| p.org != OrgId::new("Org1MSP")
-            && p.org != OrgId::new("Org2MSP")));
+        assert!(plan
+            .iter()
+            .all(|p| p.org != OrgId::new("Org1MSP") && p.org != OrgId::new("Org2MSP")));
     }
 
     #[test]
     fn plan_is_deterministic() {
-        let policy = SignaturePolicy::parse(
-            "OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer')",
-        )
-        .unwrap();
+        let policy =
+            SignaturePolicy::parse("OutOf(2,'Org1MSP.peer','Org2MSP.peer','Org3MSP.peer')")
+                .unwrap();
         let a = minimal_endorsement_set(&policy, &channel_peers()).unwrap();
         let b = minimal_endorsement_set(&policy, &channel_peers()).unwrap();
         assert_eq!(a, b);

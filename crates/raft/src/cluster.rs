@@ -278,7 +278,15 @@ mod tests {
 
     #[test]
     fn lagging_follower_catches_up_via_snapshot() {
-        let mut c = Cluster::new(3, 6);
+        // Pre-vote keeps the cut-off follower from inflating its term, so
+        // the leader survives the heal and the catch-up path is
+        // deterministically InstallSnapshot (not re-election plus ordinary
+        // replication from an uncompacted log).
+        let config = RaftConfig {
+            pre_vote: true,
+            ..RaftConfig::default()
+        };
+        let mut c = Cluster::with_config(3, 6, config);
         let leader = c.run_until_leader(500).unwrap();
         // Cut one follower off.
         let lagging = c.node_ids().into_iter().find(|&n| n != leader).unwrap();
@@ -327,7 +335,11 @@ mod tests {
 
         // Isolate one follower for a long time.
         let isolated = c.node_ids().into_iter().find(|&n| n != leader).unwrap();
-        let rest: Vec<NodeId> = c.node_ids().into_iter().filter(|&n| n != isolated).collect();
+        let rest: Vec<NodeId> = c
+            .node_ids()
+            .into_iter()
+            .filter(|&n| n != isolated)
+            .collect();
         c.partition(&[isolated], &rest);
         c.run_ticks(500);
         // With PreVote the isolated node never wins a pre-vote majority, so
@@ -348,7 +360,11 @@ mod tests {
         let leader = c.run_until_leader(1000).unwrap();
         let stable_term = c.node(leader).term();
         let isolated = c.node_ids().into_iter().find(|&n| n != leader).unwrap();
-        let rest: Vec<NodeId> = c.node_ids().into_iter().filter(|&n| n != isolated).collect();
+        let rest: Vec<NodeId> = c
+            .node_ids()
+            .into_iter()
+            .filter(|&n| n != isolated)
+            .collect();
         c.partition(&[isolated], &rest);
         c.run_ticks(500);
         assert!(c.node(isolated).term() > stable_term + 5);

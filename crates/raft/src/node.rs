@@ -165,7 +165,10 @@ impl RaftNode {
     }
 
     fn last_log_term(&self) -> u64 {
-        self.log.last().map(|e| e.term).unwrap_or(self.snapshot_term)
+        self.log
+            .last()
+            .map(|e| e.term)
+            .unwrap_or(self.snapshot_term)
     }
 
     fn term_at(&self, index: u64) -> u64 {
@@ -195,7 +198,7 @@ impl RaftNode {
     }
 
     fn majority(&self) -> usize {
-        (self.peers.len() + 1) / 2 + 1
+        self.peers.len().div_ceil(2) + 1
     }
 
     fn become_follower(&mut self, term: u64) {
@@ -358,7 +361,14 @@ impl RaftNode {
                 prev_log_term,
                 entries,
                 leader_commit,
-            } => self.on_append_entries(from, term, prev_log_index, prev_log_term, entries, leader_commit),
+            } => self.on_append_entries(
+                from,
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            ),
             Message::AppendEntriesResponse {
                 term,
                 success,
@@ -441,9 +451,7 @@ impl RaftNode {
         term: u64,
         snapshot: Snapshot,
     ) -> Vec<Envelope> {
-        if term > self.current_term
-            || (term == self.current_term && self.role == Role::Candidate)
-        {
+        if term > self.current_term || (term == self.current_term && self.role == Role::Candidate) {
             self.become_follower(term);
         }
         if term < self.current_term {
@@ -550,9 +558,8 @@ impl RaftNode {
         }
         let up_to_date = last_log_term > self.last_log_term()
             || (last_log_term == self.last_log_term() && last_log_index >= self.last_log_index());
-        let granted = term == self.current_term
-            && up_to_date
-            && self.voted_for.map_or(true, |v| v == from);
+        let granted =
+            term == self.current_term && up_to_date && self.voted_for.is_none_or(|v| v == from);
         if granted {
             self.voted_for = Some(from);
             self.reset_election_timer();
@@ -592,9 +599,7 @@ impl RaftNode {
         entries: Vec<LogEntry>,
         leader_commit: u64,
     ) -> Vec<Envelope> {
-        if term > self.current_term
-            || (term == self.current_term && self.role == Role::Candidate)
-        {
+        if term > self.current_term || (term == self.current_term && self.role == Role::Candidate) {
             self.become_follower(term);
         }
         let reply = |node: &Self, success: bool, match_index: u64| {
@@ -614,11 +619,13 @@ impl RaftNode {
         // Valid leader for this term.
         self.reset_election_timer();
         // Log consistency check.
-        if prev_log_index > self.last_log_index()
-            || self.term_at(prev_log_index) != prev_log_term
-        {
+        if prev_log_index > self.last_log_index() || self.term_at(prev_log_index) != prev_log_term {
             // Hint: back off to our log length.
-            return reply(self, false, self.last_log_index().min(prev_log_index.saturating_sub(1)));
+            return reply(
+                self,
+                false,
+                self.last_log_index().min(prev_log_index.saturating_sub(1)),
+            );
         }
         // Append, truncating conflicts (positions are snapshot-relative).
         for entry in entries {
@@ -677,11 +684,7 @@ impl RaftNode {
             if self.term_at(idx) != self.current_term {
                 continue;
             }
-            let replicas = 1 + self
-                .match_index
-                .values()
-                .filter(|&&m| m >= idx)
-                .count();
+            let replicas = 1 + self.match_index.values().filter(|&&m| m >= idx).count();
             if replicas >= self.majority() {
                 self.commit_index = idx;
                 break;

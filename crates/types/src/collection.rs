@@ -28,6 +28,9 @@ pub struct CollectionConfig {
     /// When true, only collection members may read the private data through
     /// chaincode (`MemberOnlyRead`).
     pub member_only_read: bool,
+    /// When true, only collection members may write the private data
+    /// through chaincode (`MemberOnlyWrite`).
+    pub member_only_write: bool,
     /// Optional collection-level endorsement policy
     /// (`EndorsementPolicy`). `None` means write transactions fall back to
     /// the chaincode-level policy — the misuse the paper's attacks exploit.
@@ -45,6 +48,7 @@ impl CollectionConfig {
             max_peer_count: 1,
             block_to_live: 0,
             member_only_read: true,
+            member_only_write: true,
             endorsement_policy: None,
         }
     }
@@ -68,6 +72,20 @@ impl CollectionConfig {
         self
     }
 
+    /// Sets `MemberOnlyWrite`.
+    pub fn with_member_only_write(mut self, v: bool) -> Self {
+        self.member_only_write = v;
+        self
+    }
+
+    /// Sets `RequiredPeerCount` (and raises `MaxPeerCount` to match when it
+    /// would otherwise be lower — Fabric rejects `max < required`).
+    pub fn with_required_peer_count(mut self, n: u32) -> Self {
+        self.required_peer_count = n;
+        self.max_peer_count = self.max_peer_count.max(n);
+        self
+    }
+
     /// Convenience: builds the usual `OR('OrgX.member', ...)` membership
     /// policy from a list of member organizations.
     pub fn membership_of(name: impl Into<CollectionName>, orgs: &[OrgId]) -> Self {
@@ -88,6 +106,7 @@ mod tests {
         let c = CollectionConfig::new("PDC1", "OR('Org1MSP.member')");
         assert_eq!(c.block_to_live, 0);
         assert!(c.member_only_read);
+        assert!(c.member_only_write);
         assert!(c.endorsement_policy.is_none());
     }
 
@@ -105,12 +124,18 @@ mod tests {
         let c = CollectionConfig::new("PDC1", "OR('Org1MSP.member')")
             .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')")
             .with_block_to_live(100)
-            .with_member_only_read(false);
+            .with_member_only_read(false)
+            .with_member_only_write(false)
+            .with_required_peer_count(2);
         assert_eq!(
             c.endorsement_policy.as_deref(),
             Some("AND('Org1MSP.peer','Org2MSP.peer')")
         );
         assert_eq!(c.block_to_live, 100);
         assert!(!c.member_only_read);
+        assert!(!c.member_only_write);
+        assert_eq!(c.required_peer_count, 2);
+        // MaxPeerCount was raised to keep the config valid.
+        assert_eq!(c.max_peer_count, 2);
     }
 }

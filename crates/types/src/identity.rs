@@ -96,7 +96,13 @@ impl_wire_struct!(Identity {
 
 impl fmt::Display for Identity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{}({})", self.org, self.role, self.public_key.short_hex())
+        write!(
+            f,
+            "{}.{}({})",
+            self.org,
+            self.role,
+            self.public_key.short_hex()
+        )
     }
 }
 

@@ -129,7 +129,7 @@ impl KvRwSet {
             .iter()
             .map(|w| HashedWrite {
                 key_hash: sha256(w.key.as_bytes()),
-                value_hash: w.value.as_deref().map(|v| sha256(v)),
+                value_hash: w.value.as_deref().map(sha256),
                 is_delete: w.is_delete,
             })
             .collect();

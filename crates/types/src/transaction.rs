@@ -171,8 +171,11 @@ mod tests {
         };
         let tx_id = TxId::new("tx-1");
         let endorsements = vec![endorsement];
-        let client_signature =
-            client_kp.sign(&Transaction::client_signed_bytes(&tx_id, &payload, &endorsements));
+        let client_signature = client_kp.sign(&Transaction::client_signed_bytes(
+            &tx_id,
+            &payload,
+            &endorsements,
+        ));
         Transaction {
             tx_id,
             channel: ChannelId::new("ch1"),

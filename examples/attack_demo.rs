@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run -p fabric-pdc --example attack_demo`.
 
-use fabric_pdc::attacks::{build_lab, render_table2, run_attack, run_table2, AttackKind, LabConfig};
+use fabric_pdc::attacks::{
+    build_lab, render_table2, run_attack, run_table2, AttackKind, LabConfig,
+};
 use fabric_pdc::prelude::DefenseConfig;
 
 fn main() {
@@ -15,7 +17,11 @@ fn main() {
         println!(
             "{:<14} attack {}: {}",
             kind.label(),
-            if outcome.succeeded { "SUCCEEDS" } else { "fails  " },
+            if outcome.succeeded {
+                "SUCCEEDS"
+            } else {
+                "fails  "
+            },
             outcome.note
         );
     }
@@ -37,7 +43,11 @@ fn main() {
         println!(
             "{:<14} attack {}: {}",
             kind.label(),
-            if outcome.succeeded { "SUCCEEDS" } else { "fails  " },
+            if outcome.succeeded {
+                "SUCCEEDS"
+            } else {
+                "fails  "
+            },
             outcome.note
         );
     }

@@ -9,7 +9,10 @@ use fabric_pdc::prelude::DefenseConfig;
 
 fn show(label: &str, scenario: &fabric_pdc::attacks::LeakScenario) {
     println!("--- {label} ---");
-    println!("secret written/read : {:?}", String::from_utf8_lossy(&scenario.secret));
+    println!(
+        "secret written/read : {:?}",
+        String::from_utf8_lossy(&scenario.secret)
+    );
     println!(
         "non-member recovered {} payload(s) from its local blocks:",
         scenario.recovered.len()
@@ -21,7 +24,11 @@ fn show(label: &str, scenario: &fabric_pdc::attacks::LeakScenario) {
         } else {
             format!("{} opaque bytes (hash)", rec.payload.len())
         };
-        println!("  tx {}… [{}]: {rendered}", &rec.tx_id.as_str()[..8], rec.chaincode);
+        println!(
+            "  tx {}… [{}]: {rendered}",
+            &rec.tx_id.as_str()[..8],
+            rec.chaincode
+        );
     }
     println!(
         "plaintext secret leaked to the non-member: {}\n",

@@ -1,0 +1,76 @@
+//! Linting a live network: run every PDC rule over the chaincode
+//! definitions actually deployed on a channel.
+//!
+//! Deploys two chaincodes — the defended `SecuredTrade` setup from the
+//! `secured_trade` example and the paper's vulnerable `SaccPrivate`
+//! (Listings 1/2) — then lints both and prints the text report plus the
+//! SARIF document a CI system would archive.
+//!
+//! Run with `cargo run -p fabric-pdc --example lint_demo`.
+
+use fabric_pdc::lint::{self, probe, render, LintSubject};
+use fabric_pdc::prelude::*;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut net = NetworkBuilder::new("audit-channel")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(9)
+        .build();
+
+    // Defended: collection-level endorsement policy pinned to the seller.
+    net.deploy_chaincode(
+        ChaincodeDefinition::new("trade")
+            .with_endorsement_policy("ANY Endorsement")
+            .with_collection(
+                CollectionConfig::membership_of("sellerCollection", &[OrgId::new("Org1MSP")])
+                    .with_endorsement_policy("OR('Org1MSP.peer')")
+                    .with_required_peer_count(1),
+            ),
+        Arc::new(SecuredTrade::new("sellerCollection")),
+    );
+    // Vulnerable: the paper's sacc — chaincode-level policy governs the
+    // collection (Use Case 2) and both functions leak (Use Case 3).
+    net.deploy_chaincode(
+        ChaincodeDefinition::new("sacc")
+            .with_endorsement_policy("ANY Endorsement")
+            .with_collection(CollectionConfig::membership_of(
+                "demo",
+                &[OrgId::new("Org1MSP")],
+            )),
+        Arc::new(SaccPrivate::default()),
+    );
+
+    // One subject per deployed definition; dynamic payload probes supply
+    // the leak facts PDC009 needs.
+    let mut subjects: Vec<LintSubject> = net
+        .deployed_definitions()
+        .into_iter()
+        .map(|d| LintSubject::from_definition(d, net.orgs()))
+        .collect();
+    for subject in &mut subjects {
+        if subject.name == "sacc" {
+            let definition = net
+                .deployed_definitions()
+                .into_iter()
+                .find(|d| d.id.as_str() == "sacc")
+                .expect("sacc deployed")
+                .clone();
+            subject.leaks = probe::probe_leaks(
+                &SaccPrivate::default(),
+                &definition,
+                &subject.uri,
+                &probe::sacc_probes(),
+            );
+        }
+    }
+
+    let findings = lint::lint_subjects(&subjects);
+    println!("== fabric-lint over audit-channel ==\n");
+    print!("{}", render::render_text(&findings));
+
+    println!("\n== SARIF 2.1.0 (for CI upload) ==\n");
+    print!("{}", render::render_sarif(&findings));
+    Ok(())
+}

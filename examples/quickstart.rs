@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
         .seed(2026)
         .build();
-    println!("channel {} up with peers {:?}", net.channel(), net.peer_names());
+    println!(
+        "channel {} up with peers {:?}",
+        net.channel(),
+        net.peer_names()
+    );
 
     // ---- 2. Public data: the asset-transfer chaincode. ----
     net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
@@ -48,10 +52,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // ---- 3. Private data: a collection shared by org1 and org2 only. ----
     let definition = ChaincodeDefinition::new("private").with_collection(
-        CollectionConfig::membership_of(
-            "PDC1",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        ),
+        CollectionConfig::membership_of("PDC1", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")]),
     );
     net.deploy_chaincode(definition, Arc::new(GuardedPdc::unconstrained("PDC1")));
 
@@ -77,10 +78,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .peer("peer0.org3")
         .world_state()
         .get_private(&ns, &col, "trade-price");
-    let hash_at_non_member = net
-        .peer("peer0.org3")
-        .world_state()
-        .get_private_hash(&ns, &col, "trade-price");
+    let hash_at_non_member =
+        net.peer("peer0.org3")
+            .world_state()
+            .get_private_hash(&ns, &col, "trade-price");
     println!("org1 (member)     sees plaintext: {at_member:?}");
     println!("org3 (non-member) sees plaintext: {at_non_member:?}");
     println!(
@@ -91,7 +92,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // ---- 4. A member reads the private value back. ----
-    let payload = net.evaluate_transaction("client0.org1", "peer0.org1", "private", "read", &["trade-price"])?;
+    let payload = net.evaluate_transaction(
+        "client0.org1",
+        "peer0.org1",
+        "private",
+        "read",
+        &["trade-price"],
+    )?;
     println!("member read returns: {}", String::from_utf8_lossy(&payload));
 
     // The ledgers agree everywhere.

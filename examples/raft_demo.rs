@@ -8,7 +8,10 @@ use fabric_pdc::raft::Cluster;
 fn main() {
     let mut cluster = Cluster::new(5, 99);
     let leader = cluster.run_until_leader(1000).expect("leader elected");
-    println!("leader elected: node {leader} (term {})", cluster.node(leader).term());
+    println!(
+        "leader elected: node {leader} (term {})",
+        cluster.node(leader).term()
+    );
 
     for i in 0..3u8 {
         cluster.propose(leader, vec![i]).expect("leader accepts");
@@ -32,8 +35,13 @@ fn main() {
     cluster.run_ticks(100);
 
     let new_leader = cluster.leader().expect("majority side elects");
-    println!("majority side elected node {new_leader} (term {})", cluster.node(new_leader).term());
-    cluster.propose(new_leader, b"committed-entry".to_vec()).unwrap();
+    println!(
+        "majority side elected node {new_leader} (term {})",
+        cluster.node(new_leader).term()
+    );
+    cluster
+        .propose(new_leader, b"committed-entry".to_vec())
+        .unwrap();
     cluster.run_ticks(50);
 
     println!("healing the partition ...");

@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         ChaincodeId::new("trade"),
         "verify",
         vec![b"asset1".to_vec()],
-        [("claimed".to_string(), appraisal.to_vec())].into_iter().collect(),
+        [("claimed".to_string(), appraisal.to_vec())]
+            .into_iter()
+            .collect(),
     );
     let response = net.endorse("peer0.org2", &proposal)?;
     println!(

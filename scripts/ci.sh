@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate for the fabric-pdc workspace.
+#
+# Keeps the repo at a fixed quality bar:
+#   1. `cargo fmt --check`                            — formatting drift
+#   2. `cargo clippy --all-targets -- -D warnings`    — lint-clean, tests included
+#   3. `cargo build --release`                        — release build works
+#   4. `cargo test -q`                                — full test suite
+#
+# Run from anywhere; operates on the repository containing this script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

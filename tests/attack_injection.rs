@@ -35,9 +35,8 @@ fn fake_read_transaction_is_committed_at_every_peer() {
         let store = lab.net.peer(peer).block_store();
         assert!(store.verify_chain());
         let found = store.iter().any(|b| {
-            b.validated_transactions().any(|(tx, code)| {
-                code.is_valid() && tx.payload.response.payload == b"3".to_vec()
-            })
+            b.validated_transactions()
+                .any(|(tx, code)| code.is_valid() && tx.payload.response.payload == b"3".to_vec())
         });
         assert!(found, "{peer} lacks the fabricated read");
     }

@@ -28,8 +28,14 @@ fn table2_reproduces_the_paper() {
             "Delete-Related",
             [Some(true), Some(true), Some(false), Some(false), None, None],
         ),
-        ("PDC-Read", [None, None, None, None, Some(true), Some(false)]),
-        ("PDC-Write", [None, None, None, None, Some(true), Some(false)]),
+        (
+            "PDC-Read",
+            [None, None, None, None, Some(true), Some(false)],
+        ),
+        (
+            "PDC-Write",
+            [None, None, None, None, Some(true), Some(false)],
+        ),
     ];
 
     for (row, (label, cells)) in rows.iter().zip(expect.iter()) {

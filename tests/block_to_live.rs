@@ -12,12 +12,9 @@ fn private_data_purges_after_btl_blocks() {
         .seed(995)
         .build();
     let def = ChaincodeDefinition::new("guarded").with_collection(
-        CollectionConfig::membership_of(
-            "PDC1",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        )
-        .with_member_only_read(false)
-        .with_block_to_live(2),
+        CollectionConfig::membership_of("PDC1", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+            .with_member_only_read(false)
+            .with_block_to_live(2),
     );
     net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained("PDC1")));
 
@@ -92,11 +89,8 @@ fn btl_zero_keeps_data_forever() {
         .seed(996)
         .build();
     let def = ChaincodeDefinition::new("guarded").with_collection(
-        CollectionConfig::membership_of(
-            "PDC1",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        )
-        .with_member_only_read(false),
+        CollectionConfig::membership_of("PDC1", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+            .with_member_only_read(false),
     );
     net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained("PDC1")));
     net.submit_transaction(

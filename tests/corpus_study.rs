@@ -7,10 +7,7 @@ use std::fs;
 #[test]
 fn small_corpus_percentages_track_the_paper() {
     let spec = CorpusSpec::small(12345);
-    let root = std::env::temp_dir().join(format!(
-        "fabric-pdc-corpus-it-{}",
-        std::process::id()
-    ));
+    let root = std::env::temp_dir().join(format!("fabric-pdc-corpus-it-{}", std::process::id()));
     let _ = fs::remove_dir_all(&root);
     corpus::materialize(&spec, &root).unwrap();
 
@@ -46,10 +43,7 @@ fn small_corpus_percentages_track_the_paper() {
 #[ignore = "paper-scale corpus (~25k files); run explicitly"]
 fn full_corpus_reproduces_exact_paper_numbers() {
     let spec = CorpusSpec::default();
-    let root = std::env::temp_dir().join(format!(
-        "fabric-pdc-corpus-full-{}",
-        std::process::id()
-    ));
+    let root = std::env::temp_dir().join(format!("fabric-pdc-corpus-full-{}", std::process::id()));
     let _ = fs::remove_dir_all(&root);
     corpus::materialize(&spec, &root).unwrap();
     let reports = scan_corpus(&root).unwrap();

@@ -93,12 +93,9 @@ fn honest_traffic_unaffected_by_full_defenses() {
         .defense(DefenseConfig::hardened())
         .build();
     let def = ChaincodeDefinition::new("guarded").with_collection(
-        CollectionConfig::membership_of(
-            "PDC1",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        )
-        .with_member_only_read(false)
-        .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')"),
+        CollectionConfig::membership_of("PDC1", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+            .with_member_only_read(false)
+            .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')"),
     );
     net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained("PDC1")));
 

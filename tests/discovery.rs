@@ -50,7 +50,10 @@ fn discovery_honours_explicit_policies() {
         ChaincodeDefinition::new("single").with_endorsement_policy("OR('Org1MSP.peer')"),
         Arc::new(AssetTransfer),
     );
-    assert_eq!(net.discover_endorsers("single").unwrap(), vec!["peer0.org1"]);
+    assert_eq!(
+        net.discover_endorsers("single").unwrap(),
+        vec!["peer0.org1"]
+    );
 }
 
 #[test]

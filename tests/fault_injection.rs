@@ -12,11 +12,8 @@ fn network(seed: u64) -> FabricNetwork {
         .build();
     net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
     let def = ChaincodeDefinition::new("guarded").with_collection(
-        CollectionConfig::membership_of(
-            "PDC1",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        )
-        .with_member_only_read(false),
+        CollectionConfig::membership_of("PDC1", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+            .with_member_only_read(false),
     );
     net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained("PDC1")));
     net

@@ -39,10 +39,7 @@ fn fixed_chaincode_variant_does_not_leak_via_write() {
         .seed(604)
         .build();
     let definition = ChaincodeDefinition::new("sacc").with_collection(
-        CollectionConfig::membership_of(
-            "demo",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        ),
+        CollectionConfig::membership_of("demo", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")]),
     );
     net.deploy_chaincode(definition, Arc::new(SaccPrivateFixed::new("demo")));
     let secret = b"super-secret".as_slice();
@@ -63,7 +60,11 @@ fn fixed_chaincode_variant_does_not_leak_via_write() {
     assert_eq!(
         net.peer("peer0.org1")
             .world_state()
-            .get_private(&ChaincodeId::new("sacc"), &CollectionName::new("demo"), "k1")
+            .get_private(
+                &ChaincodeId::new("sacc"),
+                &CollectionName::new("demo"),
+                "k1"
+            )
             .unwrap()
             .value,
         secret

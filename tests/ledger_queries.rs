@@ -128,7 +128,9 @@ fn history_tracks_updates_and_deletes() {
         assert!(!h[1].is_delete);
         assert!(h[2].is_delete);
         assert_eq!(
-            Asset::from_bytes(h[1].value.as_ref().unwrap()).unwrap().owner,
+            Asset::from_bytes(h[1].value.as_ref().unwrap())
+                .unwrap()
+                .owner,
             "bob"
         );
         // Versions strictly increase.

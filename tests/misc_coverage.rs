@@ -32,10 +32,18 @@ fn deeply_nested_policy_parses_and_evaluates() {
     let policy = SignaturePolicy::parse(expr).unwrap();
 
     let peer = |org: &str, seed: u64| {
-        Identity::new(org, Role::Peer, Keypair::generate_from_seed(seed).public_key())
+        Identity::new(
+            org,
+            Role::Peer,
+            Keypair::generate_from_seed(seed).public_key(),
+        )
     };
     let admin = |org: &str, seed: u64| {
-        Identity::new(org, Role::Admin, Keypair::generate_from_seed(seed).public_key())
+        Identity::new(
+            org,
+            Role::Admin,
+            Keypair::generate_from_seed(seed).public_key(),
+        )
     };
 
     // Left branch: org1 peer + org3 peer.

@@ -64,8 +64,16 @@ fn channels_maintain_separate_ledgers() {
     assert!(outcome.validation_code.is_valid());
 
     // Ledger isolation: C1's chain knows nothing of C2's and vice versa.
-    let c1_height = consortium.channel("C1").peer("peer0.org2").block_store().height();
-    let c2_height = consortium.channel("C2").peer("peer0.org2").block_store().height();
+    let c1_height = consortium
+        .channel("C1")
+        .peer("peer0.org2")
+        .block_store()
+        .height();
+    let c2_height = consortium
+        .channel("C2")
+        .peer("peer0.org2")
+        .block_store()
+        .height();
     assert_eq!(c1_height, 1);
     assert_eq!(c2_height, 1);
     assert!(consortium
@@ -82,16 +90,32 @@ fn channels_maintain_separate_ledgers() {
         .is_none());
     // The chains differ cryptographically.
     assert_ne!(
-        consortium.channel("C1").peer("peer0.org2").block_store().tip_hash(),
-        consortium.channel("C2").peer("peer0.org2").block_store().tip_hash()
+        consortium
+            .channel("C1")
+            .peer("peer0.org2")
+            .block_store()
+            .tip_hash(),
+        consortium
+            .channel("C2")
+            .peer("peer0.org2")
+            .block_store()
+            .tip_hash()
     );
 }
 
 #[test]
 fn org2_uses_one_identity_in_both_channels() {
     let consortium = fig1_consortium();
-    let on_c1 = consortium.channel("C1").peer("peer0.org2").identity().clone();
-    let on_c2 = consortium.channel("C2").peer("peer0.org2").identity().clone();
+    let on_c1 = consortium
+        .channel("C1")
+        .peer("peer0.org2")
+        .identity()
+        .clone();
+    let on_c2 = consortium
+        .channel("C2")
+        .peer("peer0.org2")
+        .identity()
+        .clone();
     assert_eq!(on_c1.public_key, on_c2.public_key);
     assert_eq!(on_c1.org, on_c2.org);
 }
@@ -117,10 +141,22 @@ fn pdc_isolates_within_channel_c1() {
     let col = CollectionName::new("PDC14");
     let c1 = consortium.channel("C1");
     // Members (P1, P4) hold plaintext.
-    assert!(c1.peer("peer0.org1").world_state().get_private(&ns, &col, "secret-k").is_some());
-    assert!(c1.peer("peer0.org4").world_state().get_private(&ns, &col, "secret-k").is_some());
+    assert!(c1
+        .peer("peer0.org1")
+        .world_state()
+        .get_private(&ns, &col, "secret-k")
+        .is_some());
+    assert!(c1
+        .peer("peer0.org4")
+        .world_state()
+        .get_private(&ns, &col, "secret-k")
+        .is_some());
     // P2 is in the channel but not the PDC: hash only (the paper's Fig. 1).
-    assert!(c1.peer("peer0.org2").world_state().get_private(&ns, &col, "secret-k").is_none());
+    assert!(c1
+        .peer("peer0.org2")
+        .world_state()
+        .get_private(&ns, &col, "secret-k")
+        .is_none());
     assert!(c1
         .peer("peer0.org2")
         .world_state()

@@ -58,7 +58,9 @@ fn parallel_and_sequential_validation_agree() {
     parallel.set_parallel_validation(true);
 
     let mut no_pvt = |_: &TxId| None;
-    let seq_outcome = sequential.process_block(block.clone(), &mut no_pvt).unwrap();
+    let seq_outcome = sequential
+        .process_block(block.clone(), &mut no_pvt)
+        .unwrap();
     let par_outcome = parallel.process_block(block, &mut no_pvt).unwrap();
 
     assert_eq!(seq_outcome, par_outcome);
@@ -72,8 +74,7 @@ fn parallel_and_sequential_validation_agree() {
     // Tampering broke the client signature (checked first).
     assert!(seq_outcome.validation_codes.iter().any(|c| matches!(
         c,
-        TxValidationCode::InvalidClientSignature
-            | TxValidationCode::InvalidEndorserSignature
+        TxValidationCode::InvalidClientSignature | TxValidationCode::InvalidEndorserSignature
     )));
     // Identical resulting ledgers.
     assert_eq!(

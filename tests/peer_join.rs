@@ -11,11 +11,8 @@ fn seeded_network(seed: u64) -> FabricNetwork {
         .build();
     net.deploy_chaincode(ChaincodeDefinition::new("assets"), Arc::new(AssetTransfer));
     let def = ChaincodeDefinition::new("guarded").with_collection(
-        CollectionConfig::membership_of(
-            "PDC1",
-            &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")],
-        )
-        .with_member_only_read(false),
+        CollectionConfig::membership_of("PDC1", &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+            .with_member_only_read(false),
     );
     net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained("PDC1")));
     for i in 0..3 {
@@ -51,8 +48,14 @@ fn member_org_peer_joins_with_full_state() {
     let veteran = net.peer("peer0.org2");
     let rookie = net.peer("peer1.org2");
     // Identical chains.
-    assert_eq!(rookie.block_store().height(), veteran.block_store().height());
-    assert_eq!(rookie.block_store().tip_hash(), veteran.block_store().tip_hash());
+    assert_eq!(
+        rookie.block_store().height(),
+        veteran.block_store().height()
+    );
+    assert_eq!(
+        rookie.block_store().tip_hash(),
+        veteran.block_store().tip_hash()
+    );
     assert!(rookie.block_store().verify_chain());
     // Identical public state.
     assert_eq!(
@@ -93,7 +96,10 @@ fn non_member_org_peer_joins_with_hashes_only() {
     );
     let ns = ChaincodeId::new("guarded");
     let col = CollectionName::new("PDC1");
-    assert!(rookie.world_state().get_private(&ns, &col, "secret").is_none());
+    assert!(rookie
+        .world_state()
+        .get_private(&ns, &col, "secret")
+        .is_none());
     assert!(rookie
         .world_state()
         .get_private_hash(&ns, &col, "secret")

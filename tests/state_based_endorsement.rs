@@ -3,8 +3,8 @@
 //! policies govern *writes* to a key; reads remain governed by the
 //! chaincode-level policy — the same asymmetry the paper exploits for PDC.
 
-use fabric_pdc::prelude::*;
 use fabric_pdc::chaincode::samples::SbeDemo;
+use fabric_pdc::prelude::*;
 use std::sync::Arc;
 
 fn network(seed: u64) -> FabricNetwork {

@@ -84,7 +84,11 @@ fn peers_converge_under_mixed_load() {
         assert_eq!(v1, v2);
         assert!(v1.is_some());
         for nm in ["peer0.org3", "peer0.org4"] {
-            assert!(net.peer(nm).world_state().get_private(&ns, &col, &pkey).is_none());
+            assert!(net
+                .peer(nm)
+                .world_state()
+                .get_private(&ns, &col, &pkey)
+                .is_none());
             assert!(net
                 .peer(nm)
                 .world_state()
@@ -179,7 +183,11 @@ fn mvcc_rejects_stale_update_between_endorsement_and_commit() {
     assert_eq!(
         net.peer("peer0.org1")
             .world_state()
-            .get_private(&ChaincodeId::new("guarded"), &CollectionName::new("PDC1"), "k")
+            .get_private(
+                &ChaincodeId::new("guarded"),
+                &CollectionName::new("PDC1"),
+                "k"
+            )
             .unwrap()
             .value,
         b"2"
@@ -203,10 +211,17 @@ fn versions_increase_monotonically() {
         let v = net
             .peer("peer0.org1")
             .world_state()
-            .get_private(&ChaincodeId::new("guarded"), &CollectionName::new("PDC1"), "k")
+            .get_private(
+                &ChaincodeId::new("guarded"),
+                &CollectionName::new("PDC1"),
+                "k",
+            )
             .unwrap()
             .version;
-        assert!(v > last || (i == 1 && v >= last), "iteration {i}: {v} !> {last}");
+        assert!(
+            v > last || (i == 1 && v >= last),
+            "iteration {i}: {v} !> {last}"
+        );
         last = v;
     }
 }
@@ -228,7 +243,11 @@ fn gossip_total_loss_still_converges_via_pull() {
         assert_eq!(
             net.peer(member)
                 .world_state()
-                .get_private(&ChaincodeId::new("guarded"), &CollectionName::new("PDC1"), "k")
+                .get_private(
+                    &ChaincodeId::new("guarded"),
+                    &CollectionName::new("PDC1"),
+                    "k"
+                )
                 .unwrap()
                 .value,
             b"5",
