@@ -1,0 +1,169 @@
+//! Commit-throughput baseline for the staged validation pipeline.
+//!
+//! Measures `Peer::process_block` throughput (txs/sec) over blocks of
+//! 1/100/1000 PDC-write transactions in three modes:
+//!
+//! * `reference` — the pre-pipeline sequential validator
+//!   (`process_block_reference`): every policy expression parsed at use.
+//! * `pipeline-seq` — the staged pipeline with parallel validation off
+//!   (compiled-policy caches, sequential stateless pass).
+//! * `pipeline-par` — the staged pipeline with parallel validation on.
+//!
+//! Writes `BENCH_commit.json` at the repository root so future changes
+//! have a perf trajectory. Pass `--smoke` for a seconds-long CI run that
+//! skips the file write.
+//!
+//! ```text
+//! cargo run --release -p fabric-bench --bin commit_throughput
+//! ```
+
+use fabric_bench::{fixture_network, prepared_commit_block};
+use fabric_pdc::prelude::*;
+use fabric_pdc::types::{Block, PvtDataPackage};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Reference,
+    PipelineSeq,
+    PipelinePar,
+}
+
+impl Mode {
+    fn all() -> [Mode; 3] {
+        [Mode::Reference, Mode::PipelineSeq, Mode::PipelinePar]
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Mode::Reference => "reference",
+            Mode::PipelineSeq => "pipeline-seq",
+            Mode::PipelinePar => "pipeline-par",
+        }
+    }
+}
+
+struct Sample {
+    block_txs: usize,
+    mode: Mode,
+    median: Duration,
+    txs_per_sec: f64,
+}
+
+/// Times `process_block` on fresh clones of `peer` (clones and block
+/// copies are made outside the measured region).
+fn time_mode(
+    peer: &Peer,
+    block: &Block,
+    pkgs: &HashMap<TxId, PvtDataPackage>,
+    mode: Mode,
+    runs: usize,
+    warmup: usize,
+) -> Duration {
+    let mut base = peer.clone();
+    base.set_parallel_validation(mode == Mode::PipelinePar);
+    let mut samples = Vec::with_capacity(runs);
+    for i in 0..warmup + runs {
+        let mut p = base.clone();
+        let b = block.clone();
+        // The provider clones each package out of the shared fixture map:
+        // a small per-transaction cost paid identically by every mode,
+        // without rebuilding (and cache-evicting) a fresh map per run.
+        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+        let start = Instant::now();
+        let outcome = match mode {
+            Mode::Reference => p.process_block_reference(b, &mut provider),
+            _ => p.process_block(b, &mut provider),
+        }
+        .expect("block chains");
+        let elapsed = start.elapsed();
+        assert!(
+            outcome.validation_codes.iter().all(|c| c.is_valid()),
+            "workload transactions must all validate"
+        );
+        if i >= warmup {
+            samples.push(elapsed);
+        }
+    }
+    // Median: robust against scheduler noise on shared hardware.
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[1, 8] } else { &[1, 100, 1000] };
+
+    let mut results: Vec<Sample> = Vec::new();
+    for &n in sizes {
+        let mut net = fixture_network(DefenseConfig::original(), 7);
+        let (peer, block, pkgs) = prepared_commit_block(&mut net, n, 1);
+        let (runs, warmup) = match (smoke, n) {
+            (true, _) => (3, 1),
+            (false, 1) => (400, 50),
+            (false, 100) => (60, 6),
+            _ => (15, 2),
+        };
+        for mode in Mode::all() {
+            let median = time_mode(&peer, &block, &pkgs, mode, runs, warmup);
+            let txs_per_sec = n as f64 / median.as_secs_f64();
+            println!(
+                "block_txs={n:>5}  mode={:<13} median={:>10.3?}  txs/sec={txs_per_sec:>10.0}",
+                mode.label(),
+                median,
+            );
+            results.push(Sample {
+                block_txs: n,
+                mode,
+                median,
+                txs_per_sec,
+            });
+        }
+    }
+
+    let throughput = |txs: usize, mode: Mode| {
+        results
+            .iter()
+            .find(|s| s.block_txs == txs && s.mode == mode)
+            .map(|s| s.txs_per_sec)
+    };
+    let largest = *sizes.last().expect("sizes not empty");
+    let speedup = match (
+        throughput(largest, Mode::PipelinePar),
+        throughput(largest, Mode::Reference),
+    ) {
+        (Some(par), Some(reference)) => par / reference,
+        _ => f64::NAN,
+    };
+    println!("speedup {largest}-tx pipeline-par vs reference: {speedup:.2}x");
+
+    if smoke {
+        println!("smoke run: skipping BENCH_commit.json");
+        return;
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"commit_throughput\",\n");
+    json.push_str(
+        "  \"workload\": \"distinct-key PDC writes (chaincode MAJORITY + collection AND policy)\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"block_txs\": {}, \"mode\": \"{}\", \"median_ms\": {:.3}, \"txs_per_sec\": {:.0}}}{sep}\n",
+            s.block_txs,
+            s.mode.label(),
+            s.median.as_secs_f64() * 1e3,
+            s.txs_per_sec
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_{largest}tx_parallel_vs_reference\": {speedup:.2}\n}}\n"
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_commit.json");
+    std::fs::write(path, json).expect("write BENCH_commit.json");
+    println!("wrote {path}");
+}

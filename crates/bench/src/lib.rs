@@ -5,6 +5,7 @@
 
 use fabric_pdc::prelude::*;
 use fabric_pdc::types::{Block, PvtDataPackage};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -135,6 +136,58 @@ pub fn prepared_block(
         vec![tx],
     );
     (peer, block, pvt)
+}
+
+/// A ready-to-commit block of `n` distinct-key PDC writes, the member
+/// peer that validates it, and the private-data packages keyed by tx-id
+/// (the `pvt_provider` backing for `process_block`). This is the
+/// commit-throughput workload: every transaction exercises the chaincode-
+/// level policy, the collection-level endorsement policy, and the hashed +
+/// plaintext write path.
+pub fn prepared_commit_block(
+    net: &mut FabricNetwork,
+    n: usize,
+    first_nonce: u64,
+) -> (Peer, Block, HashMap<TxId, PvtDataPackage>) {
+    let mut txs = Vec::with_capacity(n);
+    let mut pkgs = HashMap::with_capacity(n);
+    for i in 0..n {
+        let nonce = first_nonce + i as u64;
+        let mut client = Client::new(
+            "Org1MSP",
+            Keypair::generate_from_seed(9_200_000 + nonce),
+            DefenseConfig::original(),
+        );
+        let proposal = client.create_proposal(
+            net.channel().clone(),
+            ChaincodeId::new(NS),
+            "write",
+            vec![format!("bk{i}").into_bytes(), b"12".to_vec()],
+            Default::default(),
+        );
+        let (r1, pvt) = net
+            .peer("peer0.org1")
+            .endorse(&proposal)
+            .expect("endorse org1");
+        let (r2, _) = net
+            .peer("peer0.org2")
+            .endorse(&proposal)
+            .expect("endorse org2");
+        let (tx, _) = client
+            .assemble_transaction(&proposal, &[r1, r2])
+            .expect("assemble");
+        if let Some(pkg) = pvt {
+            pkgs.insert(tx.tx_id.clone(), pkg);
+        }
+        txs.push(tx);
+    }
+    let peer = net.peer("peer0.org2").clone();
+    let block = Block::new(
+        peer.block_store().height(),
+        peer.block_store().tip_hash(),
+        txs,
+    );
+    (peer, block, pkgs)
 }
 
 /// Validates + commits one prepared block on a clone of the peer; the

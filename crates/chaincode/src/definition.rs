@@ -1,7 +1,8 @@
 //! The channel-agreed chaincode definition.
 
-use fabric_policy::SignaturePolicy;
+use fabric_policy::{Policy, SignaturePolicy};
 use fabric_types::{ChaincodeId, CollectionConfig, CollectionName, OrgId};
+use std::collections::{BTreeSet, HashMap};
 
 /// What the channel agreed on when the chaincode was committed: its name,
 /// chaincode-level endorsement policy, and collection configurations.
@@ -68,6 +69,87 @@ impl ChaincodeDefinition {
             .map(|c| c.name.clone())
             .collect()
     }
+
+    /// Parses every policy in the definition once, producing the
+    /// evaluation-ready [`CompiledPolicies`] the committing peer's hot path
+    /// uses instead of re-parsing expressions per transaction.
+    pub fn compile(&self) -> CompiledPolicies {
+        let endorsement = Policy::parse(&self.endorsement_policy).ok();
+        let mut collection_endorsement = HashMap::new();
+        let mut members = HashMap::new();
+        for cfg in &self.collections {
+            if let Some(expr) = &cfg.endorsement_policy {
+                collection_endorsement.insert(cfg.name.clone(), SignaturePolicy::parse(expr).ok());
+            }
+            let orgs: BTreeSet<OrgId> = match SignaturePolicy::parse(&cfg.member_policy) {
+                Ok(policy) => policy.organizations().into_iter().collect(),
+                Err(_) => BTreeSet::new(),
+            };
+            members.insert(cfg.name.clone(), orgs);
+        }
+        CompiledPolicies {
+            endorsement,
+            collection_endorsement,
+            members,
+        }
+    }
+}
+
+/// Pre-parsed forms of every policy a [`ChaincodeDefinition`] carries,
+/// built once at chaincode-definition (install) time.
+///
+/// Unparsable expressions compile to `None`; callers surface the failure
+/// (as `BAD_PAYLOAD`, matching a fresh parse) only when the policy is
+/// actually needed, preserving the lazily-erroring semantics of parsing on
+/// use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPolicies {
+    endorsement: Option<Policy>,
+    /// Only collections that define an endorsement policy appear here.
+    collection_endorsement: HashMap<CollectionName, Option<SignaturePolicy>>,
+    /// Member organizations per collection, from the membership policy.
+    members: HashMap<CollectionName, BTreeSet<OrgId>>,
+}
+
+impl CompiledPolicies {
+    /// The compiled chaincode-level endorsement policy; `None` when the
+    /// expression does not parse.
+    pub fn endorsement(&self) -> Option<&Policy> {
+        self.endorsement.as_ref()
+    }
+
+    /// The compiled collection-level endorsement policy: outer `None` when
+    /// the collection defines no policy, inner `None` when the defined
+    /// expression does not parse.
+    pub fn collection_endorsement(
+        &self,
+        collection: &CollectionName,
+    ) -> Option<Option<&SignaturePolicy>> {
+        self.collection_endorsement
+            .get(collection)
+            .map(|p| p.as_ref())
+    }
+
+    /// Whether `org` is a member of `collection` (compiled form of
+    /// [`ChaincodeDefinition::org_is_member`]).
+    pub fn org_is_member(&self, org: &OrgId, collection: &CollectionName) -> bool {
+        self.members
+            .get(collection)
+            .is_some_and(|orgs| orgs.contains(org))
+    }
+
+    /// The collections `org` is a member of, in definition-independent
+    /// (sorted-name) order.
+    pub fn memberships_of(&self, org: &OrgId) -> Vec<CollectionName> {
+        let mut names: Vec<CollectionName> = self
+            .members
+            .iter()
+            .filter(|(_, orgs)| orgs.contains(org))
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +179,29 @@ mod tests {
         assert!(def.org_is_member(&OrgId::new("Org2MSP"), &pdc1));
         assert!(!def.org_is_member(&OrgId::new("Org3MSP"), &pdc1));
         assert!(!def.org_is_member(&OrgId::new("Org1MSP"), &CollectionName::new("nope")));
+    }
+
+    #[test]
+    fn compiled_policies_match_parse_on_use() {
+        let def = definition().with_endorsement_policy("MAJORITY Endorsement");
+        let compiled = def.compile();
+        assert!(compiled.endorsement().is_some());
+        let pdc1 = CollectionName::new("PDC1");
+        // No collection-level endorsement policy defined.
+        assert!(compiled.collection_endorsement(&pdc1).is_none());
+        assert!(compiled.org_is_member(&OrgId::new("Org1MSP"), &pdc1));
+        assert!(!compiled.org_is_member(&OrgId::new("Org3MSP"), &pdc1));
+        assert_eq!(
+            compiled.memberships_of(&OrgId::new("Org2MSP")),
+            def.memberships_of(&OrgId::new("Org2MSP"))
+        );
+    }
+
+    #[test]
+    fn compiled_policies_keep_unparsable_expressions_lazy() {
+        let def = ChaincodeDefinition::new("cc").with_endorsement_policy("not a policy");
+        let compiled = def.compile();
+        assert!(compiled.endorsement().is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt;
 
 /// Round constants: first 32 bits of the fractional parts of the cube roots
 /// of the first 64 primes (FIPS 180-4 §4.2.2).
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -127,6 +127,8 @@ pub struct Sha256 {
     len: u64,
     buf: [u8; 64],
     buf_len: usize,
+    /// Skip the hardware path even when available (test cross-checking).
+    force_scalar: bool,
 }
 
 impl Default for Sha256 {
@@ -143,6 +145,39 @@ impl Sha256 {
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
+            force_scalar: false,
+        }
+    }
+
+    /// A hasher pinned to the scalar rounds, so tests can cross-check the
+    /// hardware compression against the FIPS reference loop.
+    #[cfg(test)]
+    pub(crate) fn new_scalar_for_tests() -> Self {
+        Sha256 {
+            force_scalar: true,
+            ..Self::new()
+        }
+    }
+
+    /// The compression state after absorbing exactly one 64-byte block
+    /// from the initial state. Lets callers precompute keyed prefixes
+    /// (HMAC pads) once and resume with [`Sha256::from_midstate`].
+    pub(crate) fn midstate_of_block(block: &[u8; 64]) -> [u32; 8] {
+        let mut h = Sha256::new();
+        h.compress(block);
+        h.state
+    }
+
+    /// A hasher resumed from `state` with `absorbed` bytes (a multiple of
+    /// 64) already compressed into it.
+    pub(crate) fn from_midstate(state: [u32; 8], absorbed: u64) -> Self {
+        debug_assert_eq!(absorbed % 64, 0, "midstate must be block-aligned");
+        Sha256 {
+            state,
+            len: absorbed,
+            buf: [0u8; 64],
+            buf_len: 0,
+            force_scalar: false,
         }
     }
 
@@ -162,8 +197,8 @@ impl Sha256 {
             }
         }
         while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
+            let block: &[u8; 64] = data[..64].try_into().expect("64-byte slice");
+            let block = *block;
             self.compress(&block);
             data = &data[64..];
         }
@@ -176,12 +211,19 @@ impl Sha256 {
     /// Completes the hash and returns the digest, consuming the hasher.
     pub fn finalize(mut self) -> Hash256 {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros, 64-bit big-endian length — written in
+        // place rather than byte-by-byte through `update`.
+        let used = self.buf_len;
+        self.buf[used] = 0x80;
+        if used + 1 > 56 {
+            // No room for the length in this block; it goes in an extra one.
+            self.buf[used + 1..].fill(0);
+            let block = self.buf;
+            self.compress(&block);
+            self.buf = [0u8; 64];
+        } else {
+            self.buf[used + 1..56].fill(0);
         }
-        // Manual length append: bypass update's length accounting.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
         self.compress(&block);
@@ -192,7 +234,20 @@ impl Sha256 {
         Hash256(out)
     }
 
+    /// One compression round: the SHA extensions when the CPU has them
+    /// (probed once), the scalar FIPS loop otherwise.
     fn compress(&mut self, block: &[u8; 64]) {
+        if self.force_scalar {
+            return self.compress_scalar(block);
+        }
+        #[cfg(target_arch = "x86_64")]
+        if crate::sha_ni::available() {
+            return crate::sha_ni::compress(&mut self.state, block);
+        }
+        self.compress_scalar(block);
+    }
+
+    fn compress_scalar(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);

@@ -21,6 +21,15 @@ const BLOCK_SIZE: usize = 64;
 /// );
 /// ```
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Hash256 {
+    let (inner, outer) = hmac_midstates(key);
+    hmac_from_midstates(inner, outer, message)
+}
+
+/// The SHA-256 midstates after absorbing the HMAC inner and outer key
+/// pads. A fixed key's pads compress to the same midstates for every
+/// message, so callers verifying many signatures by the same identity can
+/// compute these once and replay them via [`hmac_from_midstates`].
+pub(crate) fn hmac_midstates(key: &[u8]) -> ([u32; 8], [u32; 8]) {
     let mut key_block = [0u8; BLOCK_SIZE];
     if key.len() > BLOCK_SIZE {
         key_block[..32].copy_from_slice(sha256(key).as_bytes());
@@ -34,16 +43,22 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Hash256 {
         ipad[i] ^= key_block[i];
         opad[i] ^= key_block[i];
     }
+    (
+        Sha256::midstate_of_block(&ipad),
+        Sha256::midstate_of_block(&opad),
+    )
+}
 
-    let mut inner = Sha256::new();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
+/// `HMAC-SHA256` resumed from precomputed pad midstates (see
+/// [`hmac_midstates`]).
+pub(crate) fn hmac_from_midstates(inner: [u32; 8], outer: [u32; 8], message: &[u8]) -> Hash256 {
+    let mut h = Sha256::from_midstate(inner, BLOCK_SIZE as u64);
+    h.update(message);
+    let inner_digest = h.finalize();
 
-    let mut outer = Sha256::new();
-    outer.update(&opad);
-    outer.update(inner_digest.as_bytes());
-    outer.finalize()
+    let mut h = Sha256::from_midstate(outer, BLOCK_SIZE as u64);
+    h.update(inner_digest.as_bytes());
+    h.finalize()
 }
 
 #[cfg(test)]

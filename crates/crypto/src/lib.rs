@@ -33,6 +33,7 @@
 
 mod hash;
 mod hmac;
+mod sha_ni;
 mod sig;
 
 pub use hash::{sha256, Hash256, Sha256};

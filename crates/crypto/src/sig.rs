@@ -8,7 +8,7 @@
 //! verification), and defining `sig = HMAC-SHA256(sk, msg)`.
 
 use crate::hash::{sha256, Hash256};
-use crate::hmac::hmac_sha256;
+use crate::hmac::{hmac_from_midstates, hmac_midstates, hmac_sha256};
 use fabric_wire::{Decode, Encode, Reader, WireError};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -17,10 +17,20 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Registry of `public key -> secret key`, playing the role of the Fabric CA
-/// for signature verification inside the simulation. Module-private: attack
-/// code cannot reach other identities' secrets through the public API.
-static CA_REGISTRY: RwLock<Option<HashMap<[u8; 32], [u8; 32]>>> = RwLock::new(None);
+/// A registered identity's verification material: the HMAC pad midstates
+/// precomputed from its secret key at registration, so each verification
+/// skips the key-pad setup and its two compression rounds.
+#[derive(Clone, Copy)]
+struct SecretEntry {
+    inner: [u32; 8],
+    outer: [u32; 8],
+}
+
+/// Registry of `public key -> verification material`, playing the role of
+/// the Fabric CA for signature verification inside the simulation.
+/// Module-private: attack code cannot reach other identities' secrets
+/// through the public API.
+static CA_REGISTRY: RwLock<Option<HashMap<[u8; 32], SecretEntry>>> = RwLock::new(None);
 
 /// Monotonic counter making `Keypair::generate` unique within a process.
 static KEYGEN_COUNTER: AtomicU64 = AtomicU64::new(1);
@@ -75,14 +85,17 @@ impl Signature {
     /// Returns `false` for unknown identities or mismatched messages;
     /// verification never panics.
     pub fn verify(&self, pk: &PublicKey, msg: &[u8]) -> bool {
-        let guard = CA_REGISTRY.read();
-        let Some(map) = guard.as_ref() else {
-            return false;
+        let entry = {
+            let guard = CA_REGISTRY.read();
+            let Some(map) = guard.as_ref() else {
+                return false;
+            };
+            let Some(entry) = map.get(&pk.0) else {
+                return false;
+            };
+            *entry
         };
-        let Some(sk) = map.get(&pk.0) else {
-            return false;
-        };
-        hmac_sha256(sk, msg).0 == self.0
+        hmac_from_midstates(entry.inner, entry.outer, msg).0 == self.0
     }
 
     /// Raw signature bytes.
@@ -166,10 +179,11 @@ impl Keypair {
 
     fn from_secret(sk: [u8; 32]) -> Self {
         let pk = PublicKey(sha256(&sk).0);
+        let (inner, outer) = hmac_midstates(&sk);
         CA_REGISTRY
             .write()
             .get_or_insert_with(HashMap::new)
-            .insert(pk.0, sk);
+            .insert(pk.0, SecretEntry { inner, outer });
         Keypair { sk, pk }
     }
 

@@ -71,13 +71,14 @@ impl BlockStore {
         self.blocks.last().map(|b| b.hash()).unwrap_or_default()
     }
 
-    /// Appends a block after verifying number, chain hash, and data hash.
+    /// Verifies that `block` would extend this chain: sequential number,
+    /// matching previous-hash, and consistent data hash. Borrows only, so
+    /// callers can pre-validate without cloning the store.
     ///
     /// # Errors
     ///
-    /// Returns [`BlockStoreError`] when any structural check fails; the
-    /// store is unchanged on error.
-    pub fn append(&mut self, block: Block) -> Result<(), BlockStoreError> {
+    /// Returns [`BlockStoreError`] describing the first failing check.
+    pub fn check_extends(&self, block: &Block) -> Result<(), BlockStoreError> {
         let expected_number = self.height();
         if block.header.number != expected_number {
             return Err(BlockStoreError::NonSequentialNumber {
@@ -95,12 +96,38 @@ impl BlockStore {
         if !block.data_hash_is_consistent() {
             return Err(BlockStoreError::DataHashMismatch);
         }
+        Ok(())
+    }
+
+    /// Appends a block after verifying number, chain hash, and data hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockStoreError`] when any structural check fails; the
+    /// store is unchanged on error.
+    pub fn append(&mut self, block: Block) -> Result<(), BlockStoreError> {
+        self.check_extends(&block)?;
+        self.append_unchecked(block);
+        Ok(())
+    }
+
+    /// Appends a block whose structural checks the caller has already run
+    /// via [`BlockStore::check_extends`] on this same store and block.
+    ///
+    /// The commit pipeline validates linkage once up front (before any
+    /// state mutation) and appends after the per-transaction merge; this
+    /// entry point lets it skip re-hashing the whole transaction list a
+    /// second time. Debug builds still assert the contract.
+    pub fn append_unchecked(&mut self, block: Block) {
+        debug_assert!(
+            self.check_extends(&block).is_ok(),
+            "append_unchecked caller must have verified check_extends"
+        );
         for (i, tx) in block.transactions.iter().enumerate() {
             self.tx_index
                 .insert(tx.tx_id.clone(), (block.header.number, i));
         }
         self.blocks.push(block);
-        Ok(())
     }
 
     /// The block at `number`, if present.
@@ -203,6 +230,30 @@ mod tests {
         let mut b = block(0, Hash256::default());
         b.header.data_hash = fabric_crypto::sha256(b"tampered");
         assert_eq!(store.append(b), Err(BlockStoreError::DataHashMismatch));
+    }
+
+    #[test]
+    fn check_extends_matches_append_without_mutating() {
+        let mut store = BlockStore::new();
+        let b0 = block(0, Hash256::default());
+        let h0 = b0.hash();
+        assert_eq!(store.check_extends(&b0), Ok(()));
+        store.append(b0).unwrap();
+
+        let good = block(1, h0);
+        assert_eq!(store.check_extends(&good), Ok(()));
+        let broken = block(1, fabric_crypto::sha256(b"wrong"));
+        assert!(matches!(
+            store.check_extends(&broken),
+            Err(BlockStoreError::BrokenChain { .. })
+        ));
+        let skipped = block(7, h0);
+        assert!(matches!(
+            store.check_extends(&skipped),
+            Err(BlockStoreError::NonSequentialNumber { .. })
+        ));
+        // The store itself is untouched by any of the checks.
+        assert_eq!(store.height(), 1);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use fabric_crypto::{sha256, Hash256};
 use fabric_types::{
-    ChaincodeId, CollectionName, CollectionPvtRwSet, HashedRead, KvRead, KvRwSet, MetadataWrite,
-    Version,
+    ChaincodeId, CollectionHashedRwSet, CollectionName, CollectionPvtRwSet, HashedRead, KvRead,
+    KvRwSet, MetadataWrite, Version,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -17,12 +17,23 @@ pub struct VersionedValue {
     pub version: Version,
 }
 
-/// Key of a public state entry: `(namespace, key)`.
-type PubKey = (ChaincodeId, String);
-/// Key of a plaintext private entry: `(namespace, collection, key)`.
-type PvtKey = (ChaincodeId, CollectionName, String);
-/// Key of a hashed private entry: `(namespace, collection, hash(key))`.
-type HashKey = (ChaincodeId, CollectionName, Hash256);
+/// Per-namespace public entries, keyed by state key.
+type PubNs = BTreeMap<String, VersionedValue>;
+/// Per-namespace plaintext private entries: `collection -> key -> value`.
+type PvtNs = BTreeMap<CollectionName, BTreeMap<String, VersionedValue>>;
+/// Per-namespace hashed private entries: `collection -> hash(key) ->
+/// (hash(value), version)`.
+type HashNs = BTreeMap<CollectionName, BTreeMap<Hash256, (Hash256, Version)>>;
+
+/// The inner map for `outer_key`, inserting an empty one on first use.
+/// Looks up before cloning so the steady-state path allocates nothing
+/// (`BTreeMap::entry` would clone the key on every call).
+fn nested<'a, K: Ord + Clone, V: Default>(map: &'a mut BTreeMap<K, V>, outer_key: &K) -> &'a mut V {
+    if !map.contains_key(outer_key) {
+        map.insert(outer_key.clone(), V::default());
+    }
+    map.get_mut(outer_key).expect("just inserted")
+}
 
 /// The reason an MVCC check failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,13 +72,17 @@ impl fmt::Display for MvccViolation {
 /// Holds three maps, mirroring Fabric's state layout at a peer:
 /// public data, plaintext private data (only populated for collections the
 /// peer is a member of), and hashed private data (populated at every peer).
-#[derive(Debug, Clone, Default)]
+///
+/// Each map nests by namespace (and collection) rather than using flat
+/// composite-string keys, so the commit hot path looks entries up without
+/// allocating `(namespace, key)` tuples per access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorldState {
-    public: BTreeMap<PubKey, VersionedValue>,
-    private: BTreeMap<PvtKey, VersionedValue>,
-    hashed: BTreeMap<HashKey, (Hash256, Version)>,
+    public: BTreeMap<ChaincodeId, PubNs>,
+    private: BTreeMap<ChaincodeId, PvtNs>,
+    hashed: BTreeMap<ChaincodeId, HashNs>,
     /// Key-level endorsement policies (state-based endorsement metadata).
-    validation_params: BTreeMap<PubKey, String>,
+    validation_params: BTreeMap<ChaincodeId, BTreeMap<String, String>>,
 }
 
 impl WorldState {
@@ -80,20 +95,19 @@ impl WorldState {
 
     /// Reads a public key: `(value, version)` or `None` when absent.
     pub fn get_public(&self, ns: &ChaincodeId, key: &str) -> Option<&VersionedValue> {
-        self.public.get(&(ns.clone(), key.to_string()))
+        self.public.get(ns)?.get(key)
     }
 
     /// Applies a public write at `version`.
     pub fn put_public(&mut self, ns: &ChaincodeId, key: &str, value: Vec<u8>, version: Version) {
-        self.public.insert(
-            (ns.clone(), key.to_string()),
-            VersionedValue { value, version },
-        );
+        nested(&mut self.public, ns).insert(key.to_string(), VersionedValue { value, version });
     }
 
     /// Deletes a public key.
     pub fn delete_public(&mut self, ns: &ChaincodeId, key: &str) {
-        self.public.remove(&(ns.clone(), key.to_string()));
+        if let Some(entries) = self.public.get_mut(ns) {
+            entries.remove(key);
+        }
     }
 
     /// Iterates public entries of a namespace in key order.
@@ -102,9 +116,10 @@ impl WorldState {
         ns: &'a ChaincodeId,
     ) -> impl Iterator<Item = (&'a str, &'a VersionedValue)> + 'a {
         self.public
-            .range((ns.clone(), String::new())..)
-            .take_while(move |((n, _), _)| n == ns)
-            .map(|((_, k), v)| (k.as_str(), v))
+            .get(ns)
+            .into_iter()
+            .flat_map(|entries| entries.iter())
+            .map(|(k, v)| (k.as_str(), v))
     }
 
     // ---- plaintext private data (collection members only) ----
@@ -119,8 +134,7 @@ impl WorldState {
         collection: &CollectionName,
         key: &str,
     ) -> Option<&VersionedValue> {
-        self.private
-            .get(&(ns.clone(), collection.clone(), key.to_string()))
+        self.private.get(ns)?.get(collection)?.get(key)
     }
 
     /// Writes plaintext private data at `version` (and its hashes).
@@ -132,22 +146,20 @@ impl WorldState {
         value: Vec<u8>,
         version: Version,
     ) {
-        self.hashed.insert(
-            (ns.clone(), collection.clone(), sha256(key.as_bytes())),
-            (sha256(&value), version),
-        );
-        self.private.insert(
-            (ns.clone(), collection.clone(), key.to_string()),
-            VersionedValue { value, version },
-        );
+        nested(nested(&mut self.hashed, ns), collection)
+            .insert(sha256(key.as_bytes()), (sha256(&value), version));
+        nested(nested(&mut self.private, ns), collection)
+            .insert(key.to_string(), VersionedValue { value, version });
     }
 
     /// Deletes plaintext private data and its hash entry.
     pub fn delete_private(&mut self, ns: &ChaincodeId, collection: &CollectionName, key: &str) {
-        self.private
-            .remove(&(ns.clone(), collection.clone(), key.to_string()));
-        self.hashed
-            .remove(&(ns.clone(), collection.clone(), sha256(key.as_bytes())));
+        if let Some(entries) = self.private.get_mut(ns).and_then(|c| c.get_mut(collection)) {
+            entries.remove(key);
+        }
+        if let Some(entries) = self.hashed.get_mut(ns).and_then(|c| c.get_mut(collection)) {
+            entries.remove(&sha256(key.as_bytes()));
+        }
     }
 
     // ---- hashed private data (all peers) ----
@@ -163,7 +175,9 @@ impl WorldState {
         key: &str,
     ) -> Option<(Hash256, Version)> {
         self.hashed
-            .get(&(ns.clone(), collection.clone(), sha256(key.as_bytes())))
+            .get(ns)?
+            .get(collection)?
+            .get(&sha256(key.as_bytes()))
             .copied()
     }
 
@@ -176,10 +190,7 @@ impl WorldState {
         value_hash: Hash256,
         version: Version,
     ) {
-        self.hashed.insert(
-            (ns.clone(), collection.clone(), key_hash),
-            (value_hash, version),
-        );
+        nested(nested(&mut self.hashed, ns), collection).insert(key_hash, (value_hash, version));
     }
 
     /// Deletes a hashed private entry by key hash.
@@ -189,8 +200,9 @@ impl WorldState {
         collection: &CollectionName,
         key_hash: Hash256,
     ) {
-        self.hashed
-            .remove(&(ns.clone(), collection.clone(), key_hash));
+        if let Some(entries) = self.hashed.get_mut(ns).and_then(|c| c.get_mut(collection)) {
+            entries.remove(&key_hash);
+        }
     }
 
     /// Looks up the version of a hashed entry by key hash.
@@ -201,7 +213,9 @@ impl WorldState {
         key_hash: Hash256,
     ) -> Option<Version> {
         self.hashed
-            .get(&(ns.clone(), collection.clone(), key_hash))
+            .get(ns)?
+            .get(collection)?
+            .get(&key_hash)
             .map(|(_, v)| *v)
     }
 
@@ -209,9 +223,7 @@ impl WorldState {
 
     /// The committed key-level endorsement policy of a public key, if any.
     pub fn get_validation_parameter(&self, ns: &ChaincodeId, key: &str) -> Option<&str> {
-        self.validation_params
-            .get(&(ns.clone(), key.to_string()))
-            .map(String::as_str)
+        self.validation_params.get(ns)?.get(key).map(String::as_str)
     }
 
     /// Sets or clears a key-level endorsement policy.
@@ -223,12 +235,12 @@ impl WorldState {
     ) {
         match policy {
             Some(p) => {
-                self.validation_params
-                    .insert((ns.clone(), key.to_string()), p);
+                nested(&mut self.validation_params, ns).insert(key.to_string(), p);
             }
             None => {
-                self.validation_params
-                    .remove(&(ns.clone(), key.to_string()));
+                if let Some(entries) = self.validation_params.get_mut(ns) {
+                    entries.remove(key);
+                }
             }
         }
     }
@@ -276,6 +288,74 @@ impl WorldState {
         }
     }
 
+    /// Verifies that `pvt` hashes exactly to `expected` and, when it does,
+    /// applies its plaintext writes (plus the matching hashed entries) at
+    /// `version`. Returns whether the plaintext matched; nothing is
+    /// written on a mismatch.
+    ///
+    /// Equivalent to checking `pvt.to_hashed() == *expected` and then
+    /// calling [`WorldState::apply_private_writes`], but each key and
+    /// value is hashed once — the digests computed for verification are
+    /// the ones stored — instead of once for the comparison and again for
+    /// the hashed-store insert. This is the member-peer commit hot path.
+    pub fn apply_private_writes_verified(
+        &mut self,
+        ns: &ChaincodeId,
+        pvt: &CollectionPvtRwSet,
+        expected: &CollectionHashedRwSet,
+        version: Version,
+    ) -> bool {
+        if pvt.collection != expected.collection
+            || pvt.rwset.reads.len() != expected.reads.len()
+            || pvt.rwset.writes.len() != expected.writes.len()
+        {
+            return false;
+        }
+        let reads_match = pvt
+            .rwset
+            .reads
+            .iter()
+            .zip(&expected.reads)
+            .all(|(r, h)| h.version == r.version && h.key_hash == sha256(r.key.as_bytes()));
+        if !reads_match {
+            return false;
+        }
+        let writes_match = pvt.rwset.writes.iter().zip(&expected.writes).all(|(w, h)| {
+            h.is_delete == w.is_delete
+                && h.key_hash == sha256(w.key.as_bytes())
+                && h.value_hash == w.value.as_deref().map(sha256)
+        });
+        if !writes_match {
+            return false;
+        }
+        // Resolve each store's collection map once; the per-write loop
+        // then runs against the innermost maps directly.
+        let hashed_col = nested(nested(&mut self.hashed, ns), &pvt.collection);
+        for (w, h) in pvt.rwset.writes.iter().zip(&expected.writes) {
+            if w.is_delete {
+                hashed_col.remove(&h.key_hash);
+            } else {
+                let value_hash = match h.value_hash {
+                    Some(vh) => vh,
+                    // A `None` value hashes as empty in the hashed store,
+                    // as in `put_private`.
+                    None => sha256(w.value.as_deref().unwrap_or_default()),
+                };
+                hashed_col.insert(h.key_hash, (value_hash, version));
+            }
+        }
+        let private_col = nested(nested(&mut self.private, ns), &pvt.collection);
+        for w in &pvt.rwset.writes {
+            if w.is_delete {
+                private_col.remove(&w.key);
+            } else {
+                let value = w.value.clone().unwrap_or_default();
+                private_col.insert(w.key.clone(), VersionedValue { value, version });
+            }
+        }
+        true
+    }
+
     /// Applies hashed private writes at `version` (all peers; the only
     /// private state non-members hold).
     pub fn apply_hashed_writes(
@@ -285,17 +365,15 @@ impl WorldState {
         writes: &[fabric_types::HashedWrite],
         version: Version,
     ) {
+        if writes.is_empty() {
+            return;
+        }
+        let entries = nested(nested(&mut self.hashed, ns), collection);
         for w in writes {
             if w.is_delete {
-                self.delete_private_hash(ns, collection, w.key_hash);
+                entries.remove(&w.key_hash);
             } else {
-                self.put_private_hash(
-                    ns,
-                    collection,
-                    w.key_hash,
-                    w.value_hash.unwrap_or_default(),
-                    version,
-                );
+                entries.insert(w.key_hash, (w.value_hash.unwrap_or_default(), version));
             }
         }
     }
@@ -368,41 +446,109 @@ impl WorldState {
         let expired = |version: Version| {
             current_block >= version.block_num && current_block - version.block_num > block_to_live
         };
-        let dead_private: Vec<PvtKey> = self
-            .private
-            .iter()
-            .filter(|((_, c, _), v)| c == collection && expired(v.version))
-            .map(|(k, _)| k.clone())
-            .collect();
-        let count = dead_private.len();
-        for k in dead_private {
-            self.private.remove(&k);
+        let mut count = 0;
+        for cols in self.private.values_mut() {
+            if let Some(entries) = cols.get_mut(collection) {
+                let before = entries.len();
+                entries.retain(|_, v| !expired(v.version));
+                count += before - entries.len();
+            }
         }
-        let dead_hashed: Vec<HashKey> = self
-            .hashed
-            .iter()
-            .filter(|((_, c, _), (_, ver))| c == collection && expired(*ver))
-            .map(|(k, _)| k.clone())
-            .collect();
-        for k in dead_hashed {
-            self.hashed.remove(&k);
+        for cols in self.hashed.values_mut() {
+            if let Some(entries) = cols.get_mut(collection) {
+                entries.retain(|_, (_, ver)| !expired(*ver));
+            }
         }
         count
     }
 
     /// Number of public entries (all namespaces).
     pub fn public_len(&self) -> usize {
-        self.public.len()
+        self.public.values().map(BTreeMap::len).sum()
     }
 
     /// Number of plaintext private entries (all collections).
     pub fn private_len(&self) -> usize {
-        self.private.len()
+        self.private
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(BTreeMap::len)
+            .sum()
     }
 
     /// Number of hashed private entries (all collections).
     pub fn hashed_len(&self) -> usize {
-        self.hashed.len()
+        self.hashed
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(BTreeMap::len)
+            .sum()
+    }
+
+    /// A deterministic digest over the entire state — public, private,
+    /// hashed, and validation parameters — so equivalence tests can assert
+    /// two peers converged without comparing maps entry by entry.
+    pub fn digest(&self) -> Hash256 {
+        fn feed(h: &mut fabric_crypto::Sha256, bytes: &[u8]) {
+            h.update(&(bytes.len() as u64).to_be_bytes());
+            h.update(bytes);
+        }
+        fn feed_version(h: &mut fabric_crypto::Sha256, v: Version) {
+            h.update(&v.block_num.to_be_bytes());
+            h.update(&v.tx_num.to_be_bytes());
+        }
+        // Nested iteration visits entries in the same lexicographic
+        // `(namespace, [collection,] key)` order the previous flat
+        // composite-key layout did, so digests are stable across the
+        // storage refactor.
+        let mut h = fabric_crypto::Sha256::new();
+        h.update(b"public");
+        h.update(&(self.public_len() as u64).to_be_bytes());
+        for (ns, entries) in &self.public {
+            for (key, vv) in entries {
+                feed(&mut h, ns.as_str().as_bytes());
+                feed(&mut h, key.as_bytes());
+                feed(&mut h, &vv.value);
+                feed_version(&mut h, vv.version);
+            }
+        }
+        h.update(b"private");
+        h.update(&(self.private_len() as u64).to_be_bytes());
+        for (ns, cols) in &self.private {
+            for (col, entries) in cols {
+                for (key, vv) in entries {
+                    feed(&mut h, ns.as_str().as_bytes());
+                    feed(&mut h, col.as_str().as_bytes());
+                    feed(&mut h, key.as_bytes());
+                    feed(&mut h, &vv.value);
+                    feed_version(&mut h, vv.version);
+                }
+            }
+        }
+        h.update(b"hashed");
+        h.update(&(self.hashed_len() as u64).to_be_bytes());
+        for (ns, cols) in &self.hashed {
+            for (col, entries) in cols {
+                for (key_hash, (value_hash, version)) in entries {
+                    feed(&mut h, ns.as_str().as_bytes());
+                    feed(&mut h, col.as_str().as_bytes());
+                    h.update(key_hash.as_bytes());
+                    h.update(value_hash.as_bytes());
+                    feed_version(&mut h, *version);
+                }
+            }
+        }
+        h.update(b"validation_params");
+        let params_len: usize = self.validation_params.values().map(BTreeMap::len).sum();
+        h.update(&(params_len as u64).to_be_bytes());
+        for (ns, entries) in &self.validation_params {
+            for (key, expr) in entries {
+                feed(&mut h, ns.as_str().as_bytes());
+                feed(&mut h, key.as_bytes());
+                feed(&mut h, expr.as_bytes());
+            }
+        }
+        h.finalize()
     }
 }
 
@@ -417,6 +563,22 @@ mod tests {
 
     fn col() -> CollectionName {
         CollectionName::new("PDC1")
+    }
+
+    #[test]
+    fn digest_tracks_every_store() {
+        let mut ws = WorldState::new();
+        let empty = ws.digest();
+        ws.put_public(&ns(), "k1", b"v1".to_vec(), Version::new(1, 0));
+        let with_public = ws.digest();
+        assert_ne!(empty, with_public);
+        ws.set_validation_parameter(&ns(), "k1", Some("OR('Org1MSP.peer')".into()));
+        let with_param = ws.digest();
+        assert_ne!(with_public, with_param);
+        // Equal states digest equally.
+        assert_eq!(ws.digest(), ws.clone().digest());
+        ws.set_validation_parameter(&ns(), "k1", None);
+        assert_eq!(ws.digest(), with_public);
     }
 
     #[test]

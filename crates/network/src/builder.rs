@@ -22,6 +22,7 @@ pub struct NetworkBuilder {
     batch_config: BatchConfig,
     defense: DefenseConfig,
     seed: u64,
+    parallel_validation: bool,
 }
 
 impl NetworkBuilder {
@@ -37,6 +38,7 @@ impl NetworkBuilder {
             },
             defense: DefenseConfig::original(),
             seed: 0,
+            parallel_validation: false,
         }
     }
 
@@ -70,6 +72,13 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables the staged parallel validation pipeline on every peer
+    /// (results are identical to sequential validation).
+    pub fn parallel_validation(mut self, enabled: bool) -> Self {
+        self.parallel_validation = enabled;
+        self
+    }
+
     /// Builds the network and elects the ordering-service leader.
     ///
     /// # Panics
@@ -95,7 +104,7 @@ impl NetworkBuilder {
             // keep the same identities across channels built from the same
             // consortium seed (the paper's Fig. 1 topology).
             let org_tag = org_name_tag(org.as_str());
-            let peer = Peer::new(
+            let mut peer = Peer::new(
                 peer_name.clone(),
                 org.clone(),
                 self.channel.clone(),
@@ -103,6 +112,7 @@ impl NetworkBuilder {
                 Keypair::generate_from_seed(self.seed ^ 0x5eed_0000 ^ org_tag),
                 self.defense,
             );
+            peer.set_parallel_validation(self.parallel_validation);
             gossip.register(peer.gossip_id().clone());
             peers.insert(peer_name, peer);
             clients.insert(

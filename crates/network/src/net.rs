@@ -120,6 +120,14 @@ impl FabricNetwork {
         self.clients.get_mut(name).expect("unknown client")
     }
 
+    /// Enables/disables the staged parallel validation pipeline on every
+    /// peer (results are identical either way; this is a throughput knob).
+    pub fn set_parallel_validation(&mut self, enabled: bool) {
+        for peer in self.peers.values_mut() {
+            peer.set_parallel_validation(enabled);
+        }
+    }
+
     /// The gossip hub (fault injection in tests).
     pub fn gossip_mut(&mut self) -> &mut GossipHub {
         &mut self.gossip
@@ -391,6 +399,7 @@ impl FabricNetwork {
         let template = self.peers.values().next().expect("channel has peers");
         let policies = template.channel_policies().clone();
         let defense = template.defense();
+        let parallel_validation = template.parallel_validation();
         let channel = self.channel.clone();
         let blocks: Vec<fabric_types::Block> = template.block_store().iter().cloned().collect();
 
@@ -404,6 +413,7 @@ impl FabricNetwork {
             ),
             defense,
         );
+        peer.set_parallel_validation(parallel_validation);
         for (definition, handle) in &self.deployed {
             peer.install_chaincode(definition.clone(), handle.clone());
         }

@@ -162,10 +162,13 @@ impl OrderingService {
     }
 
     fn collect_committed(&mut self) {
-        let committed = self.raft.committed(self.observer);
-        while self.delivered_cursor < committed.len() {
-            let raw = &committed[self.delivered_cursor];
-            self.delivered_cursor += 1;
+        // Only the entries past the delivery cursor are visited, so a tick
+        // is O(new entries) rather than O(committed history).
+        let newly = self
+            .raft
+            .committed_since(self.observer, self.delivered_cursor);
+        self.delivered_cursor += newly.len();
+        for raw in newly {
             let Ok(batch) = Vec::<Transaction>::from_wire(raw) else {
                 // Unreachable in practice: we only propose valid encodings.
                 continue;

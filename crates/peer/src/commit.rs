@@ -1,11 +1,32 @@
 //! The validation phase: proof-of-policy checks, MVCC, and commit.
+//!
+//! The commit path is a staged pipeline, mirroring how Fabric's validator
+//! splits work:
+//!
+//! 1. **Stateless stage** — per-transaction checks whose outcome cannot
+//!    depend on earlier transactions in the same block: signatures, channel
+//!    membership, committed-duplicate lookup, and every endorsement-policy
+//!    evaluation (chaincode-level, collection-level, key-level/SBE, and the
+//!    defense filters) against the *pre-block* state. This stage fans out
+//!    across scoped threads when parallel validation is enabled, and
+//!    evaluates policies from the compiled caches (`InstalledChaincode::
+//!    compiled` plus the peer's interned SBE expression cache) instead of
+//!    re-parsing expressions per transaction.
+//! 2. **Sequential stage** — the order-dependent merge: in-block duplicate
+//!    tx-ids, re-evaluation of policy checks for transactions that touch an
+//!    SBE validation parameter written earlier in the block (dirty-key
+//!    detection), MVCC version conflicts, and the state mutations of valid
+//!    transactions.
 
 use crate::node::Peer;
+use fabric_crypto::sha256;
 use fabric_ledger::BlockStoreError;
 use fabric_policy::{Policy, SignaturePolicy};
 use fabric_types::{
-    Block, ChaincodeEvent, Identity, PvtDataPackage, Transaction, TxId, TxValidationCode, Version,
+    Block, ChaincodeEvent, ChaincodeId, Identity, PvtDataPackage, SignatureFailure, Transaction,
+    TxId, TxValidationCode, Version,
 };
+use fabric_wire::Encode;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -51,11 +72,25 @@ pub struct BlockCommitOutcome {
     pub events: Vec<(TxId, ChaincodeEvent)>,
 }
 
+/// Per-transaction result of the stateless stage.
+#[derive(Debug, Clone, Copy, Default)]
+struct StatelessVerdict {
+    /// Failure from checks that cannot be affected by in-block state:
+    /// signatures, channel membership, committed-duplicate lookup.
+    structural: Option<TxValidationCode>,
+    /// Endorsement-policy outcome against the pre-block state; `None` =
+    /// passed. Only meaningful when `structural` is `None`, and superseded
+    /// by a sequential re-check when the transaction touches an SBE
+    /// parameter written earlier in the block.
+    policy: Option<TxValidationCode>,
+}
+
 impl Peer {
     /// Validates every transaction in `block` through the proof-of-policy
     /// checks (endorsement policy + MVCC version conflict, §II-B3), commits
     /// the effects of valid ones, and appends the block with its validity
-    /// vector to the local chain.
+    /// vector to the local chain. See the module docs for the two pipeline
+    /// stages.
     ///
     /// `pvt_provider` supplies plaintext private rwsets (transient store /
     /// gossip pull) for collections this peer is a member of.
@@ -69,20 +104,341 @@ impl Peer {
         block: Block,
         pvt_provider: &mut PvtDataProvider<'_>,
     ) -> Result<BlockCommitOutcome, CommitError> {
-        // Verify chain linkage *before* mutating any state.
-        let expected_number = self.block_store.height();
-        if block.header.number != expected_number
-            || block.header.previous_hash != self.block_store.tip_hash()
-            || !block.data_hash_is_consistent()
+        // Verify chain linkage *before* mutating any state; afterwards the
+        // final append cannot fail.
+        self.block_store.check_extends(&block)?;
+
+        let block_num = block.header.number;
+        let mut missing = Vec::new();
+        let mut events = Vec::new();
+
+        // Stage 1 — stateless: signatures and policy evaluation against
+        // the pre-block state, fanned out across threads when enabled.
+        let verdicts = self.stateless_validate(&block.transactions);
+
+        // Stage 2 — sequential merge: in-block duplicates, SBE dirty-key
+        // re-checks, MVCC, and state mutation, in block order. The validity
+        // vector is written straight into the block's metadata.
+        let mut block = block;
+        let Block {
+            transactions,
+            metadata,
+            ..
+        } = &mut block;
         {
-            // Delegate to the block store for a precise error.
-            let err = self
-                .block_store
-                .clone()
-                .append(block)
-                .expect_err("pre-checked inconsistency");
-            return Err(err.into());
+            let mut seen_in_block: HashSet<&TxId> = HashSet::with_capacity(transactions.len());
+            // `(namespace, key)` pairs whose SBE validation parameter was
+            // rewritten by an earlier valid transaction of this block. A
+            // later transaction touching one of them must not reuse its
+            // pre-block policy verdict.
+            let mut dirty_params: HashSet<(&ChaincodeId, &str)> = HashSet::new();
+            for (i, tx) in transactions.iter().enumerate() {
+                let code = if !seen_in_block.insert(&tx.tx_id) {
+                    TxValidationCode::DuplicateTxId
+                } else if let Some(failure) = verdicts[i].structural {
+                    failure
+                } else {
+                    let policy = if Self::touches_dirty_params(tx, &dirty_params) {
+                        self.policy_checks(tx)
+                    } else {
+                        verdicts[i].policy
+                    };
+                    match policy {
+                        Some(failure) => failure,
+                        None => self.mvcc_checks(tx).unwrap_or(TxValidationCode::Valid),
+                    }
+                };
+                if code.is_valid() {
+                    let version = Version::new(block_num, i as u64);
+                    if !self.apply_transaction(tx, version, pvt_provider) {
+                        missing.push(tx.tx_id.clone());
+                    }
+                    if let Some(event) = &tx.payload.event {
+                        events.push((tx.tx_id.clone(), event.clone()));
+                    }
+                    for ns in &tx.payload.results.ns_rwsets {
+                        for m in &ns.metadata_writes {
+                            dirty_params.insert((&ns.namespace, m.key.as_str()));
+                        }
+                    }
+                }
+                metadata.validation_codes.push(code);
+            }
         }
+
+        // `check_extends` already ran before any mutation, so the append
+        // cannot fail and the transaction list needs no second hashing.
+        self.block_store.append_unchecked(block);
+        self.purge_expired(block_num);
+
+        let validation_codes = self
+            .block_store
+            .block(block_num)
+            .expect("block was just appended")
+            .metadata
+            .validation_codes
+            .clone();
+        Ok(BlockCommitOutcome {
+            validation_codes,
+            missing_private_data: missing,
+            events,
+        })
+    }
+
+    /// Whether `tx` touches (writes or re-parameterizes) a key whose SBE
+    /// validation parameter changed earlier in the current block.
+    fn touches_dirty_params(tx: &Transaction, dirty: &HashSet<(&ChaincodeId, &str)>) -> bool {
+        if dirty.is_empty() {
+            return false;
+        }
+        tx.payload.results.ns_rwsets.iter().any(|ns| {
+            ns.public
+                .writes
+                .iter()
+                .map(|w| w.key.as_str())
+                .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()))
+                .any(|key| dirty.contains(&(&ns.namespace, key)))
+        })
+    }
+
+    /// The stateless signature checks of one transaction; `None` = passed.
+    ///
+    /// Uses the combined [`Transaction::verify_signatures`] pass, which
+    /// serializes the shared payload bytes once for all signatures.
+    fn signature_check(tx: &Transaction) -> Option<TxValidationCode> {
+        match tx.verify_signatures() {
+            None => None,
+            Some(SignatureFailure::Client) => Some(TxValidationCode::InvalidClientSignature),
+            Some(SignatureFailure::Endorsement) => Some(TxValidationCode::InvalidEndorserSignature),
+        }
+    }
+
+    /// Runs [`Peer::stateless_checks`] over a block's transactions, fanned
+    /// out across scoped threads when parallel validation is enabled and
+    /// the block is large enough to amortize the spawns.
+    fn stateless_validate(&self, transactions: &[Transaction]) -> Vec<StatelessVerdict> {
+        const MIN_PARALLEL: usize = 4;
+        // Fan out only when it can actually help: parallel validation
+        // enabled, enough transactions to amortize the spawns, and more
+        // than one hardware thread to run them on. The cheap flag checks
+        // come first — `available_parallelism` is a syscall, so it must
+        // not tax small blocks or sequential configurations.
+        if !self.parallel_validation || transactions.len() < MIN_PARALLEL {
+            return transactions
+                .iter()
+                .map(|tx| self.stateless_checks(tx))
+                .collect();
+        }
+        let cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        if cores < 2 {
+            return transactions
+                .iter()
+                .map(|tx| self.stateless_checks(tx))
+                .collect();
+        }
+        let workers = cores.min(transactions.len());
+        let chunk_size = transactions.len().div_ceil(workers);
+        let mut results = vec![StatelessVerdict::default(); transactions.len()];
+        std::thread::scope(|scope| {
+            let chunks = transactions.chunks(chunk_size);
+            let result_chunks = results.chunks_mut(chunk_size);
+            for (txs, out) in chunks.zip(result_chunks) {
+                scope.spawn(move || {
+                    for (tx, slot) in txs.iter().zip(out.iter_mut()) {
+                        *slot = self.stateless_checks(tx);
+                    }
+                });
+            }
+        });
+        results
+    }
+
+    /// Every check of one transaction that is independent of the other
+    /// transactions in the block: signatures, channel, committed-duplicate
+    /// lookup, and policy evaluation against the pre-block state.
+    fn stateless_checks(&self, tx: &Transaction) -> StatelessVerdict {
+        let structural = if let Some(code) = Self::signature_check(tx) {
+            Some(code)
+        } else if tx.channel != self.channel {
+            Some(TxValidationCode::BadPayload)
+        } else if self.block_store.contains_tx(&tx.tx_id) {
+            Some(TxValidationCode::DuplicateTxId)
+        } else {
+            None
+        };
+        if structural.is_some() {
+            return StatelessVerdict {
+                structural,
+                policy: None,
+            };
+        }
+        StatelessVerdict {
+            structural: None,
+            policy: self.policy_checks(tx),
+        }
+    }
+
+    /// Validates a single transaction against the current state: signature
+    /// checks, endorsement policy (proof-of-policy check 1), and MVCC
+    /// version conflicts (check 2). Does not mutate state.
+    pub fn validate_transaction(&self, tx: &Transaction) -> TxValidationCode {
+        if let Some(code) = Self::signature_check(tx) {
+            return code;
+        }
+        if tx.channel != self.channel {
+            return TxValidationCode::BadPayload;
+        }
+        if self.block_store.contains_tx(&tx.tx_id) {
+            return TxValidationCode::DuplicateTxId;
+        }
+        if let Some(code) = self.policy_checks(tx) {
+            return code;
+        }
+        self.mvcc_checks(tx).unwrap_or(TxValidationCode::Valid)
+    }
+
+    /// Proof-of-policy check 1 — endorsement policies, evaluated from the
+    /// compiled caches; `None` = satisfied.
+    ///
+    /// Key-level (state-based) endorsement first: a public write to a key
+    /// with a committed validation parameter is governed by that key's
+    /// policy (Fabric's `validator_keylevel.go` — the code the paper cites
+    /// for Use Case 2), and changing a key's parameter itself requires
+    /// satisfying the existing parameter. The chaincode-level policy then
+    /// applies to everything not fully covered by key-level parameters:
+    /// reads (always — Use Case 2), non-SBE public writes, collection
+    /// rwsets, and empty results. Note it does NOT distinguish member from
+    /// non-member endorsements (Use Case 1).
+    fn policy_checks(&self, tx: &Transaction) -> Option<TxValidationCode> {
+        let endorsers: Vec<&Identity> = tx.endorsements.iter().map(|e| &e.endorser).collect();
+
+        for ns in &tx.payload.results.ns_rwsets {
+            let Some(installed) = self.chaincodes.get(&ns.namespace) else {
+                return Some(TxValidationCode::BadPayload);
+            };
+            let compiled = &installed.compiled;
+
+            let mut non_sbe_public_writes = false;
+            let touched_keys = ns
+                .public
+                .writes
+                .iter()
+                .map(|w| w.key.as_str())
+                .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()));
+            for key in touched_keys {
+                match self
+                    .world_state
+                    .get_validation_parameter(&ns.namespace, key)
+                {
+                    Some(expr) => {
+                        let Some(key_policy) = self.sbe_policies.get_or_parse(expr) else {
+                            return Some(TxValidationCode::BadPayload);
+                        };
+                        if !key_policy.satisfied_by_refs(&endorsers) {
+                            return Some(TxValidationCode::EndorsementPolicyFailure);
+                        }
+                    }
+                    None => non_sbe_public_writes = true,
+                }
+            }
+
+            let needs_chaincode_policy = !ns.public.reads.is_empty()
+                || non_sbe_public_writes
+                || !ns.collections.is_empty()
+                || (ns.public.writes.is_empty() && ns.metadata_writes.is_empty());
+            if needs_chaincode_policy {
+                let Some(cc_policy) = compiled.endorsement() else {
+                    return Some(TxValidationCode::BadPayload);
+                };
+                if !cc_policy.evaluate_refs(self.channel_policies.org_policies(), &endorsers) {
+                    return Some(TxValidationCode::EndorsementPolicyFailure);
+                }
+            }
+
+            for col in &ns.collections {
+                if installed.definition.collection(&col.collection).is_none() {
+                    return Some(TxValidationCode::BadPayload);
+                }
+                let has_writes = !col.writes.is_empty();
+                let has_reads = !col.reads.is_empty();
+                // Original Fabric: the collection-level policy (when
+                // defined) governs transactions that *write* the
+                // collection; read-only transactions are always validated
+                // with the chaincode-level policy (Use Case 2, per the
+                // key-level validator in the Fabric source).
+                // New Feature 1 extends the collection-level policy to
+                // read-only transactions (§IV-C1).
+                if has_writes || (self.defense.collection_policy_for_reads && has_reads) {
+                    if let Some(col_policy) = compiled.collection_endorsement(&col.collection) {
+                        let Some(col_policy) = col_policy else {
+                            return Some(TxValidationCode::BadPayload);
+                        };
+                        if !col_policy.satisfied_by_refs(&endorsers) {
+                            return Some(TxValidationCode::EndorsementPolicyFailure);
+                        }
+                    }
+                }
+                // Supplemental defense: reject endorsements by peers whose
+                // org is not a member of the touched collection.
+                if self.defense.filter_non_member_endorsers {
+                    let all_members = endorsers
+                        .iter()
+                        .all(|e| compiled.org_is_member(&e.org, &col.collection));
+                    if !all_members {
+                        return Some(TxValidationCode::NonMemberEndorsement);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Proof-of-policy check 2 — MVCC version conflicts against the
+    /// current state; `None` = no conflict. Only versions are compared;
+    /// chaincode is never re-executed, so fabricated values with correct
+    /// versions pass (§IV-A1).
+    fn mvcc_checks(&self, tx: &Transaction) -> Option<TxValidationCode> {
+        for ns in &tx.payload.results.ns_rwsets {
+            if self
+                .world_state
+                .check_mvcc_public(&ns.namespace, &ns.public.reads)
+                .is_err()
+            {
+                return Some(TxValidationCode::MvccReadConflict);
+            }
+            for col in &ns.collections {
+                if self
+                    .world_state
+                    .check_mvcc_hashed(&ns.namespace, &col.collection, &col.reads)
+                    .is_err()
+                {
+                    return Some(TxValidationCode::MvccReadConflict);
+                }
+            }
+        }
+        None
+    }
+
+    /// The pre-pipeline validator, kept as a cost-faithful snapshot of the
+    /// sequential commit path this PR replaced: strictly sequential, every
+    /// policy expression parsed at the point of use (no compiled caches),
+    /// two-pass signature verification, whole-list data hashing on both the
+    /// pre-check and the append, and the original clone-heavy apply path.
+    /// It serves as the semantic oracle for the pipeline-equivalence
+    /// proptest and as the baseline the `commit_throughput` bench compares
+    /// the staged pipeline against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Peer::process_block`].
+    pub fn process_block_reference(
+        &mut self,
+        block: Block,
+        pvt_provider: &mut PvtDataProvider<'_>,
+    ) -> Result<BlockCommitOutcome, CommitError> {
+        Self::reference_check_extends(&self.block_store, &block)?;
 
         let block_num = block.header.number;
         let mut codes = Vec::with_capacity(block.transactions.len());
@@ -90,24 +446,16 @@ impl Peer {
         let mut events = Vec::new();
         let mut seen_in_block: HashSet<TxId> = HashSet::new();
 
-        // Signature verification is stateless per transaction, so it can
-        // fan out across threads (Fabric's validator does the same); the
-        // policy and MVCC checks stay sequential because key-level
-        // endorsement parameters and versions change as the block commits.
-        let sig_codes = self.check_signatures_batch(&block.transactions);
-
         for (i, tx) in block.transactions.iter().enumerate() {
             let code = if seen_in_block.contains(&tx.tx_id) {
                 TxValidationCode::DuplicateTxId
-            } else if let Some(sig_failure) = sig_codes[i] {
-                sig_failure
             } else {
-                self.validate_transaction_prechecked(tx)
+                self.reference_validate(tx)
             };
             seen_in_block.insert(tx.tx_id.clone());
             if code.is_valid() {
                 let version = Version::new(block_num, i as u64);
-                if !self.apply_transaction(tx, version, pvt_provider) {
+                if !self.reference_apply_transaction(tx, version, pvt_provider) {
                     missing.push(tx.tx_id.clone());
                 }
                 if let Some(event) = &tx.payload.event {
@@ -119,7 +467,10 @@ impl Peer {
 
         let mut block = block;
         block.metadata.validation_codes = codes.clone();
-        self.block_store.append(block)?;
+        // The original `append` re-ran every structural check, re-hashing
+        // the whole transaction list a second time.
+        Self::reference_check_extends(&self.block_store, &block)?;
+        self.block_store.append_unchecked(block);
         self.purge_expired(block_num);
 
         Ok(BlockCommitOutcome {
@@ -129,8 +480,38 @@ impl Peer {
         })
     }
 
-    /// The stateless signature checks of one transaction; `None` = passed.
-    fn signature_check(tx: &Transaction) -> Option<TxValidationCode> {
+    /// The structural block checks as the pre-pipeline path performed
+    /// them, including the original data-hash computation that serialized
+    /// a deep copy of the whole transaction list.
+    fn reference_check_extends(
+        store: &fabric_ledger::BlockStore,
+        block: &Block,
+    ) -> Result<(), CommitError> {
+        let expected_number = store.height();
+        if block.header.number != expected_number {
+            return Err(BlockStoreError::NonSequentialNumber {
+                expected: expected_number,
+                found: block.header.number,
+            }
+            .into());
+        }
+        let expected_prev = store.tip_hash();
+        if block.header.previous_hash != expected_prev {
+            return Err(BlockStoreError::BrokenChain {
+                expected: expected_prev,
+                found: block.header.previous_hash,
+            }
+            .into());
+        }
+        if block.header.data_hash != sha256(&block.transactions.to_vec().to_wire()) {
+            return Err(BlockStoreError::DataHashMismatch.into());
+        }
+        Ok(())
+    }
+
+    /// The pre-pipeline signature checks: client and endorsement passes
+    /// serialize the signed payload independently.
+    fn reference_signature_check(tx: &Transaction) -> Option<TxValidationCode> {
         if !tx.verify_client_signature() {
             return Some(TxValidationCode::InvalidClientSignature);
         }
@@ -140,50 +521,13 @@ impl Peer {
         None
     }
 
-    /// Runs [`Peer::signature_check`] over a block's transactions, fanned
-    /// out across scoped threads when parallel validation is enabled and
-    /// the block is large enough to amortize the spawns.
-    fn check_signatures_batch(
-        &self,
-        transactions: &[Transaction],
-    ) -> Vec<Option<TxValidationCode>> {
-        const MIN_PARALLEL: usize = 4;
-        if !self.parallel_validation || transactions.len() < MIN_PARALLEL {
-            return transactions.iter().map(Self::signature_check).collect();
-        }
-        let workers = std::thread::available_parallelism()
-            .map(usize::from)
-            .unwrap_or(4)
-            .min(transactions.len());
-        let chunk_size = transactions.len().div_ceil(workers);
-        let mut results = vec![None; transactions.len()];
-        std::thread::scope(|scope| {
-            let chunks = transactions.chunks(chunk_size);
-            let result_chunks = results.chunks_mut(chunk_size);
-            for (txs, out) in chunks.zip(result_chunks) {
-                scope.spawn(move || {
-                    for (tx, slot) in txs.iter().zip(out.iter_mut()) {
-                        *slot = Self::signature_check(tx);
-                    }
-                });
-            }
-        });
-        results
-    }
-
-    /// Validates a single transaction against the current state: signature
-    /// checks, endorsement policy (proof-of-policy check 1), and MVCC
-    /// version conflicts (check 2). Does not mutate state.
-    pub fn validate_transaction(&self, tx: &Transaction) -> TxValidationCode {
-        if let Some(code) = Self::signature_check(tx) {
+    /// One transaction through the reference validator: identical check
+    /// order to [`Peer::validate_transaction`], but every policy expression
+    /// is parsed afresh.
+    fn reference_validate(&self, tx: &Transaction) -> TxValidationCode {
+        if let Some(code) = Self::reference_signature_check(tx) {
             return code;
         }
-        self.validate_transaction_prechecked(tx)
-    }
-
-    /// [`Peer::validate_transaction`] with the signature checks already
-    /// performed (e.g. by the parallel batch pass).
-    fn validate_transaction_prechecked(&self, tx: &Transaction) -> TxValidationCode {
         if tx.channel != self.channel {
             return TxValidationCode::BadPayload;
         }
@@ -199,33 +543,17 @@ impl Peer {
             };
             let def = &installed.definition;
 
-            // --- Proof-of-policy check 1: endorsement policy ---
-            // Key-level (state-based) endorsement first: a public write to
-            // a key with a committed validation parameter is governed by
-            // that key's policy (Fabric's validator_keylevel.go — the code
-            // the paper cites for Use Case 2). Changing a key's parameter
-            // itself requires satisfying the existing parameter.
             let mut non_sbe_public_writes = false;
-            for w in &ns.public.writes {
+            let touched_keys = ns
+                .public
+                .writes
+                .iter()
+                .map(|w| w.key.as_str())
+                .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()));
+            for key in touched_keys {
                 match self
                     .world_state
-                    .get_validation_parameter(&ns.namespace, &w.key)
-                {
-                    Some(expr) => {
-                        let Ok(key_policy) = SignaturePolicy::parse(expr) else {
-                            return TxValidationCode::BadPayload;
-                        };
-                        if !key_policy.satisfied_by(&endorsers) {
-                            return TxValidationCode::EndorsementPolicyFailure;
-                        }
-                    }
-                    None => non_sbe_public_writes = true,
-                }
-            }
-            for m in &ns.metadata_writes {
-                match self
-                    .world_state
-                    .get_validation_parameter(&ns.namespace, &m.key)
+                    .get_validation_parameter(&ns.namespace, key)
                 {
                     Some(expr) => {
                         let Ok(key_policy) = SignaturePolicy::parse(expr) else {
@@ -239,11 +567,6 @@ impl Peer {
                 }
             }
 
-            // The chaincode-level policy applies to everything not fully
-            // covered by key-level parameters: reads (always — Use Case 2),
-            // non-SBE public writes, collection rwsets, and empty results.
-            // Note it does NOT distinguish member from non-member
-            // endorsements (Use Case 1).
             let needs_chaincode_policy = !ns.public.reads.is_empty()
                 || non_sbe_public_writes
                 || !ns.collections.is_empty()
@@ -263,13 +586,6 @@ impl Peer {
                 };
                 let has_writes = !col.writes.is_empty();
                 let has_reads = !col.reads.is_empty();
-                // Original Fabric: the collection-level policy (when
-                // defined) governs transactions that *write* the
-                // collection; read-only transactions are always validated
-                // with the chaincode-level policy (Use Case 2, per the
-                // key-level validator in the Fabric source).
-                // New Feature 1 extends the collection-level policy to
-                // read-only transactions (§IV-C1).
                 let apply_collection_policy = cfg.endorsement_policy.is_some()
                     && (has_writes || (self.defense.collection_policy_for_reads && has_reads));
                 if apply_collection_policy {
@@ -284,8 +600,6 @@ impl Peer {
                         return TxValidationCode::EndorsementPolicyFailure;
                     }
                 }
-                // Supplemental defense: reject endorsements by peers whose
-                // org is not a member of the touched collection.
                 if self.defense.filter_non_member_endorsers {
                     let all_members = endorsers
                         .iter()
@@ -295,35 +609,14 @@ impl Peer {
                     }
                 }
             }
-
-            // --- Proof-of-policy check 2: MVCC version conflicts ---
-            // Note: only versions are compared; chaincode is never
-            // re-executed, so fabricated values with correct versions pass
-            // (§IV-A1).
-            if self
-                .world_state
-                .check_mvcc_public(&ns.namespace, &ns.public.reads)
-                .is_err()
-            {
-                return TxValidationCode::MvccReadConflict;
-            }
-            for col in &ns.collections {
-                if self
-                    .world_state
-                    .check_mvcc_hashed(&ns.namespace, &col.collection, &col.reads)
-                    .is_err()
-                {
-                    return TxValidationCode::MvccReadConflict;
-                }
-            }
         }
-        TxValidationCode::Valid
+        self.mvcc_checks(tx).unwrap_or(TxValidationCode::Valid)
     }
 
-    /// Applies a valid transaction's writes at `version`. Returns `false`
-    /// when this peer is a member of a written collection but could not
-    /// obtain matching plaintext (hashes were committed regardless).
-    fn apply_transaction(
+    /// The pre-pipeline apply path, kept verbatim: clones the namespace
+    /// rwsets and the private-data package, and verifies plaintext by
+    /// materializing a fully hashed copy (`to_hashed`) before applying.
+    fn reference_apply_transaction(
         &mut self,
         tx: &Transaction,
         version: Version,
@@ -375,6 +668,81 @@ impl Peer {
                                     .apply_private_writes(&ns.namespace, pvt, version);
                                 applied_plaintext = true;
                             }
+                        }
+                    }
+                }
+                if !applied_plaintext {
+                    self.world_state.apply_hashed_writes(
+                        &ns.namespace,
+                        &col.collection,
+                        &col.writes,
+                        version,
+                    );
+                    if is_member {
+                        plaintext_complete = false;
+                    }
+                }
+            }
+        }
+        plaintext_complete
+    }
+
+    /// Applies a valid transaction's writes at `version`. Returns `false`
+    /// when this peer is a member of a written collection but could not
+    /// obtain matching plaintext (hashes were committed regardless).
+    fn apply_transaction(
+        &mut self,
+        tx: &Transaction,
+        version: Version,
+        pvt_provider: &mut PvtDataProvider<'_>,
+    ) -> bool {
+        let mut plaintext_complete = true;
+        let mut package: Option<Option<PvtDataPackage>> = None;
+
+        for ns in &tx.payload.results.ns_rwsets {
+            self.world_state
+                .apply_public_writes(&ns.namespace, &ns.public, version);
+            self.world_state
+                .apply_metadata_writes(&ns.namespace, &ns.metadata_writes);
+            for w in &ns.public.writes {
+                self.history.record(
+                    &ns.namespace,
+                    &w.key,
+                    &tx.tx_id,
+                    version,
+                    w.value.clone(),
+                    w.is_delete,
+                );
+            }
+            for col in &ns.collections {
+                if col.writes.is_empty() {
+                    continue;
+                }
+                let is_member = self.is_collection_member(&ns.namespace, &col.collection);
+                let mut applied_plaintext = false;
+                if is_member {
+                    let pkg = package
+                        .get_or_insert_with(|| pvt_provider(&tx.tx_id))
+                        .as_ref();
+                    if let Some(pkg) = pkg {
+                        // Verify plaintext against committed hashes before
+                        // updating the ledger (Fig. 2, step 18). The
+                        // verify-and-apply entry point hashes each key and
+                        // value exactly once instead of materializing a
+                        // full hashed copy of the plaintext rwset.
+                        let matching = pkg
+                            .namespaces
+                            .iter()
+                            .zip(&pkg.collections)
+                            .find(|(n, c)| **n == ns.namespace && c.collection == col.collection)
+                            .map(|(_, c)| c);
+                        if let Some(pvt) = matching {
+                            applied_plaintext = self.world_state.apply_private_writes_verified(
+                                &ns.namespace,
+                                pvt,
+                                col,
+                                version,
+                            );
                         }
                     }
                 }
@@ -602,6 +970,72 @@ mod tests {
             outcome2.validation_codes,
             vec![TxValidationCode::DuplicateTxId]
         );
+    }
+
+    #[test]
+    fn three_copies_of_one_txid_yield_two_duplicates() {
+        let mut p1 = make_peer("peer0.org1", "Org1MSP", 65);
+        let p2 = make_peer("peer0.org2", "Org2MSP", 66);
+        let (tx, pkg) = write_tx(&[&p1.clone(), &p2], 7, 9);
+        let block = block_of(&p1, vec![tx.clone(), tx.clone(), tx.clone()]);
+        let mut with_pkg = |_: &TxId| Some(pkg.clone());
+        let outcome = p1.process_block(block, &mut with_pkg).unwrap();
+        assert_eq!(
+            outcome.validation_codes,
+            vec![
+                TxValidationCode::Valid,
+                TxValidationCode::DuplicateTxId,
+                TxValidationCode::DuplicateTxId,
+            ]
+        );
+
+        // Later copies are duplicates even when the first copy is invalid
+        // (Fabric marks by tx-id occurrence, not by validity).
+        let mut p3 = make_peer("peer0.org1", "Org1MSP", 67);
+        let p4 = make_peer("peer0.org2", "Org2MSP", 68);
+        let (mut bad, pkg2) = write_tx(&[&p3.clone(), &p4], 7, 10);
+        bad.payload.response.payload = b"forged".to_vec();
+        let block = block_of(&p3, vec![bad.clone(), bad.clone(), bad]);
+        let mut with_pkg2 = |_: &TxId| Some(pkg2.clone());
+        let outcome = p3.process_block(block, &mut with_pkg2).unwrap();
+        assert_eq!(
+            outcome.validation_codes,
+            vec![
+                TxValidationCode::InvalidClientSignature,
+                TxValidationCode::DuplicateTxId,
+                TxValidationCode::DuplicateTxId,
+            ]
+        );
+    }
+
+    #[test]
+    fn reference_and_pipeline_agree_on_a_mixed_block() {
+        let p1 = make_peer("peer0.org1", "Org1MSP", 69);
+        let p2 = make_peer("peer0.org2", "Org2MSP", 70);
+        let (good, pkg) = write_tx(&[&p1, &p2], 7, 11);
+        let (underendorsed, _) = write_tx(&[&p1], 8, 12);
+        let (mut forged, _) = write_tx(&[&p1, &p2], 9, 13);
+        forged.payload.response.payload = b"forged".to_vec();
+        let txs = vec![good.clone(), underendorsed, forged, good];
+
+        let mut provider = |_: &TxId| Some(pkg.clone());
+        let mut reference = p1.clone();
+        let ref_outcome = reference
+            .process_block_reference(block_of(&reference, txs.clone()), &mut provider)
+            .unwrap();
+        for parallel in [false, true] {
+            let mut pipelined = p1.clone();
+            pipelined.set_parallel_validation(parallel);
+            let outcome = pipelined
+                .process_block(block_of(&pipelined, txs.clone()), &mut provider)
+                .unwrap();
+            assert_eq!(outcome, ref_outcome, "parallel={parallel}");
+            assert_eq!(pipelined.world_state(), reference.world_state());
+            assert_eq!(
+                pipelined.block_store().tip_hash(),
+                reference.block_store().tip_hash()
+            );
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The peer node: identity, ledger, installed chaincodes.
 
 use crate::channel::ChannelPolicies;
-use fabric_chaincode::{ChaincodeDefinition, ChaincodeHandle};
+use fabric_chaincode::{ChaincodeDefinition, ChaincodeHandle, CompiledPolicies};
 use fabric_crypto::Keypair;
 use fabric_gossip::PeerId;
 use fabric_ledger::{BlockStore, HistoryDb, WorldState};
+use fabric_policy::PolicyCache;
 use fabric_types::{ChaincodeId, ChannelId, CollectionName, DefenseConfig, Identity, OrgId, Role};
 use std::collections::{HashMap, HashSet};
 
@@ -14,6 +15,10 @@ use std::collections::{HashMap, HashSet};
 pub struct InstalledChaincode {
     /// The channel-agreed definition (policy, collections).
     pub definition: ChaincodeDefinition,
+    /// The definition's policies, parsed once at install time; the commit
+    /// path evaluates these instead of re-parsing expressions per
+    /// transaction.
+    pub compiled: CompiledPolicies,
     /// This peer's implementation. Fabric only requires equal *results*
     /// across endorsers, so organizations may extend or replace the logic —
     /// the customizable-chaincode feature malicious orgs abuse (§IV-A1).
@@ -45,6 +50,9 @@ pub struct Peer {
     pub(crate) channel_policies: ChannelPolicies,
     pub(crate) defense: DefenseConfig,
     pub(crate) parallel_validation: bool,
+    /// Interned state-based-endorsement policy expressions (the key-level
+    /// validation parameters live in the world state as strings).
+    pub(crate) sbe_policies: PolicyCache,
 }
 
 impl Peer {
@@ -72,6 +80,7 @@ impl Peer {
             channel_policies,
             defense,
             parallel_validation: false,
+            sbe_policies: PolicyCache::new(),
         }
     }
 
@@ -79,7 +88,8 @@ impl Peer {
     /// implementation (pass a malicious variant here to model colluding
     /// organizations).
     pub fn install_chaincode(&mut self, definition: ChaincodeDefinition, handle: ChaincodeHandle) {
-        let memberships: HashSet<CollectionName> = definition
+        let compiled = definition.compile();
+        let memberships: HashSet<CollectionName> = compiled
             .memberships_of(&self.identity.org)
             .into_iter()
             .collect();
@@ -87,6 +97,7 @@ impl Peer {
             definition.id.clone(),
             InstalledChaincode {
                 definition,
+                compiled,
                 handle,
                 memberships,
             },
@@ -124,11 +135,17 @@ impl Peer {
         self.defense = defense;
     }
 
-    /// Enables fan-out of per-transaction signature verification across
-    /// threads during block validation (an optimization knob; results are
-    /// identical to sequential validation).
+    /// Enables fan-out of the per-transaction stateless validation pass
+    /// (signatures + endorsement-policy evaluation against the pre-block
+    /// state) across threads during block validation. An optimization knob;
+    /// results are identical to sequential validation.
     pub fn set_parallel_validation(&mut self, enabled: bool) {
         self.parallel_validation = enabled;
+    }
+
+    /// Whether the staged parallel validation pipeline is enabled.
+    pub fn parallel_validation(&self) -> bool {
+        self.parallel_validation
     }
 
     /// Read access to the world state.

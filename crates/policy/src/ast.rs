@@ -93,8 +93,16 @@ impl SignaturePolicy {
     /// Matching is exact: one endorsement satisfies at most one principal
     /// requirement, found by backtracking search.
     pub fn satisfied_by(&self, endorsers: &[Identity]) -> bool {
+        let refs: Vec<&Identity> = endorsers.iter().collect();
+        self.satisfied_by_refs(&refs)
+    }
+
+    /// [`satisfied_by`](Self::satisfied_by) over borrowed identities, so
+    /// per-transaction hot paths can evaluate policies without cloning
+    /// each endorser identity out of its endorsement first.
+    pub fn satisfied_by_refs(&self, endorsers: &[&Identity]) -> bool {
         let mut unique: Vec<&Identity> = Vec::new();
-        for e in endorsers {
+        for &e in endorsers {
             if !unique.iter().any(|u| u.public_key == e.public_key) {
                 unique.push(e);
             }
@@ -322,13 +330,24 @@ impl ImplicitMetaPolicy {
         org_policies: &BTreeMap<OrgId, SignaturePolicy>,
         endorsers: &[Identity],
     ) -> bool {
+        let refs: Vec<&Identity> = endorsers.iter().collect();
+        self.evaluate_refs(org_policies, &refs)
+    }
+
+    /// [`evaluate`](Self::evaluate) over borrowed identities (see
+    /// [`SignaturePolicy::satisfied_by_refs`]).
+    pub fn evaluate_refs(
+        &self,
+        org_policies: &BTreeMap<OrgId, SignaturePolicy>,
+        endorsers: &[&Identity],
+    ) -> bool {
         let n = org_policies.len();
         if n == 0 {
             return false;
         }
         let satisfied = org_policies
             .values()
-            .filter(|p| p.satisfied_by(endorsers))
+            .filter(|p| p.satisfied_by_refs(endorsers))
             .count();
         match self.rule {
             ImplicitMetaRule::Any => satisfied >= 1,
@@ -378,6 +397,19 @@ impl Policy {
         match self {
             Policy::Signature(p) => p.satisfied_by(endorsers),
             Policy::ImplicitMeta(p) => p.evaluate(org_policies, endorsers),
+        }
+    }
+
+    /// [`evaluate`](Self::evaluate) over borrowed identities (see
+    /// [`SignaturePolicy::satisfied_by_refs`]).
+    pub fn evaluate_refs(
+        &self,
+        org_policies: &BTreeMap<OrgId, SignaturePolicy>,
+        endorsers: &[&Identity],
+    ) -> bool {
+        match self {
+            Policy::Signature(p) => p.satisfied_by_refs(endorsers),
+            Policy::ImplicitMeta(p) => p.evaluate_refs(org_policies, endorsers),
         }
     }
 }

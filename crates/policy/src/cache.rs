@@ -1,0 +1,95 @@
+//! Interning cache for compiled signature-policy expressions.
+
+use crate::ast::SignaturePolicy;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// A concurrent expression → compiled [`SignaturePolicy`] cache.
+///
+/// State-based endorsement stores policy *expressions* in the world state,
+/// so the committing peer sees the same few strings over and over — once
+/// per governed key per transaction. Interning the compiled AST turns that
+/// into a single parse per distinct expression for the life of the peer.
+///
+/// Unparsable expressions are interned as `None` so a malformed parameter
+/// cannot defeat the cache either.
+#[derive(Default)]
+pub struct PolicyCache {
+    entries: RwLock<HashMap<String, Option<Arc<SignaturePolicy>>>>,
+}
+
+impl PolicyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PolicyCache::default()
+    }
+
+    /// The compiled policy for `expr`, parsing and interning on first use.
+    ///
+    /// Returns `None` when the expression does not parse (callers treat
+    /// that exactly like a fresh parse failure).
+    pub fn get_or_parse(&self, expr: &str) -> Option<Arc<SignaturePolicy>> {
+        if let Some(hit) = self.entries.read().expect("cache lock").get(expr) {
+            return hit.clone();
+        }
+        let compiled = SignaturePolicy::parse(expr).ok().map(Arc::new);
+        let mut entries = self.entries.write().expect("cache lock");
+        entries.entry(expr.to_string()).or_insert(compiled).clone()
+    }
+
+    /// Number of distinct expressions interned so far.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Clone for PolicyCache {
+    fn clone(&self) -> Self {
+        PolicyCache {
+            entries: RwLock::new(self.entries.read().expect("cache lock").clone()),
+        }
+    }
+}
+
+impl fmt::Debug for PolicyCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyCache")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_each_expression_once() {
+        let cache = PolicyCache::new();
+        let a1 = cache.get_or_parse("OR('Org1MSP.peer')").expect("parses");
+        let a2 = cache.get_or_parse("OR('Org1MSP.peer')").expect("parses");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn caches_parse_failures() {
+        let cache = PolicyCache::new();
+        assert!(cache.get_or_parse("not a policy").is_none());
+        assert!(cache.get_or_parse("not a policy").is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clone_carries_entries() {
+        let cache = PolicyCache::new();
+        cache.get_or_parse("OR('Org1MSP.peer')");
+        assert_eq!(cache.clone().len(), 1);
+    }
+}

@@ -34,11 +34,13 @@
 //! ```
 
 mod ast;
+mod cache;
 mod parser;
 mod plan;
 
 pub use ast::{
     ImplicitMetaPolicy, ImplicitMetaRule, Policy, Principal, PrincipalRole, SignaturePolicy,
 };
+pub use cache::PolicyCache;
 pub use parser::ParsePolicyError;
 pub use plan::{minimal_endorsement_set, minimal_endorsement_set_for};

@@ -124,6 +124,21 @@ impl Cluster {
         self.committed.get(&node).cloned().unwrap_or_default()
     }
 
+    /// Number of commands committed at `node` so far.
+    pub fn committed_len(&self, node: NodeId) -> usize {
+        self.committed.get(&node).map_or(0, Vec::len)
+    }
+
+    /// Commands committed at `node` from offset `from` onward, borrowed —
+    /// so per-tick pollers do O(new entries) work instead of cloning the
+    /// whole history. An out-of-range `from` (e.g. a cursor carried over to
+    /// a node that has not caught up yet) yields an empty slice.
+    pub fn committed_since(&self, node: NodeId, from: usize) -> &[Vec<u8>] {
+        self.committed
+            .get(&node)
+            .map_or(&[][..], |log| &log[from.min(log.len())..])
+    }
+
     /// Direct access to a node (tests and invariants).
     pub fn node(&self, id: NodeId) -> &RaftNode {
         &self.nodes[&id]
@@ -206,6 +221,25 @@ mod tests {
                 "node {id}"
             );
         }
+    }
+
+    #[test]
+    fn committed_since_slices_from_cursor() {
+        let mut c = Cluster::new(3, 1);
+        let leader = c.run_until_leader(500).expect("leader elected");
+        for i in 0..4u8 {
+            c.propose(leader, vec![i]).unwrap();
+        }
+        c.run_ticks(30);
+        assert_eq!(c.committed_len(leader), 4);
+        assert_eq!(c.committed_since(leader, 0), c.committed(leader));
+        assert_eq!(c.committed_since(leader, 3), &[vec![3u8]][..]);
+        assert!(c.committed_since(leader, 4).is_empty());
+        // Out-of-range cursors (a cursor carried to a node that has not
+        // caught up) and unknown nodes are empty, not panics.
+        assert!(c.committed_since(leader, 99).is_empty());
+        assert_eq!(c.committed_len(99), 0);
+        assert!(c.committed_since(99, 0).is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::identity::Identity;
 use crate::transaction::{Transaction, TxValidationCode};
-use fabric_crypto::{sha256, Hash256, Signature};
+use fabric_crypto::{sha256, Hash256, Sha256, Signature};
 use fabric_wire::Encode;
 
 /// A block header chaining to the previous block.
@@ -82,8 +82,22 @@ impl Block {
     }
 
     /// Hash of the serialized transaction list.
+    ///
+    /// Streams the canonical `Vec<Transaction>` wire form (varint count,
+    /// then each transaction) through the hasher one transaction at a
+    /// time, so verifying a block costs one reusable per-transaction
+    /// buffer instead of cloning and serializing the whole list.
     pub fn compute_data_hash(transactions: &[Transaction]) -> Hash256 {
-        sha256(&transactions.to_vec().to_wire())
+        let mut hasher = Sha256::new();
+        let mut buf = Vec::with_capacity(16);
+        fabric_wire::write_varint(&mut buf, transactions.len() as u64);
+        for tx in transactions {
+            hasher.update(&buf);
+            buf.clear();
+            tx.encode(&mut buf);
+        }
+        hasher.update(&buf);
+        hasher.finalize()
     }
 
     /// Hash of this block's header.
@@ -135,6 +149,45 @@ mod tests {
         assert!(!forged.chains_onto(&genesis));
         let wrong_parent = Block::new(1, Hash256::default(), vec![]);
         assert!(!wrong_parent.chains_onto(&genesis));
+    }
+
+    #[test]
+    fn streamed_data_hash_matches_owned_serialization() {
+        use crate::identity::{Identity, Role};
+        use crate::ids::{ChaincodeId, ChannelId, TxId};
+        use crate::proposal::{PayloadCommitment, ProposalResponsePayload, Response};
+        use crate::rwset::TxRwSet;
+        use fabric_crypto::Keypair;
+
+        let txs: Vec<Transaction> = (0..3)
+            .map(|i| {
+                let kp = Keypair::generate_from_seed(40 + i);
+                Transaction {
+                    tx_id: TxId::new(format!("tx-{i}")),
+                    channel: ChannelId::new("ch1"),
+                    chaincode: ChaincodeId::new("cc1"),
+                    creator: Identity::new("Org1MSP", Role::Client, kp.public_key()),
+                    payload: ProposalResponsePayload {
+                        proposal_hash: sha256(format!("prop-{i}").as_bytes()),
+                        response: Response::ok(vec![i as u8; 3]),
+                        results: TxRwSet::new(),
+                        event: None,
+                    },
+                    commitment: PayloadCommitment::Plain,
+                    endorsements: vec![],
+                    client_signature: kp.sign(b"sig"),
+                }
+            })
+            .collect();
+        // The streaming hasher must reproduce the canonical hash of the
+        // fully-serialized transaction list, for every prefix length.
+        for n in 0..=txs.len() {
+            assert_eq!(
+                Block::compute_data_hash(&txs[..n]),
+                sha256(&txs[..n].to_vec().to_wire()),
+                "prefix {n}"
+            );
+        }
     }
 
     #[test]

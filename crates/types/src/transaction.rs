@@ -102,6 +102,15 @@ impl_wire_struct!(Transaction {
     client_signature
 });
 
+/// Which signature failed in [`Transaction::verify_signatures`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureFailure {
+    /// The client signature over the assembled transaction is invalid.
+    Client,
+    /// An endorsement signature is invalid (or there are no endorsements).
+    Endorsement,
+}
+
 impl Transaction {
     /// The bytes the client signs when assembling the transaction.
     pub fn client_signed_bytes(
@@ -109,7 +118,7 @@ impl Transaction {
         payload: &ProposalResponsePayload,
         endorsements: &[Endorsement],
     ) -> Vec<u8> {
-        (tx_id, payload, endorsements.to_vec()).to_wire()
+        (tx_id, payload, endorsements).to_wire()
     }
 
     /// The read/write sets carried by this transaction.
@@ -142,6 +151,42 @@ impl Transaction {
         let bytes = Self::client_signed_bytes(&self.tx_id, &self.payload, &self.endorsements);
         self.client_signature
             .verify(&self.creator.public_key, &bytes)
+    }
+
+    /// Verifies the client signature and every endorsement signature in one
+    /// pass; `None` means all of them check out.
+    ///
+    /// Equivalent to [`Transaction::verify_client_signature`] followed by
+    /// an endorsements-present check and
+    /// [`Transaction::verify_endorsement_signatures`], but the payload —
+    /// the bulk of the signed bytes, shared by every signature — is
+    /// serialized once instead of once per verification. This is the
+    /// commit pipeline's hot path: every transaction in every block passes
+    /// through here.
+    pub fn verify_signatures(&self) -> Option<SignatureFailure> {
+        // `signed_bytes(Plain)` is the payload's canonical wire form, so
+        // these bytes double as the middle segment of the client tuple.
+        let payload_bytes = self.payload.to_wire();
+        let mut client_bytes =
+            Vec::with_capacity(payload_bytes.len() + 96 * self.endorsements.len() + 24);
+        self.tx_id.encode(&mut client_bytes);
+        client_bytes.extend_from_slice(&payload_bytes);
+        self.endorsements.encode(&mut client_bytes);
+        if !self
+            .client_signature
+            .verify(&self.creator.public_key, &client_bytes)
+        {
+            return Some(SignatureFailure::Client);
+        }
+        if self.endorsements.is_empty() {
+            return Some(SignatureFailure::Endorsement);
+        }
+        for e in &self.endorsements {
+            if !e.signature.verify(&e.endorser.public_key, &payload_bytes) {
+                return Some(SignatureFailure::Endorsement);
+            }
+        }
+        None
     }
 }
 
@@ -193,6 +238,7 @@ mod tests {
         let tx = sample_tx();
         assert!(tx.verify_endorsement_signatures());
         assert!(tx.verify_client_signature());
+        assert_eq!(tx.verify_signatures(), None);
     }
 
     #[test]
@@ -200,6 +246,9 @@ mod tests {
         let mut tx = sample_tx();
         tx.payload.response.payload = b"forged".to_vec();
         assert!(!tx.verify_endorsement_signatures());
+        // The client signature also covered the payload, so the combined
+        // check reports the client failure first.
+        assert_eq!(tx.verify_signatures(), Some(SignatureFailure::Client));
     }
 
     #[test]
@@ -207,6 +256,39 @@ mod tests {
         let mut tx = sample_tx();
         tx.endorsements.clear();
         assert!(!tx.verify_client_signature());
+        assert_eq!(tx.verify_signatures(), Some(SignatureFailure::Client));
+    }
+
+    #[test]
+    fn combined_verify_matches_separate_checks() {
+        // A valid transaction, a forged endorsement signature, and a forged
+        // client signature must agree between the combined one-pass check
+        // and the two original ones.
+        let good = sample_tx();
+        let mut bad_endorsement = sample_tx();
+        bad_endorsement.endorsements[0].signature =
+            Keypair::generate_from_seed(99).sign(b"wrong bytes");
+        // Re-sign as the client so only the endorsement is at fault.
+        let client_kp = Keypair::generate_from_seed(21);
+        bad_endorsement.client_signature = client_kp.sign(&Transaction::client_signed_bytes(
+            &bad_endorsement.tx_id,
+            &bad_endorsement.payload,
+            &bad_endorsement.endorsements,
+        ));
+        let mut bad_client = sample_tx();
+        bad_client.client_signature = Keypair::generate_from_seed(98).sign(b"wrong bytes");
+
+        assert_eq!(good.verify_signatures(), None);
+        assert_eq!(
+            bad_endorsement.verify_signatures(),
+            Some(SignatureFailure::Endorsement)
+        );
+        assert!(bad_endorsement.verify_client_signature());
+        assert!(!bad_endorsement.verify_endorsement_signatures());
+        assert_eq!(
+            bad_client.verify_signatures(),
+            Some(SignatureFailure::Client)
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod primitives;
 mod reader;
 
 pub use error::WireError;
+pub use primitives::{read_varint, write_varint};
 pub use reader::Reader;
 
 /// Types that can be encoded into the canonical wire format.
@@ -101,6 +102,17 @@ mod tests {
         for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
             roundtrip(v);
         }
+    }
+
+    #[test]
+    fn slice_encodes_identically_to_vec() {
+        // Hot paths encode borrowed slices to avoid cloning into a `Vec`;
+        // the bytes must be indistinguishable from the owned encoding.
+        let v = vec![String::from("a"), String::from(""), String::from("bc")];
+        assert_eq!(v.to_wire(), v.as_slice().to_wire());
+        assert_eq!(v.to_wire(), v[..].to_wire());
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.to_wire(), empty.as_slice().to_wire());
     }
 
     #[test]

@@ -170,10 +170,7 @@ impl<const N: usize> Decode for [u8; N] {
 
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
-        write_varint(buf, self.len() as u64);
-        for item in self {
-            item.encode(buf);
-        }
+        self.as_slice().encode(buf);
     }
 }
 

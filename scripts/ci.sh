@@ -6,6 +6,7 @@
 #   2. `cargo clippy --all-targets -- -D warnings`    — lint-clean, tests included
 #   3. `cargo build --release`                        — release build works
 #   4. `cargo test -q`                                — full test suite
+#   5. commit-throughput bench smoke run              — bench code can't rot
 #
 # Run from anywhere; operates on the repository containing this script.
 
@@ -23,5 +24,8 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> commit_throughput --smoke"
+cargo run --release -p fabric-bench --bin commit_throughput -- --smoke
 
 echo "CI gate passed."

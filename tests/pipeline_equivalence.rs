@@ -1,0 +1,350 @@
+//! Equivalence of the staged validation pipeline and the pre-pipeline
+//! reference validator: for any block — valid, under-endorsed, tampered,
+//! duplicated, and SBE-parameter-changing transactions interleaved —
+//! `process_block` (parallel on AND off) must produce the same validation
+//! codes, the same world-state digest, and the same chain tip as
+//! `process_block_reference`.
+//!
+//! The interesting adversarial case is a transaction that writes a key's
+//! state-based-endorsement parameter *earlier in the same block* than a
+//! write to that key: the pipeline's stateless pass evaluated the later
+//! write against the pre-block parameter and must re-check it
+//! sequentially (dirty-key detection), exactly as the reference does by
+//! construction.
+
+use fabric_pdc::chaincode::samples::SbeDemo;
+use fabric_pdc::prelude::*;
+use fabric_pdc::types::{Block, PvtDataPackage, Transaction};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// PDC chaincode namespace (collection members: org1, org2).
+const PDC_NS: &str = "guarded";
+/// Private data collection name.
+const COL: &str = "PDC1";
+/// SBE chaincode namespace (public state, key-level policies).
+const SBE_NS: &str = "sbe";
+
+const PEERS: [&str; 3] = ["peer0.org1", "peer0.org2", "peer0.org3"];
+
+/// Key-level policies a generated `set_policy` can install. Deliberately
+/// includes policies that later writes in the block will fail.
+const SBE_POLICIES: [&str; 3] = [
+    "OR('Org2MSP.peer')",
+    "AND('Org1MSP.peer','Org2MSP.peer')",
+    "OR('Org3MSP.peer')",
+];
+
+/// One generated transaction in the block under test.
+#[derive(Debug, Clone)]
+enum TxSpec {
+    /// Private write to `bk{key}` endorsed by the given collection-member
+    /// peers (subset of {org1, org2}; singletons fail the collection AND).
+    PdcWrite { key: u8, endorsers: Vec<usize> },
+    /// Public write to `sk{key}`; validity depends on the key's SBE
+    /// parameter at validation time (possibly written earlier in-block).
+    SbePut { key: u8, endorsers: Vec<usize> },
+    /// Writes the SBE parameter of `sk{key}` — every later in-block
+    /// transaction touching that key must be re-checked against it.
+    SbeSetPolicy {
+        key: u8,
+        policy: usize,
+        endorsers: Vec<usize>,
+    },
+    /// A well-endorsed PDC write whose response payload is corrupted after
+    /// assembly (invalid signatures).
+    Tampered { key: u8 },
+    /// A byte-for-byte copy of an earlier transaction in the block.
+    DuplicateOf(usize),
+}
+
+/// Non-empty subset of all three peers.
+fn arb_endorsers() -> impl Strategy<Value = Vec<usize>> {
+    proptest::sample::subsequence(vec![0usize, 1, 2], 1..=3)
+}
+
+/// Non-empty subset of the collection members (org1, org2).
+fn arb_member_endorsers() -> impl Strategy<Value = Vec<usize>> {
+    proptest::sample::subsequence(vec![0usize, 1], 1..=2)
+}
+
+fn arb_spec() -> impl Strategy<Value = TxSpec> {
+    prop_oneof![
+        3 => (0u8..4, arb_member_endorsers())
+            .prop_map(|(key, endorsers)| TxSpec::PdcWrite { key, endorsers }),
+        3 => (0u8..3, arb_endorsers())
+            .prop_map(|(key, endorsers)| TxSpec::SbePut { key, endorsers }),
+        2 => (0u8..3, 0usize..SBE_POLICIES.len(), arb_endorsers())
+            .prop_map(|(key, policy, endorsers)| TxSpec::SbeSetPolicy { key, policy, endorsers }),
+        1 => (0u8..4).prop_map(|key| TxSpec::Tampered { key }),
+        1 => (0usize..16).prop_map(TxSpec::DuplicateOf),
+    ]
+}
+
+/// 3-org network with both chaincodes deployed and one committed SBE
+/// parameter (`sk0` pinned to AND(org1, org2)), so generated blocks
+/// exercise committed parameters as well as in-block ones.
+fn equivalence_network(seed: u64) -> FabricNetwork {
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(seed)
+        .build();
+    let def = ChaincodeDefinition::new(PDC_NS)
+        .with_endorsement_policy("MAJORITY Endorsement")
+        .with_collection(
+            CollectionConfig::membership_of(COL, &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+                .with_member_only_read(false)
+                .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')"),
+        );
+    net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained(COL)));
+    net.deploy_chaincode(ChaincodeDefinition::new(SBE_NS), Arc::new(SbeDemo));
+    for (function, args) in [
+        ("put", vec!["sk0", "seeded"]),
+        (
+            "set_policy",
+            vec!["sk0", "AND('Org1MSP.peer','Org2MSP.peer')"],
+        ),
+    ] {
+        let outcome = net
+            .submit_transaction(
+                "client0.org1",
+                SBE_NS,
+                function,
+                &args,
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .expect("seed tx");
+        assert!(outcome.validation_code.is_valid(), "seed {function}");
+    }
+    net
+}
+
+/// Endorses one invocation at the given peers and assembles the signed
+/// transaction, collecting any private-data package under its tx-id.
+fn build_tx(
+    net: &mut FabricNetwork,
+    ns: &str,
+    function: &str,
+    args: Vec<Vec<u8>>,
+    endorsers: &[usize],
+    client_seed: u64,
+    pkgs: &mut HashMap<TxId, PvtDataPackage>,
+) -> Transaction {
+    let mut client = Client::new(
+        "Org1MSP",
+        Keypair::generate_from_seed(7_700_000 + client_seed),
+        DefenseConfig::original(),
+    );
+    let proposal = client.create_proposal(
+        net.channel().clone(),
+        ChaincodeId::new(ns),
+        function,
+        args,
+        Default::default(),
+    );
+    let mut responses = Vec::with_capacity(endorsers.len());
+    let mut pvt = None;
+    for &e in endorsers {
+        let (resp, pkg) = net.peer(PEERS[e]).endorse(&proposal).expect("endorse");
+        pvt = pvt.or(pkg);
+        responses.push(resp);
+    }
+    let (tx, _) = client
+        .assemble_transaction(&proposal, &responses)
+        .expect("assemble");
+    if let Some(pkg) = pvt {
+        pkgs.insert(tx.tx_id.clone(), pkg);
+    }
+    tx
+}
+
+/// Builds the block described by `specs` on top of the network's current
+/// state, plus the private-data packages its commit needs.
+fn build_block(
+    net: &mut FabricNetwork,
+    specs: &[TxSpec],
+) -> (Block, HashMap<TxId, PvtDataPackage>) {
+    let mut txs: Vec<Transaction> = Vec::with_capacity(specs.len());
+    let mut pkgs = HashMap::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let tx = match spec {
+            TxSpec::PdcWrite { key, endorsers } => build_tx(
+                net,
+                PDC_NS,
+                "write",
+                vec![
+                    format!("bk{key}").into_bytes(),
+                    format!("{}", 100 + i).into_bytes(),
+                ],
+                endorsers,
+                i as u64,
+                &mut pkgs,
+            ),
+            TxSpec::SbePut { key, endorsers } => build_tx(
+                net,
+                SBE_NS,
+                "put",
+                vec![
+                    format!("sk{key}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                ],
+                endorsers,
+                i as u64,
+                &mut pkgs,
+            ),
+            TxSpec::SbeSetPolicy {
+                key,
+                policy,
+                endorsers,
+            } => build_tx(
+                net,
+                SBE_NS,
+                "set_policy",
+                vec![
+                    format!("sk{key}").into_bytes(),
+                    SBE_POLICIES[*policy].as_bytes().to_vec(),
+                ],
+                endorsers,
+                i as u64,
+                &mut pkgs,
+            ),
+            TxSpec::Tampered { key } => {
+                let mut tx = build_tx(
+                    net,
+                    PDC_NS,
+                    "write",
+                    vec![
+                        format!("bk{key}").into_bytes(),
+                        format!("{}", 100 + i).into_bytes(),
+                    ],
+                    &[0, 1],
+                    i as u64,
+                    &mut pkgs,
+                );
+                tx.payload.response.payload = b"tampered".to_vec();
+                tx
+            }
+            TxSpec::DuplicateOf(j) => match txs.get(j % specs.len().max(1)) {
+                Some(tx) => tx.clone(),
+                // No earlier transaction to copy: degrade to a valid write.
+                None => build_tx(
+                    net,
+                    PDC_NS,
+                    "write",
+                    vec![
+                        format!("bk{i}").into_bytes(),
+                        format!("{}", 100 + i).into_bytes(),
+                    ],
+                    &[0, 1],
+                    i as u64,
+                    &mut pkgs,
+                ),
+            },
+        };
+        txs.push(tx);
+    }
+    let store = net.peer("peer0.org2").block_store();
+    let block = Block::new(store.height(), store.tip_hash(), txs);
+    (block, pkgs)
+}
+
+/// Runs the block through the reference validator and through the
+/// pipeline with parallel validation off and on, asserting identical
+/// outcomes, world-state digests, and chain tips.
+fn assert_equivalent(net: &FabricNetwork, block: &Block, pkgs: &HashMap<TxId, PvtDataPackage>) {
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+
+    let mut reference = net.peer("peer0.org2").clone();
+    let ref_outcome = reference
+        .process_block_reference(block.clone(), &mut provider)
+        .expect("reference: block chains");
+
+    for parallel in [false, true] {
+        let mut peer = net.peer("peer0.org2").clone();
+        peer.set_parallel_validation(parallel);
+        let outcome = peer
+            .process_block(block.clone(), &mut provider)
+            .expect("pipeline: block chains");
+        assert_eq!(
+            outcome, ref_outcome,
+            "pipeline (parallel={parallel}) outcome diverged from reference"
+        );
+        assert_eq!(
+            peer.world_state().digest(),
+            reference.world_state().digest(),
+            "pipeline (parallel={parallel}) world state diverged from reference"
+        );
+        assert_eq!(
+            peer.block_store().tip_hash(),
+            reference.block_store().tip_hash(),
+            "pipeline (parallel={parallel}) chain tip diverged from reference"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed blocks: the pipeline is an observationally pure
+    /// optimization of the reference validator.
+    #[test]
+    fn pipeline_matches_reference_on_random_blocks(
+        specs in proptest::collection::vec(arb_spec(), 1..14),
+        seed in 0u64..1_000,
+    ) {
+        let mut net = equivalence_network(10_000 + seed);
+        let (block, pkgs) = build_block(&mut net, &specs);
+        assert_equivalent(&net, &block, &pkgs);
+    }
+}
+
+/// Deterministic regression for the dirty-key path: a `set_policy` early
+/// in the block changes which endorser sets later writes to the same key
+/// need, and all three validators agree on the resulting codes.
+#[test]
+fn mid_block_policy_change_governs_later_writes() {
+    let mut net = equivalence_network(42);
+    let specs = [
+        // sk1 created under the chaincode MAJORITY policy.
+        TxSpec::SbePut {
+            key: 1,
+            endorsers: vec![0, 1],
+        },
+        // Mid-block: pin sk1 to OR(org3).
+        TxSpec::SbeSetPolicy {
+            key: 1,
+            policy: 2,
+            endorsers: vec![0, 1],
+        },
+        // org1+org2 satisfied MAJORITY in the stateless pass but fail the
+        // in-block parameter — the dirty-key re-check must reject this.
+        TxSpec::SbePut {
+            key: 1,
+            endorsers: vec![0, 1],
+        },
+        // org3 alone fails MAJORITY statelessly but satisfies OR(org3);
+        // key-level parameters replace the chaincode policy for writes.
+        TxSpec::SbePut {
+            key: 1,
+            endorsers: vec![2],
+        },
+    ];
+    let (block, pkgs) = build_block(&mut net, &specs);
+    assert_equivalent(&net, &block, &pkgs);
+
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut peer = net.peer("peer0.org2").clone();
+    peer.set_parallel_validation(true);
+    let outcome = peer.process_block(block, &mut provider).expect("chains");
+    assert_eq!(
+        outcome.validation_codes,
+        vec![
+            TxValidationCode::Valid,
+            TxValidationCode::Valid,
+            TxValidationCode::EndorsementPolicyFailure,
+            TxValidationCode::Valid,
+        ]
+    );
+}

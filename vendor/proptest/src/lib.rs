@@ -134,6 +134,53 @@ pub mod strategy {
         }
     }
 
+    /// A weighted union of strategies producing the same value type; each
+    /// generation picks one arm with probability proportional to its
+    /// weight. Backs the [`prop_oneof!`](crate::prop_oneof) macro.
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// If `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+                "prop_oneof needs at least one arm with nonzero weight"
+            );
+            Union { arms }
+        }
+    }
+
+    /// Boxes a strategy, fixing the trait object's `Value` to the input
+    /// strategy's own value type (used by `prop_oneof!` so arm types — not
+    /// integer-literal defaulting at the use site — drive inference).
+    #[doc(hidden)]
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.below(total);
+            for (weight, strategy) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strategy.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick < total by construction")
+        }
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
@@ -493,6 +540,13 @@ pub mod collection {
         }
     }
 
+    impl SizeRange {
+        /// `(min, max)` with `max` exclusive.
+        pub(crate) fn bounds(&self) -> (usize, usize) {
+            (self.min, self.max)
+        }
+    }
+
     /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
@@ -553,13 +607,91 @@ pub mod option {
     }
 }
 
+pub mod sample {
+    //! Sampling strategies over fixed collections.
+
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for order-preserving subsequences of a fixed vector (see
+    /// [`subsequence`]).
+    #[derive(Debug, Clone)]
+    pub struct SubsequenceStrategy<T: Clone> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Generates subsequences of `values` whose length is drawn from
+    /// `size`, preserving the original element order (proptest's
+    /// `sample::subsequence`).
+    pub fn subsequence<T: Clone>(
+        values: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> SubsequenceStrategy<T> {
+        let size = size.into();
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty subsequence size range");
+        assert!(
+            max <= values.len() + 1,
+            "subsequence size range exceeds the {} source values",
+            values.len()
+        );
+        SubsequenceStrategy { values, size }
+    }
+
+    impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let (min, max) = self.size.bounds();
+            let len = if min + 1 >= max {
+                min
+            } else {
+                rng.usize_in(min, max)
+            };
+            // Floyd's sampling: `len` distinct indices, then emit them in
+            // source order to preserve the subsequence property.
+            let n = self.values.len();
+            let mut picked = vec![false; n];
+            for j in n - len..n {
+                let t = rng.usize_in(0, j + 1);
+                if picked[t] {
+                    picked[j] = true;
+                } else {
+                    picked[t] = true;
+                }
+            }
+            (0..n)
+                .filter(|&i| picked[i])
+                .map(|i| self.values[i].clone())
+                .collect()
+        }
+    }
+}
+
 pub mod prelude {
     //! Everything a `proptest!` test needs in scope.
 
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies of one value type: arms are either
+/// `weight => strategy` or bare strategies (weight 1). Expands to a
+/// [`strategy::Union`].
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
 }
 
 /// Asserts a condition inside a `proptest!` test.
@@ -696,6 +828,48 @@ mod tests {
                 assert!(total < 20);
             }
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn oneof_respects_arm_ranges(v in prop_oneof![
+            3 => (0u32..10).prop_map(|x| x),
+            1 => 100u32..110,
+        ]) {
+            assert!(v < 10 || (100..110).contains(&v));
+        }
+
+        #[test]
+        fn subsequence_preserves_order_and_size(
+            s in crate::sample::subsequence(vec![1u8, 2, 3, 4, 5], 1..=5)
+        ) {
+            assert!((1..=5).contains(&s.len()));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "not a subsequence: {s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::from_name("oneof_arms");
+        let strategy = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(strategy.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3, "arms never chosen: {seen:?}");
+    }
+
+    #[test]
+    fn subsequence_spans_all_sizes() {
+        let mut rng = TestRng::from_name("subseq_sizes");
+        let strategy = crate::sample::subsequence(vec![0usize, 1, 2], 0..=3);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..128 {
+            lens.insert(strategy.generate(&mut rng).len());
+        }
+        assert_eq!(lens.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
     }
 
     #[test]
