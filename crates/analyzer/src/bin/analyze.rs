@@ -125,7 +125,27 @@ fn cmd_scan(dir: &Path, json: bool) -> ExitCode {
         println!("{}", agg.render_fig9());
         println!("{}", agg.render_fig10());
     }
-    ExitCode::SUCCESS
+    skipped_dirs_exit(&reports, json)
+}
+
+/// Shared tail for scan-backed commands: warn about every directory the
+/// walk could not read, and — under `--json`, where the output feeds
+/// aggregation pipelines — refuse to exit 0 for an undercounting report.
+/// Human-readable output stays exit 0: the warnings are on stderr.
+fn skipped_dirs_exit(reports: &[fabric_analyzer::ProjectReport], json: bool) -> ExitCode {
+    let mut skipped = 0usize;
+    for report in reports {
+        for dir in &report.skipped_dirs {
+            skipped += 1;
+            eprintln!("warning: skipped unreadable directory {}", dir.display());
+        }
+    }
+    if skipped > 0 && json {
+        eprintln!("error: {skipped} director(ies) were unscannable; JSON aggregation is partial");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_project(dir: &Path, json: bool) -> ExitCode {
@@ -138,7 +158,7 @@ fn cmd_project(dir: &Path, json: bool) -> ExitCode {
     };
     if json {
         println!("{}", project_json(&report));
-        return ExitCode::SUCCESS;
+        return skipped_dirs_exit(std::slice::from_ref(&report), true);
     }
     println!("project: {}", report.path.display());
     println!("explicit PDC:  {}", report.explicit_pdc);
@@ -166,7 +186,7 @@ fn cmd_project(dir: &Path, json: bool) -> ExitCode {
              potentially vulnerable to fake PDC results injection (ICDCS'21)"
         );
     }
-    ExitCode::SUCCESS
+    skipped_dirs_exit(std::slice::from_ref(&report), false)
 }
 
 /// JSON detail report for one project (hand-rolled, like the rest of the
@@ -196,9 +216,15 @@ fn project_json(report: &fabric_analyzer::ProjectReport) -> String {
             )
         })
         .collect();
+    let skipped: Vec<String> = report
+        .skipped_dirs
+        .iter()
+        .map(|d| format!("\"{}\"", escape(&d.to_string_lossy())))
+        .collect();
     format!(
         "{{\n  \"path\": \"{}\",\n  \"explicit_pdc\": {},\n  \"implicit_pdc\": {},\n  \
-         \"collections\": [{}],\n  \"default_policy\": {},\n  \"leaks\": [{}]\n}}",
+         \"collections\": [{}],\n  \"default_policy\": {},\n  \"leaks\": [{}],\n  \
+         \"skipped_dirs\": [{}]\n}}",
         escape(&report.path.to_string_lossy()),
         report.explicit_pdc,
         report.implicit_pdc,
@@ -208,6 +234,7 @@ fn project_json(report: &fabric_analyzer::ProjectReport) -> String {
             .as_deref()
             .map_or("null".to_string(), |p| format!("\"{}\"", escape(p))),
         leaks.join(", "),
+        skipped.join(", "),
     )
 }
 
@@ -233,6 +260,14 @@ fn cmd_lint(dir: &Path, json: bool, sarif: Option<&Path>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    for report in &reports {
+        for skipped in &report.skipped_dirs {
+            eprintln!(
+                "warning: skipped unreadable directory {}",
+                skipped.display()
+            );
+        }
+    }
     let findings = lint_corpus(&reports);
     if let Some(path) = sarif {
         if let Err(e) = std::fs::write(path, render::render_sarif(&findings)) {

@@ -87,6 +87,9 @@ pub fn subject_from_report(report: &ProjectReport) -> LintSubject {
         chaincode_policy: report.default_policy.clone(),
         collections,
         leaks,
+        // Static scans cannot see a running network, so PDC010 never
+        // fires on corpus subjects.
+        telemetry_attached: None,
     }
 }
 

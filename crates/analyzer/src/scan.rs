@@ -102,6 +102,10 @@ pub struct ProjectReport {
     pub year: Option<u16>,
     /// Leaky chaincode functions.
     pub leaks: Vec<LeakFinding>,
+    /// Subdirectories the walk could not read (permissions, races).
+    /// Non-empty means the report undercounts; `--json` consumers treat
+    /// it as a failed scan.
+    pub skipped_dirs: Vec<PathBuf>,
 }
 
 impl ProjectReport {
@@ -150,8 +154,12 @@ pub fn dir_is_project(dir: &Path) -> std::io::Result<bool> {
 ///
 /// # Errors
 ///
-/// Returns an I/O error when the directory cannot be traversed; unreadable
-/// individual files are skipped, as the paper's tool did.
+/// Returns an I/O error when the project root itself cannot be read (a
+/// silently empty report would skew corpus aggregates). Unreadable
+/// individual files are skipped, as the paper's tool did; unreadable
+/// *subdirectories* are skipped but recorded in
+/// [`ProjectReport::skipped_dirs`] so callers can refuse to trust the
+/// partial result.
 pub fn scan_project(root: &Path) -> std::io::Result<ProjectReport> {
     let mut report = ProjectReport {
         path: root.to_path_buf(),
@@ -161,7 +169,11 @@ pub fn scan_project(root: &Path) -> std::io::Result<ProjectReport> {
     while let Some(dir) = stack.pop() {
         let entries = match fs::read_dir(&dir) {
             Ok(e) => e,
-            Err(_) => continue,
+            Err(e) if dir == root => return Err(e),
+            Err(_) => {
+                report.skipped_dirs.push(dir);
+                continue;
+            }
         };
         for entry in entries.flatten() {
             let path = entry.path();
@@ -192,6 +204,8 @@ pub fn scan_project(root: &Path) -> std::io::Result<ProjectReport> {
             }
         }
     }
+    // Stack order is traversal-dependent; sort so reports compare stably.
+    report.skipped_dirs.sort();
     Ok(report)
 }
 
@@ -733,6 +747,27 @@ func readOwn(stub shim.ChaincodeStubInterface) (string, error) {
             report.default_policy.as_deref(),
             Some("MAJORITY Endorsement")
         );
+        assert!(
+            report.skipped_dirs.is_empty(),
+            "a fully readable tree skips nothing"
+        );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_project_errors_on_unreadable_root() {
+        let missing = std::env::temp_dir().join(format!(
+            "fabric-scan-missing-{}/no-such-project",
+            std::process::id()
+        ));
+        let err = scan_project(&missing).expect_err("unreadable root must not report Ok");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn scan_corpus_propagates_project_root_errors() {
+        let missing =
+            std::env::temp_dir().join(format!("fabric-scan-missing-corpus-{}", std::process::id()));
+        assert!(scan_corpus(&missing).is_err());
     }
 }

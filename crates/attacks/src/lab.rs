@@ -6,6 +6,7 @@ use fabric_chaincode::samples::{Guard, GuardedPdc};
 use fabric_chaincode::ChaincodeDefinition;
 use fabric_crypto::Keypair;
 use fabric_network::{FabricNetwork, NetworkBuilder};
+use fabric_telemetry::{AuditEvent, Telemetry};
 use fabric_types::{
     ChaincodeId, CollectionConfig, CollectionName, DefenseConfig, OrgId, TxValidationCode,
 };
@@ -164,6 +165,10 @@ pub struct AttackOutcome {
     pub succeeded: bool,
     /// Human-readable explanation.
     pub note: String,
+    /// Security-audit events the network emitted while this attack ran
+    /// (the lab attaches a shared [`Telemetry`] pipeline, so every attack
+    /// leaves a forensic trail even when it succeeds).
+    pub audit_events: Vec<AuditEvent>,
 }
 
 /// Builds the §V-A prototype: `org_count` orgs, PDC1 = {org1, org2},
@@ -182,6 +187,7 @@ pub fn build_lab(cfg: &LabConfig) -> AttackLab {
         .orgs(&org_refs)
         .seed(cfg.seed)
         .defense(cfg.defense)
+        .with_telemetry(Telemetry::new())
         .build();
 
     let mut collection = CollectionConfig::membership_of(
@@ -267,6 +273,19 @@ pub fn build_lab(cfg: &LabConfig) -> AttackLab {
 /// SDK checks, and submits for ordering; success is then judged against the
 /// honest peers' ledgers.
 pub fn run_attack(lab: &mut AttackLab, kind: AttackKind) -> AttackOutcome {
+    let audit_before = lab
+        .net
+        .telemetry()
+        .map(|t| t.audit().len())
+        .unwrap_or_default();
+    let mut outcome = run_attack_inner(lab, kind);
+    if let Some(t) = lab.net.telemetry() {
+        outcome.audit_events = t.audit().events_since(audit_before);
+    }
+    outcome
+}
+
+fn run_attack_inner(lab: &mut AttackLab, kind: AttackKind) -> AttackOutcome {
     // §V-A4 precondition: the delete experiment runs with k1 = 5, planted
     // by a fake write when the policy admits one.
     if kind == AttackKind::FakeDelete {
@@ -291,6 +310,7 @@ pub fn run_attack(lab: &mut AttackLab, kind: AttackKind) -> AttackOutcome {
                 } else {
                     format!("transaction marked {code}")
                 },
+                audit_events: Vec::new(),
             }
         }
         AttackKind::FakeWrite => {
@@ -329,6 +349,7 @@ pub fn run_attack(lab: &mut AttackLab, kind: AttackKind) -> AttackOutcome {
                 } else {
                     format!("transaction marked {code}")
                 },
+                audit_events: Vec::new(),
             }
         }
     }
@@ -351,6 +372,7 @@ fn failed(kind: AttackKind, code: Option<TxValidationCode>, note: String) -> Att
         validation_code: code,
         succeeded: false,
         note,
+        audit_events: Vec::new(),
     }
 }
 
@@ -428,6 +450,7 @@ fn judge_state_injection(
         } else {
             format!("transaction marked {code}; victim state: {at_victim:?}")
         },
+        audit_events: Vec::new(),
     }
 }
 

@@ -138,6 +138,13 @@ impl CompiledPolicies {
             .is_some_and(|orgs| orgs.contains(org))
     }
 
+    /// The member organizations of `collection`, when its membership
+    /// policy names any. Lets hot paths resolve the set once and test
+    /// many orgs against it.
+    pub fn members(&self, collection: &CollectionName) -> Option<&BTreeSet<OrgId>> {
+        self.members.get(collection)
+    }
+
     /// The collections `org` is a member of, in definition-independent
     /// (sorted-name) order.
     pub fn memberships_of(&self, org: &OrgId) -> Vec<CollectionName> {

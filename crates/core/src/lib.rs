@@ -28,6 +28,7 @@
 //! | attacks | [`attacks`] | §IV attacks and the §V-A/§V-B experiment labs |
 //! | analyzer | [`analyzer`] | §V-C static analyzer + synthetic corpus |
 //! | lint | [`lint`] | rule-based PDC misconfiguration linter (text/JSON/SARIF) |
+//! | telemetry | [`telemetry`] | tracing spans, metrics registry, security-audit events |
 //!
 //! ## Quick start
 //!
@@ -80,6 +81,7 @@ pub use fabric_orderer as orderer;
 pub use fabric_peer as peer;
 pub use fabric_policy as policy;
 pub use fabric_raft as raft;
+pub use fabric_telemetry as telemetry;
 pub use fabric_types as types;
 pub use fabric_wire as wire;
 
@@ -95,6 +97,7 @@ pub mod prelude {
     pub use fabric_network::{FabricNetwork, NetworkBuilder, NetworkError, SubmitOutcome};
     pub use fabric_peer::Peer;
     pub use fabric_policy::{Policy, SignaturePolicy};
+    pub use fabric_telemetry::{AuditEvent, Telemetry};
     pub use fabric_types::{
         ChaincodeId, ChannelId, CollectionConfig, CollectionName, DefenseConfig, Identity, OrgId,
         Proposal, Role, Transaction, TxId, TxKind, TxValidationCode,

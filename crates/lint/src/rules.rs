@@ -87,6 +87,15 @@ const RULES: &[Rule] = &[
         description: "a chaincode function returns private data through the response \
                       payload, which is stored in the public block",
     },
+    Rule {
+        id: "PDC010",
+        name: "no-telemetry-collector",
+        severity: Severity::Warning,
+        use_case: None,
+        description: "the network runs without a telemetry collector, so PDC misuse \
+                      (non-member endorsements, policy fallback, plaintext payloads) \
+                      leaves no security-audit trail",
+    },
 ];
 
 /// All registered rules, in stable ID order.
@@ -125,6 +134,7 @@ pub fn lint_subject(subject: &LintSubject) -> Vec<Finding> {
     }
     check_chaincode_policy_ast(subject, &mut findings);
     check_leaks(subject, &mut findings);
+    check_observability(subject, &mut findings);
     findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     findings
 }
@@ -391,6 +401,23 @@ fn collect_out_of(policy: &SignaturePolicy, out: &mut Vec<(u32, usize)>) {
     }
 }
 
+/// PDC010: a live network known to run without a telemetry collector.
+/// `None` (scanned configs, plain definitions) stays silent — only a
+/// subject built from a running network knows this fact.
+fn check_observability(subject: &LintSubject, out: &mut Vec<Finding>) {
+    if subject.telemetry_attached == Some(false) {
+        out.push(finding(
+            "PDC010",
+            subject,
+            Location::artifact(&subject.uri),
+            "no telemetry collector is attached to this network: non-member \
+             endorsements, chaincode-level policy fallbacks, and plaintext \
+             payload commits will go unaudited"
+                .to_string(),
+        ));
+    }
+}
+
 /// PDC009: known payload leaks.
 fn check_leaks(subject: &LintSubject, out: &mut Vec<Finding>) {
     for leak in &subject.leaks {
@@ -446,6 +473,7 @@ mod tests {
                 member_only_write: Some(true),
             }],
             leaks: Vec::new(),
+            telemetry_attached: None,
         }
     }
 
@@ -455,6 +483,23 @@ mod tests {
 
     fn fires(subject: &LintSubject, id: &str) -> bool {
         lint_subject(subject).iter().any(|f| f.rule_id == id)
+    }
+
+    #[test]
+    fn pdc010_fires_only_on_known_missing_collector() {
+        // Unknown (scans, plain definitions): silent.
+        assert!(!fires(&clean_subject(), "PDC010"));
+        // Known attached: silent.
+        let attached = clean_subject().with_telemetry_attached(true);
+        assert!(!fires(&attached, "PDC010"));
+        // Known missing: warns.
+        let missing = clean_subject().with_telemetry_attached(false);
+        let findings = lint_subject(&missing);
+        let f = findings
+            .iter()
+            .find(|f| f.rule_id == "PDC010")
+            .expect("PDC010 fires on a collector-less network");
+        assert_eq!(f.severity, Severity::Warning);
     }
 
     #[test]

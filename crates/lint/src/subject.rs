@@ -107,6 +107,11 @@ pub struct LintSubject {
     /// Known private-data payload leaks (from static scanning or the
     /// dynamic [`probe`](crate::probe)).
     pub leaks: Vec<LeakFact>,
+    /// Whether the network this subject was lifted from has a telemetry
+    /// collector attached. `None` (the default, and what scans produce)
+    /// means unknown and keeps PDC010 silent; `Some(false)` marks a live
+    /// network whose PDC misuse signals go unaudited.
+    pub telemetry_attached: Option<bool>,
 }
 
 impl LintSubject {
@@ -126,7 +131,16 @@ impl LintSubject {
                 .map(|c| CollectionFacts::from_config(c, uri.clone()))
                 .collect(),
             leaks: Vec::new(),
+            telemetry_attached: None,
         }
+    }
+
+    /// Records whether the subject's network has a telemetry collector
+    /// (feeds rule PDC010). Typically
+    /// `subject.with_telemetry_attached(net.telemetry().is_some())`.
+    pub fn with_telemetry_attached(mut self, attached: bool) -> Self {
+        self.telemetry_attached = Some(attached);
+        self
     }
 
     /// The channel organizations that are *not* members of `collection`.

@@ -6,6 +6,7 @@ use fabric_crypto::Keypair;
 use fabric_gossip::GossipHub;
 use fabric_orderer::{BatchConfig, OrderingService};
 use fabric_peer::{ChannelPolicies, Peer};
+use fabric_telemetry::Telemetry;
 use fabric_types::{ChannelId, DefenseConfig, OrgId};
 use std::collections::BTreeMap;
 
@@ -23,6 +24,7 @@ pub struct NetworkBuilder {
     defense: DefenseConfig,
     seed: u64,
     parallel_validation: bool,
+    telemetry: Option<Telemetry>,
 }
 
 impl NetworkBuilder {
@@ -39,6 +41,7 @@ impl NetworkBuilder {
             defense: DefenseConfig::original(),
             seed: 0,
             parallel_validation: false,
+            telemetry: None,
         }
     }
 
@@ -79,6 +82,15 @@ impl NetworkBuilder {
         self
     }
 
+    /// Attaches one shared telemetry pipeline to every peer and the
+    /// ordering service, so the whole network reports into a single
+    /// metrics registry, span collector, and audit-event log. Peers
+    /// added later via `FabricNetwork::add_peer` inherit it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Builds the network and elects the ordering-service leader.
     ///
     /// # Panics
@@ -113,6 +125,9 @@ impl NetworkBuilder {
                 self.defense,
             );
             peer.set_parallel_validation(self.parallel_validation);
+            if let Some(t) = &self.telemetry {
+                peer.set_telemetry(t.clone());
+            }
             gossip.register(peer.gossip_id().clone());
             peers.insert(peer_name, peer);
             clients.insert(
@@ -126,6 +141,9 @@ impl NetworkBuilder {
         }
 
         let mut orderer = OrderingService::new(self.orderer_count, self.seed, self.batch_config);
+        if let Some(t) = &self.telemetry {
+            orderer.set_telemetry(t.clone());
+        }
         orderer.run_until_ready(10_000);
 
         FabricNetwork::from_parts(self.channel, self.orgs, peers, clients, orderer, gossip)

@@ -133,6 +133,14 @@ impl FabricNetwork {
         &mut self.gossip
     }
 
+    /// The shared telemetry pipeline attached via
+    /// `NetworkBuilder::with_telemetry`, if any.
+    pub fn telemetry(&self) -> Option<&fabric_telemetry::Telemetry> {
+        self.orderer
+            .telemetry()
+            .or_else(|| self.peers.values().find_map(|p| p.telemetry()))
+    }
+
     /// Crashes one Raft orderer node (fault injection). The ordering
     /// service keeps working while a quorum survives.
     pub fn crash_orderer(&mut self, node: u64) {
@@ -400,6 +408,7 @@ impl FabricNetwork {
         let policies = template.channel_policies().clone();
         let defense = template.defense();
         let parallel_validation = template.parallel_validation();
+        let telemetry = template.telemetry().cloned();
         let channel = self.channel.clone();
         let blocks: Vec<fabric_types::Block> = template.block_store().iter().cloned().collect();
 
@@ -414,6 +423,9 @@ impl FabricNetwork {
             defense,
         );
         peer.set_parallel_validation(parallel_validation);
+        if let Some(t) = telemetry {
+            peer.set_telemetry(t);
+        }
         for (definition, handle) in &self.deployed {
             peer.install_chaincode(definition.clone(), handle.clone());
         }

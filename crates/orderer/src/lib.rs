@@ -23,6 +23,7 @@
 
 use fabric_crypto::{Hash256, Keypair};
 use fabric_raft::{Cluster, NodeId, RaftConfig};
+use fabric_telemetry::{Telemetry, TICK_BUCKETS};
 use fabric_types::{Block, Identity, Role, Transaction};
 use fabric_wire::{Decode, Encode};
 use std::collections::VecDeque;
@@ -59,6 +60,7 @@ pub struct OrderingService {
     identity: Identity,
     keypair: Keypair,
     ready: VecDeque<Block>,
+    telemetry: Option<Telemetry>,
 }
 
 impl OrderingService {
@@ -78,12 +80,24 @@ impl OrderingService {
             identity,
             keypair,
             ready: VecDeque::new(),
+            telemetry: None,
         }
     }
 
     /// The ordering service's signing identity.
     pub fn identity(&self) -> &Identity {
         &self.identity
+    }
+
+    /// Attaches a shared telemetry pipeline: batch-cut latency, ordered
+    /// block height, and Raft transport statistics are then reported.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry pipeline, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Queues a transaction for ordering. Contents are not inspected.
@@ -158,6 +172,23 @@ impl OrderingService {
             }
             return;
         }
+        if let Some(t) = &self.telemetry {
+            t.metrics()
+                .histogram(
+                    "fabric_orderer_batch_cut_age_ticks",
+                    "Ticks a batch's oldest transaction waited before the cut",
+                    &[],
+                    TICK_BUCKETS,
+                )
+                .observe(self.pending_age as f64);
+            t.metrics()
+                .counter(
+                    "fabric_orderer_txs_ordered_total",
+                    "Transactions proposed into Raft batches",
+                    &[],
+                )
+                .inc_by(batch.len() as u64);
+        }
         self.pending_age = 0;
     }
 
@@ -167,7 +198,8 @@ impl OrderingService {
         let newly = self
             .raft
             .committed_since(self.observer, self.delivered_cursor);
-        self.delivered_cursor += newly.len();
+        let newly_count = newly.len();
+        self.delivered_cursor += newly_count;
         for raw in newly {
             let Ok(batch) = Vec::<Transaction>::from_wire(raw) else {
                 // Unreachable in practice: we only propose valid encodings.
@@ -178,7 +210,49 @@ impl OrderingService {
             block.metadata.orderer_signature = Some(self.keypair.sign(&block.header.to_wire()));
             self.next_number += 1;
             self.prev_hash = block.hash();
+            if let Some(t) = &self.telemetry {
+                t.metrics()
+                    .counter(
+                        "fabric_orderer_blocks_cut_total",
+                        "Blocks emitted by the ordering service",
+                        &[],
+                    )
+                    .inc();
+            }
             self.ready.push_back(block);
+        }
+        if newly_count > 0 {
+            if let Some(t) = &self.telemetry {
+                t.metrics()
+                    .gauge(
+                        "fabric_orderer_block_height",
+                        "Blocks ordered so far (next block number)",
+                        &[],
+                    )
+                    .set(self.next_number as f64);
+                let stats = self.raft.stats();
+                t.metrics()
+                    .gauge(
+                        "fabric_raft_term",
+                        "Highest Raft term observed in the ordering cluster",
+                        &[],
+                    )
+                    .set(stats.term as f64);
+                t.metrics()
+                    .gauge(
+                        "fabric_raft_messages_delivered",
+                        "Raft messages delivered since cluster creation",
+                        &[],
+                    )
+                    .set(stats.messages_delivered as f64);
+                t.metrics()
+                    .gauge(
+                        "fabric_raft_messages_dropped",
+                        "Raft messages lost to faults since cluster creation",
+                        &[],
+                    )
+                    .set(stats.messages_dropped as f64);
+            }
         }
     }
 }

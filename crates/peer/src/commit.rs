@@ -19,15 +19,17 @@
 //!    transactions.
 
 use crate::node::Peer;
+use crate::telemetry::PeerTelemetry;
 use fabric_crypto::sha256;
 use fabric_ledger::BlockStoreError;
 use fabric_policy::{Policy, SignaturePolicy};
+use fabric_telemetry::AuditEvent;
 use fabric_types::{
-    Block, ChaincodeEvent, ChaincodeId, Identity, PvtDataPackage, SignatureFailure, Transaction,
-    TxId, TxValidationCode, Version,
+    Block, ChaincodeEvent, ChaincodeId, CollectionName, Identity, OrgId, PayloadCommitment,
+    PvtDataPackage, SignatureFailure, Transaction, TxId, TxValidationCode, Version,
 };
 use fabric_wire::Encode;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 /// Supplies plaintext private data for a transaction being committed
@@ -73,7 +75,7 @@ pub struct BlockCommitOutcome {
 }
 
 /// Per-transaction result of the stateless stage.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct StatelessVerdict {
     /// Failure from checks that cannot be affected by in-block state:
     /// signatures, channel membership, committed-duplicate lookup.
@@ -83,6 +85,69 @@ struct StatelessVerdict {
     /// by a sequential re-check when the transaction touches an SBE
     /// parameter written earlier in the block.
     policy: Option<TxValidationCode>,
+    /// Audit events derived from the transaction and pre-block state
+    /// alone (non-member endorsements, collection-policy fallbacks,
+    /// plaintext payloads). Computed here so the parallel fan-out absorbs
+    /// the cost; *emitted* only by the sequential stage, in block order,
+    /// so the event sequence is independent of stage-1 parallelism.
+    audit: Vec<AuditEvent>,
+}
+
+/// Per-(namespace, collection) facts the audit pass needs, resolved from
+/// the pre-block state.
+#[derive(Clone, Copy)]
+struct CollectionAuditFacts<'a> {
+    /// The collection is defined but compiles no endorsement policy of
+    /// its own, so validation falls back to the chaincode-level policy.
+    policy_fallback: bool,
+    /// The collection's member organizations, when its membership policy
+    /// names any.
+    members: Option<&'a BTreeSet<OrgId>>,
+}
+
+/// Memo of [`CollectionAuditFacts`] for one block (or one parallel
+/// worker's chunk of it). Blocks touch few distinct (namespace,
+/// collection) pairs, so a linear scan with two string compares beats
+/// re-hashing into the chaincode and policy maps for every transaction.
+#[derive(Default)]
+struct AuditFactsCache<'a> {
+    entries: Vec<(
+        &'a ChaincodeId,
+        &'a CollectionName,
+        Option<CollectionAuditFacts<'a>>,
+    )>,
+}
+
+impl<'a> AuditFactsCache<'a> {
+    /// The facts for `(namespace, collection)`; `None` when the peer has
+    /// no such chaincode installed.
+    fn lookup(
+        &mut self,
+        peer: &'a Peer,
+        namespace: &'a ChaincodeId,
+        collection: &'a CollectionName,
+    ) -> Option<CollectionAuditFacts<'a>> {
+        if let Some((_, _, facts)) = self
+            .entries
+            .iter()
+            .find(|(ns, col, _)| *ns == namespace && *col == collection)
+        {
+            return *facts;
+        }
+        let facts = peer
+            .chaincodes
+            .get(namespace)
+            .map(|installed| CollectionAuditFacts {
+                policy_fallback: installed.definition.collection(collection).is_some()
+                    && installed
+                        .compiled
+                        .collection_endorsement(collection)
+                        .is_none(),
+                members: installed.compiled.members(collection),
+            });
+        self.entries.push((namespace, collection, facts));
+        facts
+    }
 }
 
 impl Peer {
@@ -112,13 +177,31 @@ impl Peer {
         let mut missing = Vec::new();
         let mut events = Vec::new();
 
+        // One handle clone (a few `Arc` bumps) up front: span guards must
+        // stay alive across the mutable borrows of `self` below. Without
+        // telemetry attached this is the only cost the commit path pays.
+        let telemetry = self.telemetry.clone();
+        let block_span = telemetry.as_ref().map(|t| {
+            let mut s = t.span("peer.process_block");
+            s.field("block", block_num);
+            s.field("txs", block.transactions.len());
+            s
+        });
+
         // Stage 1 — stateless: signatures and policy evaluation against
         // the pre-block state, fanned out across threads when enabled.
-        let verdicts = self.stateless_validate(&block.transactions);
+        let stateless_span = block_span.as_ref().map(|s| s.child("commit.stateless"));
+        let mut verdicts = self.stateless_validate(&block.transactions);
+        if let (Some(t), Some(span)) = (&telemetry, stateless_span) {
+            t.stage_stateless.observe_duration(span.elapsed());
+        }
 
         // Stage 2 — sequential merge: in-block duplicates, SBE dirty-key
         // re-checks, MVCC, and state mutation, in block order. The validity
-        // vector is written straight into the block's metadata.
+        // vector is written straight into the block's metadata. Audit
+        // events are emitted from this stage only, so their sequence is
+        // identical whether stage 1 ran sequentially or fanned out.
+        let stateful_span = block_span.as_ref().map(|s| s.child("commit.stateful"));
         let mut block = block;
         let Block {
             transactions,
@@ -133,12 +216,14 @@ impl Peer {
             // pre-block policy verdict.
             let mut dirty_params: HashSet<(&ChaincodeId, &str)> = HashSet::new();
             for (i, tx) in transactions.iter().enumerate() {
+                let mut sbe_rechecked = false;
                 let code = if !seen_in_block.insert(&tx.tx_id) {
                     TxValidationCode::DuplicateTxId
                 } else if let Some(failure) = verdicts[i].structural {
                     failure
                 } else {
                     let policy = if Self::touches_dirty_params(tx, &dirty_params) {
+                        sbe_rechecked = true;
                         self.policy_checks(tx)
                     } else {
                         verdicts[i].policy
@@ -162,8 +247,15 @@ impl Peer {
                         }
                     }
                 }
+                if let Some(t) = &telemetry {
+                    let stateless = std::mem::take(&mut verdicts[i].audit);
+                    Self::audit_transaction(t, tx, code, sbe_rechecked, stateless);
+                }
                 metadata.validation_codes.push(code);
             }
+        }
+        if let (Some(t), Some(span)) = (&telemetry, stateful_span) {
+            t.stage_stateful.observe_duration(span.elapsed());
         }
 
         // `check_extends` already ran before any mutation, so the append
@@ -178,6 +270,9 @@ impl Peer {
             .metadata
             .validation_codes
             .clone();
+        if let Some(t) = &telemetry {
+            self.record_block_metrics(t, block_num, &validation_codes, missing.len());
+        }
         Ok(BlockCommitOutcome {
             validation_codes,
             missing_private_data: missing,
@@ -199,6 +294,139 @@ impl Peer {
                 .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()))
                 .any(|key| dirty.contains(&(&ns.namespace, key)))
         })
+    }
+
+    /// Collects the security-audit signals observable on `tx` against the
+    /// pre-block state: non-member endorsements and chaincode-policy
+    /// fallbacks on touched collections (Use Cases 1–2) and plaintext
+    /// payloads riding PDC transactions (Use Case 3). Runs in the
+    /// stateless stage (chaincode definitions cannot change inside a
+    /// block); the common no-signal case allocates nothing.
+    fn stateless_audit<'a>(
+        &'a self,
+        tx: &'a Transaction,
+        cache: &mut AuditFactsCache<'a>,
+    ) -> Vec<AuditEvent> {
+        let mut events = Vec::new();
+        let mut touches_collection = false;
+        for ns in &tx.payload.results.ns_rwsets {
+            for col in &ns.collections {
+                let Some(facts) = cache.lookup(self, &ns.namespace, &col.collection) else {
+                    continue; // Unknown namespace: BadPayload, nothing to attribute.
+                };
+                touches_collection = true;
+                if facts.policy_fallback {
+                    events.push(AuditEvent::PolicyFallbackToChaincodeLevel {
+                        tx_id: tx.tx_id.clone(),
+                        chaincode: ns.namespace.clone(),
+                        collection: col.collection.clone(),
+                    });
+                }
+                let mut flagged: Vec<&OrgId> = Vec::new();
+                for e in &tx.endorsements {
+                    let org = &e.endorser.org;
+                    let member = facts.members.is_some_and(|m| m.contains(org));
+                    if !member && !flagged.contains(&org) {
+                        flagged.push(org);
+                        events.push(AuditEvent::EndorsementByNonMember {
+                            tx_id: tx.tx_id.clone(),
+                            collection: col.collection.clone(),
+                            endorser_org: org.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        if touches_collection
+            && tx.commitment == PayloadCommitment::Plain
+            && !tx.payload.response.payload.is_empty()
+        {
+            events.push(AuditEvent::PlaintextPayloadInTx {
+                tx_id: tx.tx_id.clone(),
+                chaincode: tx.chaincode.clone(),
+                payload_bytes: tx.payload.response.payload.len(),
+            });
+        }
+        events
+    }
+
+    /// Emits `tx`'s audit events: the pre-computed stateless signals
+    /// first, then the outcome-dependent ones (SBE re-checks, MVCC
+    /// conflicts, defense rejections). Called from the sequential merge
+    /// stage only, in block order, so the emitted sequence is independent
+    /// of stage-1 parallelism.
+    fn audit_transaction(
+        t: &PeerTelemetry,
+        tx: &Transaction,
+        code: TxValidationCode,
+        sbe_rechecked: bool,
+        stateless: Vec<AuditEvent>,
+    ) {
+        for event in stateless {
+            t.emit(event);
+        }
+        if sbe_rechecked {
+            t.emit(AuditEvent::SbeReCheck {
+                tx_id: tx.tx_id.clone(),
+                chaincode: tx.chaincode.clone(),
+                outcome: code,
+            });
+        }
+        match code {
+            TxValidationCode::MvccReadConflict => t.emit(AuditEvent::MvccConflict {
+                tx_id: tx.tx_id.clone(),
+                chaincode: tx.chaincode.clone(),
+            }),
+            TxValidationCode::NonMemberEndorsement => t.emit(AuditEvent::DefenseRejected {
+                tx_id: tx.tx_id.clone(),
+                code,
+            }),
+            _ => {}
+        }
+    }
+
+    /// Flushes per-block counters and gauges after a successful commit.
+    /// Validation codes are tallied locally first so each series costs one
+    /// registry lookup per block, not one per transaction.
+    fn record_block_metrics(
+        &self,
+        t: &PeerTelemetry,
+        block_num: u64,
+        codes: &[TxValidationCode],
+        missing: usize,
+    ) {
+        // All-valid blocks (the throughput workload) take the allocation-
+        // free path: one cached-handle increment.
+        let mut valid = 0u64;
+        let mut others: Vec<(TxValidationCode, u64)> = Vec::new();
+        for code in codes {
+            if code.is_valid() {
+                valid += 1;
+                continue;
+            }
+            match others.iter_mut().find(|(c, _)| c == code) {
+                Some((_, n)) => *n += 1,
+                None => others.push((*code, 1)),
+            }
+        }
+        if valid > 0 {
+            t.valid_txs.inc_by(valid);
+        }
+        for (code, n) in others {
+            t.metrics()
+                .counter(
+                    "fabric_validation_results_total",
+                    "Transaction validation codes across committed blocks",
+                    &[("code", &code.to_string())],
+                )
+                .inc_by(n);
+        }
+        t.blocks_committed.inc();
+        t.txs_processed.inc_by(codes.len() as u64);
+        if missing > 0 {
+            t.missing_private.inc_by(missing as u64);
+        }
+        t.block_height.set((block_num + 1) as f64);
     }
 
     /// The stateless signature checks of one transaction; `None` = passed.
@@ -224,18 +452,20 @@ impl Peer {
         // come first — `available_parallelism` is a syscall, so it must
         // not tax small blocks or sequential configurations.
         if !self.parallel_validation || transactions.len() < MIN_PARALLEL {
+            let mut audit_cache = AuditFactsCache::default();
             return transactions
                 .iter()
-                .map(|tx| self.stateless_checks(tx))
+                .map(|tx| self.stateless_checks(tx, &mut audit_cache))
                 .collect();
         }
         let cores = std::thread::available_parallelism()
             .map(usize::from)
             .unwrap_or(1);
         if cores < 2 {
+            let mut audit_cache = AuditFactsCache::default();
             return transactions
                 .iter()
-                .map(|tx| self.stateless_checks(tx))
+                .map(|tx| self.stateless_checks(tx, &mut audit_cache))
                 .collect();
         }
         let workers = cores.min(transactions.len());
@@ -246,8 +476,9 @@ impl Peer {
             let result_chunks = results.chunks_mut(chunk_size);
             for (txs, out) in chunks.zip(result_chunks) {
                 scope.spawn(move || {
+                    let mut audit_cache = AuditFactsCache::default();
                     for (tx, slot) in txs.iter().zip(out.iter_mut()) {
-                        *slot = self.stateless_checks(tx);
+                        *slot = self.stateless_checks(tx, &mut audit_cache);
                     }
                 });
             }
@@ -258,7 +489,16 @@ impl Peer {
     /// Every check of one transaction that is independent of the other
     /// transactions in the block: signatures, channel, committed-duplicate
     /// lookup, and policy evaluation against the pre-block state.
-    fn stateless_checks(&self, tx: &Transaction) -> StatelessVerdict {
+    fn stateless_checks<'a>(
+        &'a self,
+        tx: &'a Transaction,
+        audit_cache: &mut AuditFactsCache<'a>,
+    ) -> StatelessVerdict {
+        let audit = if self.telemetry.is_some() {
+            self.stateless_audit(tx, audit_cache)
+        } else {
+            Vec::new()
+        };
         let structural = if let Some(code) = Self::signature_check(tx) {
             Some(code)
         } else if tx.channel != self.channel {
@@ -272,11 +512,13 @@ impl Peer {
             return StatelessVerdict {
                 structural,
                 policy: None,
+                audit,
             };
         }
         StatelessVerdict {
             structural: None,
             policy: self.policy_checks(tx),
+            audit,
         }
     }
 

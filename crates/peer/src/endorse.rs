@@ -70,6 +70,28 @@ impl Peer {
         &self,
         proposal: &Proposal,
     ) -> Result<(ProposalResponse, Option<PvtDataPackage>), EndorseError> {
+        let Some(telemetry) = self.telemetry.clone() else {
+            return self.endorse_inner(proposal);
+        };
+        let mut span = telemetry.span("peer.endorse");
+        span.field("chaincode", &proposal.chaincode);
+        span.field("function", &proposal.function);
+        let result = self.endorse_inner(proposal);
+        if result.is_ok() {
+            span.field("result", "ok");
+            telemetry.endorse_ok.inc();
+        } else {
+            span.field("result", "err");
+            telemetry.endorse_err.inc();
+        }
+        telemetry.endorse_seconds.observe_duration(span.elapsed());
+        result
+    }
+
+    fn endorse_inner(
+        &self,
+        proposal: &Proposal,
+    ) -> Result<(ProposalResponse, Option<PvtDataPackage>), EndorseError> {
         if proposal.channel != self.channel {
             return Err(EndorseError::WrongChannel {
                 expected: self.channel.to_string(),

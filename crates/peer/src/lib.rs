@@ -22,6 +22,7 @@ mod channel;
 mod commit;
 mod endorse;
 mod node;
+mod telemetry;
 
 pub use channel::ChannelPolicies;
 pub use commit::{BlockCommitOutcome, CommitError, PvtDataProvider};

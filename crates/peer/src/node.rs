@@ -6,6 +6,7 @@ use fabric_crypto::Keypair;
 use fabric_gossip::PeerId;
 use fabric_ledger::{BlockStore, HistoryDb, WorldState};
 use fabric_policy::PolicyCache;
+use fabric_telemetry::Telemetry;
 use fabric_types::{ChaincodeId, ChannelId, CollectionName, DefenseConfig, Identity, OrgId, Role};
 use std::collections::{HashMap, HashSet};
 
@@ -53,6 +54,9 @@ pub struct Peer {
     /// Interned state-based-endorsement policy expressions (the key-level
     /// validation parameters live in the world state as strings).
     pub(crate) sbe_policies: PolicyCache,
+    /// Shared observability pipeline with pre-resolved metric handles;
+    /// `None` (the default) keeps the hot paths instrumentation-free.
+    pub(crate) telemetry: Option<crate::telemetry::PeerTelemetry>,
 }
 
 impl Peer {
@@ -81,6 +85,7 @@ impl Peer {
             defense,
             parallel_validation: false,
             sbe_policies: PolicyCache::new(),
+            telemetry: None,
         }
     }
 
@@ -146,6 +151,19 @@ impl Peer {
     /// Whether the staged parallel validation pipeline is enabled.
     pub fn parallel_validation(&self) -> bool {
         self.parallel_validation
+    }
+
+    /// Attaches a shared telemetry pipeline. Endorsement and block
+    /// validation then record spans, metrics, and [`fabric_telemetry::
+    /// AuditEvent`]s into it; without one the hot paths stay
+    /// instrumentation-free (a single branch per block).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(crate::telemetry::PeerTelemetry::new(telemetry));
+    }
+
+    /// The attached telemetry pipeline, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref().map(|t| &t.telemetry)
     }
 
     /// Read access to the world state.

@@ -1,0 +1,96 @@
+//! The peer's telemetry attachment: metric handles resolved once.
+
+use fabric_telemetry::{Counter, Gauge, Histogram, Telemetry, DURATION_SECONDS_BUCKETS};
+use std::ops::Deref;
+
+/// A shared [`Telemetry`] pipeline plus the peer's hot-path metric
+/// handles, resolved once when the pipeline is attached. The commit and
+/// endorse paths then pay lock-free atomic updates per block instead of
+/// name/label registry lookups.
+///
+/// Derefs to [`Telemetry`] for spans and audit events.
+#[derive(Debug, Clone)]
+pub(crate) struct PeerTelemetry {
+    pub telemetry: Telemetry,
+    /// `fabric_commit_stage_seconds{stage="stateless"}`.
+    pub stage_stateless: Histogram,
+    /// `fabric_commit_stage_seconds{stage="stateful"}`.
+    pub stage_stateful: Histogram,
+    pub blocks_committed: Counter,
+    pub txs_processed: Counter,
+    pub missing_private: Counter,
+    pub block_height: Gauge,
+    /// `fabric_validation_results_total{code="VALID"}` — the common case;
+    /// other codes resolve through the registry when they occur.
+    pub valid_txs: Counter,
+    pub endorse_ok: Counter,
+    pub endorse_err: Counter,
+    pub endorse_seconds: Histogram,
+}
+
+impl PeerTelemetry {
+    pub fn new(telemetry: Telemetry) -> Self {
+        let m = telemetry.metrics();
+        let stage = |s: &str| {
+            m.histogram(
+                "fabric_commit_stage_seconds",
+                "Validation pipeline stage latency per block",
+                &[("stage", s)],
+                DURATION_SECONDS_BUCKETS,
+            )
+        };
+        let endorse = |r: &str| {
+            m.counter(
+                "fabric_endorsements_total",
+                "Endorsement requests by outcome",
+                &[("result", r)],
+            )
+        };
+        PeerTelemetry {
+            stage_stateless: stage("stateless"),
+            stage_stateful: stage("stateful"),
+            blocks_committed: m.counter(
+                "fabric_blocks_committed_total",
+                "Blocks appended to the local chain",
+                &[],
+            ),
+            txs_processed: m.counter(
+                "fabric_txs_processed_total",
+                "Transactions carried by committed blocks",
+                &[],
+            ),
+            missing_private: m.counter(
+                "fabric_missing_private_data_total",
+                "Valid PDC transactions committed with hashes only",
+                &[],
+            ),
+            block_height: m.gauge(
+                "fabric_committed_block_height",
+                "Local chain height after the last commit",
+                &[],
+            ),
+            valid_txs: m.counter(
+                "fabric_validation_results_total",
+                "Transaction validation codes across committed blocks",
+                &[("code", "VALID")],
+            ),
+            endorse_ok: endorse("ok"),
+            endorse_err: endorse("err"),
+            endorse_seconds: m.histogram(
+                "fabric_endorse_seconds",
+                "Proposal simulation and endorsement latency",
+                &[],
+                DURATION_SECONDS_BUCKETS,
+            ),
+            telemetry,
+        }
+    }
+}
+
+impl Deref for PeerTelemetry {
+    type Target = Telemetry;
+
+    fn deref(&self) -> &Telemetry {
+        &self.telemetry
+    }
+}

@@ -6,6 +6,20 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
+/// Point-in-time transport and consensus statistics for a [`Cluster`],
+/// exported as gauges by the ordering service's telemetry hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// Messages delivered to a live node since cluster creation.
+    pub messages_delivered: u64,
+    /// Messages lost to partitions, random drops, or crashed recipients.
+    pub messages_dropped: u64,
+    /// The highest term any live node has observed.
+    pub term: u64,
+    /// Live node count.
+    pub live_nodes: usize,
+}
+
 /// An in-memory cluster: nodes plus a message queue with fault injection.
 ///
 /// Message delivery is deterministic given the seed; faults are injected
@@ -19,6 +33,8 @@ pub struct Cluster {
     severed: HashSet<(NodeId, NodeId)>,
     drop_rate: f64,
     rng: StdRng,
+    messages_delivered: u64,
+    messages_dropped: u64,
 }
 
 impl Cluster {
@@ -42,6 +58,18 @@ impl Cluster {
             severed: HashSet::new(),
             drop_rate: 0.0,
             rng: StdRng::seed_from_u64(seed),
+            messages_delivered: 0,
+            messages_dropped: 0,
+        }
+    }
+
+    /// Transport and consensus statistics since cluster creation.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            messages_delivered: self.messages_delivered,
+            messages_dropped: self.messages_dropped,
+            term: self.nodes.values().map(RaftNode::term).max().unwrap_or(0),
+            live_nodes: self.nodes.len(),
         }
     }
 
@@ -179,13 +207,18 @@ impl Cluster {
         let mut next = Vec::new();
         for env in batch.drain(..) {
             if self.severed.contains(&(env.from, env.to)) {
+                self.messages_dropped += 1;
                 continue;
             }
             if self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate) {
+                self.messages_dropped += 1;
                 continue;
             }
             if let Some(node) = self.nodes.get_mut(&env.to) {
+                self.messages_delivered += 1;
                 next.extend(node.receive(env.from, env.message));
+            } else {
+                self.messages_dropped += 1;
             }
         }
         self.enqueue(next);

@@ -34,6 +34,6 @@ mod cluster;
 mod message;
 mod node;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterStats};
 pub use message::{Envelope, LogEntry, Message, NodeId, Snapshot};
 pub use node::{NotLeader, RaftConfig, RaftNode, Role};

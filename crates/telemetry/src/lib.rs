@@ -1,0 +1,258 @@
+//! Observability for the Fabric PDC model: tracing spans, a metrics
+//! registry, and a typed security-audit event stream.
+//!
+//! One [`Telemetry`] handle bundles the three surfaces and is shared
+//! (cheap `Arc` clone) by every node in a network — attach it with
+//! `NetworkBuilder::with_telemetry` and all peers and the orderer report
+//! into the same registry:
+//!
+//! * **Spans** ([`Telemetry::span`]) time pipeline stages with monotonic
+//!   clocks and land in a pluggable [`Collector`] (default: the
+//!   in-memory [`TraceSink`], which renders a flamegraph-style tree).
+//! * **Metrics** ([`Telemetry::metrics`]) are counters, gauges, and
+//!   fixed-bucket histograms with Prometheus-text and JSON exporters.
+//! * **Audit events** ([`Telemetry::emit`]) are typed records of the
+//!   paper's attack signals — see [`AuditEvent`] for the mapping onto
+//!   Use Cases 1–3 and the New Features.
+//!
+//! # Examples
+//!
+//! ```
+//! use fabric_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::new();
+//! let requests = telemetry
+//!     .metrics()
+//!     .counter("requests_total", "Total requests", &[("kind", "demo")]);
+//! {
+//!     let mut span = telemetry.span("handle_request");
+//!     span.field("kind", "demo");
+//!     requests.inc();
+//! } // span records on drop
+//! assert_eq!(requests.get(), 1);
+//! assert_eq!(telemetry.trace().expect("in-memory sink").len(), 1);
+//! assert!(telemetry.metrics().render_prometheus().contains("requests_total"));
+//! ```
+
+mod audit;
+mod metrics;
+mod span;
+
+pub use audit::{AuditEvent, AuditLog};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry,
+    DURATION_SECONDS_BUCKETS, TICK_BUCKETS,
+};
+pub use span::{Collector, NoopCollector, SpanRecord, TraceSink};
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared handle to one telemetry pipeline: metrics registry, span
+/// collector, and audit log. Clones share state.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    metrics: MetricsRegistry,
+    audit: AuditLog,
+    /// Retained only when the collector is the default in-memory sink,
+    /// so [`Telemetry::trace`] can render reports.
+    sink: Option<Arc<TraceSink>>,
+    collector: Arc<dyn Collector>,
+    epoch: Instant,
+    next_span_id: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Creates a telemetry pipeline collecting spans into an in-memory
+    /// [`TraceSink`].
+    pub fn new() -> Self {
+        let sink = Arc::new(TraceSink::new());
+        let mut t = Self::with_collector(sink.clone());
+        Arc::get_mut(&mut t.inner).expect("freshly created").sink = Some(sink);
+        t
+    }
+
+    /// Creates a telemetry pipeline that discards spans (metrics and the
+    /// audit log still work). Used to measure instrumentation overhead.
+    pub fn noop() -> Self {
+        Self::with_collector(Arc::new(NoopCollector))
+    }
+
+    /// Creates a telemetry pipeline with a custom span/audit collector.
+    pub fn with_collector(collector: Arc<dyn Collector>) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                metrics: MetricsRegistry::new(),
+                audit: AuditLog::new(),
+                sink: None,
+                collector,
+                epoch: Instant::now(),
+                next_span_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The shared audit-event log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.inner.audit
+    }
+
+    /// The in-memory trace sink, when the default collector is in use.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.inner.sink.as_deref()
+    }
+
+    /// Opens a root span; it records to the collector when dropped.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        self.open_span(name.into(), None)
+    }
+
+    /// Emits an audit event: appended to the [`AuditLog`], forwarded to
+    /// the collector, and counted in `fabric_audit_events_total`.
+    pub fn emit(&self, event: AuditEvent) {
+        self.inner
+            .metrics
+            .counter(
+                "fabric_audit_events_total",
+                "Security-audit events by kind",
+                &[("kind", event.kind())],
+            )
+            .inc();
+        self.inner.collector.audit_event(&event);
+        self.inner.audit.record(event);
+    }
+
+    fn open_span(&self, name: String, parent: Option<u64>) -> SpanGuard {
+        SpanGuard {
+            telemetry: self.clone(),
+            id: self.inner.next_span_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name,
+            fields: Vec::new(),
+            start_offset: self.inner.epoch.elapsed(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("spans", &self.trace().map(TraceSink::len))
+            .field("audit_events", &self.inner.audit.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An open span; records a [`SpanRecord`] to the collector on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    fields: Vec<(String, String)>,
+    start_offset: Duration,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Attaches a key-value field to the span.
+    pub fn field(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.fields.push((key.into(), value.to_string()));
+    }
+
+    /// Opens a child span of this one.
+    pub fn child(&self, name: impl Into<String>) -> SpanGuard {
+        self.telemetry.open_span(name.into(), Some(self.id))
+    }
+
+    /// Time since the span was opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            fields: std::mem::take(&mut self.fields),
+            start: self.start_offset,
+            duration: self.start.elapsed(),
+        };
+        self.telemetry.inner.collector.span_finished(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::TxId;
+
+    #[test]
+    fn spans_nest_and_record() {
+        let t = Telemetry::new();
+        {
+            let mut root = t.span("root");
+            root.field("n", 3);
+            let child = root.child("child");
+            child.finish();
+        }
+        let records = t.trace().expect("sink").records();
+        assert_eq!(records.len(), 2);
+        let child = records.iter().find(|r| r.name == "child").expect("child");
+        let root = records.iter().find(|r| r.name == "root").expect("root");
+        assert_eq!(child.parent, Some(root.id));
+        assert!(root.duration >= child.duration);
+        assert_eq!(root.fields, vec![("n".to_string(), "3".to_string())]);
+    }
+
+    #[test]
+    fn noop_telemetry_still_counts_and_audits() {
+        let t = Telemetry::noop();
+        assert!(t.trace().is_none());
+        t.span("ignored").finish();
+        t.emit(AuditEvent::MvccConflict {
+            tx_id: TxId::new("tx1"),
+            chaincode: fabric_types::ChaincodeId::new("cc"),
+        });
+        assert_eq!(t.audit().len(), 1);
+        assert_eq!(t.audit().counts_by_kind()["mvcc_conflict"], 1);
+        assert!(t
+            .metrics()
+            .render_prometheus()
+            .contains("fabric_audit_events_total{kind=\"mvcc_conflict\"} 1"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::new();
+        let c = t.clone();
+        t.metrics().counter("shared_total", "shared", &[]).inc();
+        let view = c.metrics().counter("shared_total", "shared", &[]);
+        assert_eq!(view.get(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Structured tracing: spans with monotonic timing and key-value fields.
+//!
+//! A [`SpanGuard`] measures the region between its creation (via
+//! [`crate::Telemetry::span`] or [`SpanGuard::child`]) and its drop, then
+//! hands the finished [`SpanRecord`] to the telemetry's [`Collector`].
+//! The in-memory [`TraceSink`] collector retains records and renders a
+//! flamegraph-style text tree ([`TraceSink::render_tree`]).
+
+use crate::audit::AuditEvent;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A finished span as delivered to a [`Collector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within one [`crate::Telemetry`] instance.
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `peer.process_block`.
+    pub name: String,
+    /// Key-value annotations attached while the span was open.
+    pub fields: Vec<(String, String)>,
+    /// Start offset from the telemetry instance's epoch (monotonic).
+    pub start: Duration,
+    /// Wall time between span open and close.
+    pub duration: Duration,
+}
+
+/// Receives finished spans and emitted audit events.
+///
+/// Implementations must be cheap and non-blocking: collectors run inline
+/// on validation hot paths.
+pub trait Collector: Send + Sync {
+    /// Called when a span closes.
+    fn span_finished(&self, record: SpanRecord);
+
+    /// Called for every emitted audit event (default: ignore).
+    fn audit_event(&self, event: &AuditEvent) {
+        let _ = event;
+    }
+}
+
+/// A collector that discards everything (for overhead measurement and
+/// telemetry-disabled-but-wired configurations).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {
+    fn span_finished(&self, _record: SpanRecord) {}
+}
+
+/// Thread-safe in-memory span store; the default collector.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when no span has finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Clones out all retained records in completion order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+
+    /// Drops all retained records.
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+
+    /// Renders the retained spans as an indented tree, one root per
+    /// top-level span, with durations and percent-of-root shares —
+    /// a text-mode flamegraph.
+    pub fn render_tree(&self) -> String {
+        let mut records = self.records();
+        records.sort_by_key(|r| r.start);
+        let mut out = String::new();
+        let roots: Vec<&SpanRecord> = records.iter().filter(|r| r.parent.is_none()).collect();
+        for root in roots {
+            render_node(&mut out, &records, root, root.duration, 0);
+        }
+        out
+    }
+}
+
+fn render_node(
+    out: &mut String,
+    records: &[SpanRecord],
+    node: &SpanRecord,
+    root_duration: Duration,
+    depth: usize,
+) {
+    let indent = "  ".repeat(depth);
+    let mut line = format!("{indent}{}", node.name);
+    if !node.fields.is_empty() {
+        line.push_str(" [");
+        for (i, (k, v)) in node.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            let _ = write!(line, "{k}={v}");
+        }
+        line.push(']');
+    }
+    let pad = 48usize.saturating_sub(line.len()).max(1);
+    let share = if root_duration.as_nanos() == 0 || depth == 0 {
+        String::new()
+    } else {
+        format!(
+            "  ({:.1}%)",
+            100.0 * node.duration.as_secs_f64() / root_duration.as_secs_f64()
+        )
+    };
+    let _ = writeln!(
+        out,
+        "{line} {} {:>10.3?}{share}",
+        ".".repeat(pad),
+        node.duration
+    );
+    for child in records.iter().filter(|r| r.parent == Some(node.id)) {
+        render_node(out, records, child, root_duration, depth + 1);
+    }
+}
+
+impl Collector for TraceSink {
+    fn span_finished(&self, record: SpanRecord) {
+        self.spans.lock().push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_retains_records() {
+        let sink = TraceSink::new();
+        assert!(sink.is_empty());
+        sink.span_finished(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "root".into(),
+            fields: vec![("k".into(), "v".into())],
+            start: Duration::ZERO,
+            duration: Duration::from_millis(10),
+        });
+        sink.span_finished(SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "child".into(),
+            fields: vec![],
+            start: Duration::from_millis(1),
+            duration: Duration::from_millis(5),
+        });
+        assert_eq!(sink.len(), 2);
+        let tree = sink.render_tree();
+        assert!(tree.contains("root [k=v]"), "{tree}");
+        assert!(tree.contains("  child"), "{tree}");
+        assert!(tree.contains("(50.0%)"), "{tree}");
+    }
+}

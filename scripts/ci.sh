@@ -7,6 +7,8 @@
 #   3. `cargo build --release`                        — release build works
 #   4. `cargo test -q`                                — full test suite
 #   5. commit-throughput bench smoke run              — bench code can't rot
+#   6. telemetry example smoke run                    — the metric surface
+#      other tooling scrapes (names below) must keep exporting
 #
 # Run from anywhere; operates on the repository containing this script.
 
@@ -27,5 +29,24 @@ cargo test -q
 
 echo "==> commit_throughput --smoke"
 cargo run --release -p fabric-bench --bin commit_throughput -- --smoke
+
+echo "==> telemetry example --smoke"
+# The Prometheus dump must keep exporting the metric families dashboards
+# and the bench's stage breakdown scrape by name.
+telemetry_out="$(cargo run --release -p fabric-pdc --example telemetry -- --smoke)"
+for metric in \
+    fabric_commit_stage_seconds \
+    fabric_validation_results_total \
+    fabric_blocks_committed_total \
+    fabric_txs_processed_total \
+    fabric_committed_block_height \
+    fabric_endorsements_total \
+    fabric_audit_events_total; do
+    if ! grep -q "^${metric}" <<<"$telemetry_out"; then
+        echo "FAIL: telemetry smoke output is missing metric '${metric}'" >&2
+        exit 1
+    fi
+done
+echo "telemetry smoke: all required metric families exported"
 
 echo "CI gate passed."

@@ -1,7 +1,12 @@
 //! Table II, re-run as an integration test: every attack × configuration
-//! cell on a freshly built prototype network.
+//! cell on a freshly built prototype network — plus the forensic side of
+//! the story: every attack must leave a trail in the shared telemetry
+//! pipeline's security-audit event stream.
 
-use fabric_pdc::attacks::{render_table2, run_table2};
+use fabric_pdc::attacks::{
+    build_lab, render_table2, run_attack, run_table2, AttackKind, LabConfig,
+};
+use fabric_pdc::prelude::*;
 
 #[test]
 fn table2_reproduces_the_paper() {
@@ -48,4 +53,86 @@ fn table2_reproduces_the_paper() {
             );
         }
     }
+}
+
+/// Every injection attack — succeeding or not — trips at least one
+/// security-audit event on the lab's shared telemetry pipeline. On the
+/// paper's default configuration each attack shows both Use Case 1 (the
+/// non-member org3 endorsed a PDC transaction) and Use Case 2 (PDC1
+/// defines no endorsement policy of its own, so validation fell back to
+/// the chaincode level).
+#[test]
+fn every_attack_leaves_an_audit_trail() {
+    let org3 = OrgId::new("Org3MSP");
+    for kind in AttackKind::all() {
+        let mut lab = build_lab(&LabConfig::default());
+        let outcome = run_attack(&mut lab, kind);
+        assert!(
+            !outcome.audit_events.is_empty(),
+            "{kind}: attack left no audit events"
+        );
+        assert!(
+            outcome.audit_events.iter().any(|e| matches!(
+                e,
+                AuditEvent::EndorsementByNonMember { endorser_org, .. } if *endorser_org == org3
+            )),
+            "{kind}: non-member endorsement by org3 not audited (Use Case 1)"
+        );
+        assert!(
+            outcome
+                .audit_events
+                .iter()
+                .any(|e| matches!(e, AuditEvent::PolicyFallbackToChaincodeLevel { .. })),
+            "{kind}: chaincode-level policy fallback not audited (Use Case 2)"
+        );
+    }
+}
+
+/// The read forgery commits the fabricated value through the transaction's
+/// plaintext response payload — the Use Case 3 signal.
+#[test]
+fn read_forgery_reports_plaintext_payload() {
+    let mut lab = build_lab(&LabConfig::default());
+    let outcome = run_attack(&mut lab, AttackKind::FakeRead);
+    assert!(
+        outcome.succeeded,
+        "read forgery works on the original config"
+    );
+    assert!(
+        outcome
+            .audit_events
+            .iter()
+            .any(|e| matches!(e, AuditEvent::PlaintextPayloadInTx { .. })),
+        "plaintext payload commit not audited (Use Case 3)"
+    );
+}
+
+/// When the supplemental non-member-endorser filter stops an attack, the
+/// rejection itself is audited.
+#[test]
+fn filter_defense_rejection_is_audited() {
+    let cfg = LabConfig {
+        defense: DefenseConfig {
+            filter_non_member_endorsers: true,
+            ..DefenseConfig::original()
+        },
+        ..LabConfig::default()
+    };
+    let mut lab = build_lab(&cfg);
+    let outcome = run_attack(&mut lab, AttackKind::FakeWrite);
+    assert!(
+        !outcome.succeeded,
+        "the filter defense stops the fake write"
+    );
+    assert_eq!(
+        outcome.validation_code,
+        Some(TxValidationCode::NonMemberEndorsement)
+    );
+    assert!(
+        outcome
+            .audit_events
+            .iter()
+            .any(|e| matches!(e, AuditEvent::DefenseRejected { .. })),
+        "defense rejection not audited"
+    );
 }

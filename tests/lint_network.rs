@@ -41,10 +41,13 @@ fn secured_trade_network_passes_the_linter() {
         secured_trade_definition(),
         std::sync::Arc::new(SecuredTrade::new("sellerCollection")),
     );
+    let telemetry_attached = net.telemetry().is_some();
     let subjects: Vec<LintSubject> = net
         .deployed_definitions()
         .into_iter()
-        .map(|d| LintSubject::from_definition(d, net.orgs()))
+        .map(|d| {
+            LintSubject::from_definition(d, net.orgs()).with_telemetry_attached(telemetry_attached)
+        })
         .collect();
     assert_eq!(subjects.len(), 1);
     assert_eq!(subjects[0].channel_orgs, channel_orgs());
@@ -60,6 +63,39 @@ fn secured_trade_network_passes_the_linter() {
             "{rule} fired on the defended example"
         );
     }
+    // This network was built without a collector, which the linter
+    // surfaces as the (warning-severity) observability gap.
+    assert!(
+        findings.iter().any(|f| f.rule_id == "PDC010"),
+        "PDC010 must flag the collector-less network: {findings:#?}"
+    );
+}
+
+#[test]
+fn attaching_a_collector_silences_pdc010() {
+    let mut net = NetworkBuilder::new("trade-channel")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(4)
+        .with_telemetry(Telemetry::new())
+        .build();
+    net.deploy_chaincode(
+        secured_trade_definition(),
+        std::sync::Arc::new(SecuredTrade::new("sellerCollection")),
+    );
+    let telemetry_attached = net.telemetry().is_some();
+    assert!(telemetry_attached);
+    let subjects: Vec<LintSubject> = net
+        .deployed_definitions()
+        .into_iter()
+        .map(|d| {
+            LintSubject::from_definition(d, net.orgs()).with_telemetry_attached(telemetry_attached)
+        })
+        .collect();
+    let findings = lint::lint_subjects(&subjects);
+    assert!(
+        findings.iter().all(|f| f.rule_id != "PDC010"),
+        "PDC010 fired despite an attached collector: {findings:#?}"
+    );
 }
 
 #[test]

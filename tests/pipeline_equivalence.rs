@@ -252,7 +252,9 @@ fn build_block(
 
 /// Runs the block through the reference validator and through the
 /// pipeline with parallel validation off and on, asserting identical
-/// outcomes, world-state digests, and chain tips.
+/// outcomes, world-state digests, chain tips, and — since audit events
+/// are emitted only from the sequential merge stage — identical
+/// security-audit event sequences.
 fn assert_equivalent(net: &FabricNetwork, block: &Block, pkgs: &HashMap<TxId, PvtDataPackage>) {
     let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
 
@@ -261,9 +263,12 @@ fn assert_equivalent(net: &FabricNetwork, block: &Block, pkgs: &HashMap<TxId, Pv
         .process_block_reference(block.clone(), &mut provider)
         .expect("reference: block chains");
 
+    let mut audit_sequences = Vec::with_capacity(2);
     for parallel in [false, true] {
         let mut peer = net.peer("peer0.org2").clone();
         peer.set_parallel_validation(parallel);
+        let telemetry = Telemetry::new();
+        peer.set_telemetry(telemetry.clone());
         let outcome = peer
             .process_block(block.clone(), &mut provider)
             .expect("pipeline: block chains");
@@ -281,7 +286,12 @@ fn assert_equivalent(net: &FabricNetwork, block: &Block, pkgs: &HashMap<TxId, Pv
             reference.block_store().tip_hash(),
             "pipeline (parallel={parallel}) chain tip diverged from reference"
         );
+        audit_sequences.push(telemetry.audit().events());
     }
+    assert_eq!(
+        audit_sequences[0], audit_sequences[1],
+        "audit-event sequence depends on stage-1 parallelism"
+    );
 }
 
 proptest! {
@@ -347,4 +357,96 @@ fn mid_block_policy_change_governs_later_writes() {
             TxValidationCode::Valid,
         ]
     );
+}
+
+/// An adversarial block — a mid-block SBE parameter flip followed by a
+/// now-under-endorsed write, a tampered plaintext PDC write, and a
+/// duplicated transaction — must audit identically under parallel and
+/// sequential stage-1 execution (checked by `assert_equivalent`), and the
+/// sequence itself is deterministic: events appear in block order with
+/// the re-check and plaintext signals exactly once each.
+#[test]
+fn adversarial_block_audits_deterministically() {
+    let mut net = equivalence_network(77);
+    let specs = [
+        TxSpec::SbePut {
+            key: 2,
+            endorsers: vec![0, 1],
+        },
+        // Pin sk2 to OR(org3): the next write is re-checked and fails.
+        TxSpec::SbeSetPolicy {
+            key: 2,
+            policy: 2,
+            endorsers: vec![0, 1],
+        },
+        TxSpec::SbePut {
+            key: 2,
+            endorsers: vec![0, 1],
+        },
+        // Well-endorsed PDC write with a corrupted (plaintext, non-empty)
+        // response payload: rejected, but the Use Case 3 signal fires.
+        TxSpec::Tampered { key: 1 },
+        TxSpec::DuplicateOf(0),
+    ];
+    let (block, pkgs) = build_block(&mut net, &specs);
+    assert_equivalent(&net, &block, &pkgs);
+
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut peer = net.peer("peer0.org2").clone();
+    peer.set_parallel_validation(true);
+    let telemetry = Telemetry::new();
+    peer.set_telemetry(telemetry.clone());
+    peer.process_block(block.clone(), &mut provider)
+        .expect("chains");
+
+    let events = telemetry.audit().events();
+    let rechecks: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::SbeReCheck { .. }))
+        .collect();
+    assert_eq!(
+        rechecks.len(),
+        1,
+        "exactly one dirty-key re-check: {events:?}"
+    );
+    assert!(
+        matches!(
+            rechecks[0],
+            AuditEvent::SbeReCheck {
+                tx_id,
+                outcome: TxValidationCode::EndorsementPolicyFailure,
+                ..
+            } if *tx_id == block.transactions[2].tx_id
+        ),
+        "re-check audits the under-endorsed write: {:?}",
+        rechecks[0]
+    );
+    let plaintexts: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, AuditEvent::PlaintextPayloadInTx { .. }))
+        .collect();
+    assert_eq!(
+        plaintexts.len(),
+        1,
+        "exactly one plaintext payload: {events:?}"
+    );
+    assert!(
+        matches!(
+            plaintexts[0],
+            AuditEvent::PlaintextPayloadInTx { tx_id, .. }
+                if *tx_id == block.transactions[3].tx_id
+        ),
+        "plaintext signal names the tampered transaction: {:?}",
+        plaintexts[0]
+    );
+    // Block order: the tx-2 re-check precedes the tx-3 plaintext signal.
+    let recheck_pos = events
+        .iter()
+        .position(|e| matches!(e, AuditEvent::SbeReCheck { .. }))
+        .unwrap();
+    let plaintext_pos = events
+        .iter()
+        .position(|e| matches!(e, AuditEvent::PlaintextPayloadInTx { .. }))
+        .unwrap();
+    assert!(recheck_pos < plaintext_pos, "events out of block order");
 }
