@@ -87,9 +87,10 @@ pub fn subject_from_report(report: &ProjectReport) -> LintSubject {
         chaincode_policy: report.default_policy.clone(),
         collections,
         leaks,
-        // Static scans cannot see a running network, so PDC010 never
-        // fires on corpus subjects.
+        // Static scans cannot see a running network, so PDC010/PDC011
+        // never fire on corpus subjects.
         telemetry_attached: None,
+        flight_recorder: None,
     }
 }
 

@@ -187,7 +187,7 @@ pub fn build_lab(cfg: &LabConfig) -> AttackLab {
         .orgs(&org_refs)
         .seed(cfg.seed)
         .defense(cfg.defense)
-        .with_telemetry(Telemetry::new())
+        .with_telemetry(Telemetry::with_flight_recorder(1024))
         .build();
 
     let mut collection = CollectionConfig::membership_of(

@@ -9,10 +9,11 @@
 //!   (compiled-policy caches, sequential stateless pass).
 //! * `pipeline-par` — the staged pipeline with parallel validation on.
 //!
-//! A fourth instrumented pass re-times `pipeline-par` with a no-op
-//! telemetry collector attached, yielding the per-stage (stateless vs
-//! stateful) breakdown from the `fabric_commit_stage_seconds` histograms
-//! and the instrumentation overhead relative to the bare pipeline.
+//! Two further instrumented passes re-time `pipeline-par`: one with a
+//! no-op telemetry collector attached (interleaved with bare runs),
+//! yielding the disabled-instrumentation overhead, and one with a live
+//! collector, yielding the per-stage (stateless vs stateful) breakdown
+//! from the `fabric_commit_stage_seconds` histograms.
 //!
 //! Writes `BENCH_commit.json` at the repository root so future changes
 //! have a perf trajectory. Pass `--smoke` for a seconds-long CI run that
@@ -22,8 +23,9 @@
 //! cargo run --release -p fabric-bench --bin commit_throughput
 //! ```
 
-use fabric_bench::{fixture_network, prepared_commit_block};
+use fabric_bench::{fixture_network, prepared_commit_block, traced_fixture_network, NS};
 use fabric_pdc::prelude::*;
+use fabric_pdc::telemetry::PHASES;
 use fabric_pdc::types::{Block, PvtDataPackage};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -59,15 +61,21 @@ struct Sample {
 /// Per-stage timing of one instrumented `pipeline-par` configuration.
 struct StageBreakdown {
     block_txs: usize,
-    /// Mean per-block stateless-stage time, milliseconds.
+    /// Mean per-block stateless-stage time under a live collector,
+    /// milliseconds.
     stateless_ms: f64,
-    /// Mean per-block stateful-stage time, milliseconds.
+    /// Mean per-block stateful-stage time under a live collector,
+    /// milliseconds.
     stateful_ms: f64,
     /// Minimum block time with the no-op collector attached.
     instrumented: Duration,
     /// Instrumented-vs-bare overhead (interleaved min-to-min), percent;
     /// noise can make this slightly negative.
     overhead_pct: f64,
+    /// Security-audit events one commit of this block emits — identical
+    /// for sequential and parallel validation (asserted), since events
+    /// are emitted only from the sequential merge stage.
+    audit_events_per_block: usize,
 }
 
 /// Times `process_block` on fresh clones of `peer` (clones and block
@@ -156,9 +164,63 @@ fn time_overhead_pair(
     )
 }
 
+/// Runs `txs` traced transactions through a fresh fixture network and
+/// returns the median latency (milliseconds) of each lifecycle phase,
+/// in [`PHASES`] order, from the `fabric_tx_phase_seconds` histograms.
+fn measure_phase_latencies(txs: usize) -> Vec<(&'static str, f64)> {
+    let traced = Telemetry::new();
+    let mut net = traced_fixture_network(DefenseConfig::original(), 11, traced.clone());
+    let mut tx_ids = Vec::with_capacity(txs);
+    for i in 0..txs {
+        let key = format!("pk{i}");
+        let outcome = net
+            .submit_transaction(
+                "client0.org1",
+                NS,
+                "write",
+                &[&key, "12"],
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .expect("traced write");
+        assert!(outcome.validation_code.is_valid());
+        tx_ids.push(outcome.tx_id);
+    }
+    let records = traced.trace().expect("in-memory sink").records();
+    for tx_id in &tx_ids {
+        let timeline = TxTimeline::collect(&records, tx_id.as_str());
+        assert!(timeline.complete(), "traced tx must have all five phases");
+        timeline.record_phase_metrics(traced.metrics());
+    }
+    PHASES
+        .iter()
+        .map(|phase| {
+            let p50 = traced
+                .metrics()
+                .find_histogram("fabric_tx_phase_seconds", &[("phase", phase)])
+                .and_then(|h| h.quantile(0.5))
+                .unwrap_or(f64::NAN);
+            (*phase, p50 * 1e3)
+        })
+        .collect()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let sizes: &[usize] = if smoke { &[1, 8] } else { &[1, 100, 1000] };
+    // `--sizes=1,100` restricts the block sizes measured (full run counts,
+    // no JSON write) — for iterating on one configuration.
+    let explicit_sizes: Option<Vec<usize>> = std::env::args()
+        .find_map(|a| a.strip_prefix("--sizes=").map(str::to_owned))
+        .map(|list| {
+            list.split(',')
+                .map(|n| n.parse().expect("--sizes takes comma-separated integers"))
+                .collect()
+        });
+    let sizes: &[usize] = match &explicit_sizes {
+        Some(sizes) => sizes,
+        None if smoke => &[1, 8],
+        None => &[1, 100, 1000],
+    };
 
     let mut results: Vec<Sample> = Vec::new();
     let mut breakdowns: Vec<StageBreakdown> = Vec::new();
@@ -189,33 +251,78 @@ fn main() {
 
         // Instrumented pass: pipeline-par again, now with a no-op
         // collector attached. Bare and instrumented runs interleave so
-        // clock-speed drift hits both distributions equally; the stage
-        // histograms the instrumented runs fill give the
-        // stateless/stateful split, and the median delta is the
-        // instrumentation overhead.
+        // clock-speed drift hits both distributions equally, and the
+        // min-to-min delta is the instrumentation overhead. Small blocks
+        // get many extra runs — their minima sit at single-digit
+        // microseconds, where a stable floor needs a deep sample.
         let noop = Telemetry::noop();
-        let pair_runs = if smoke { runs } else { runs.max(40) };
+        let pair_runs = if smoke {
+            runs
+        } else {
+            (200_000 / n).clamp(200, 2000)
+        };
         let (bare, instrumented) =
             time_overhead_pair(&peer, &block, &pkgs, pair_runs, warmup, &noop);
         let overhead_pct =
             (instrumented.as_secs_f64() - bare.as_secs_f64()) / bare.as_secs_f64() * 100.0;
+        // Stage breakdown from a short pass with a live collector: the
+        // no-op pipeline skips timing instrumentation entirely (that is
+        // the point of the overhead number above), so the stage
+        // histograms only fill when spans are actually recorded.
+        let traced = Telemetry::new();
+        let stage_runs = if smoke { runs } else { 10 };
+        time_mode(
+            &peer,
+            &block,
+            &pkgs,
+            Mode::PipelinePar,
+            stage_runs,
+            warmup.min(2),
+            Some(&traced),
+        );
         let stage_ms = |stage: &str| {
-            noop.metrics()
+            traced
+                .metrics()
                 .find_histogram("fabric_commit_stage_seconds", &[("stage", stage)])
                 .map(|h| h.sum() / h.count() as f64 * 1e3)
                 .unwrap_or(f64::NAN)
         };
+        // Audit-event volume per committed block, measured once per
+        // parallelism setting on a fresh collector: events come only from
+        // the sequential merge stage, so the counts must match.
+        let audit_events = |parallel: bool| {
+            let t = Telemetry::noop();
+            let mut p = peer.clone();
+            p.set_parallel_validation(parallel);
+            p.set_telemetry(t.clone());
+            let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+            p.process_block(block.clone(), &mut provider)
+                .expect("block chains");
+            t.audit().len()
+        };
+        let audit_seq = audit_events(false);
+        let audit_par = audit_events(true);
+        assert_eq!(
+            audit_seq, audit_par,
+            "audit-event volume must not depend on the parallelism knob"
+        );
+
         let breakdown = StageBreakdown {
             block_txs: n,
             stateless_ms: stage_ms("stateless"),
             stateful_ms: stage_ms("stateful"),
             instrumented,
             overhead_pct,
+            audit_events_per_block: audit_par,
         };
         println!(
             "block_txs={n:>5}  mode=pipeline-par+telemetry min={:>10.3?}  \
-             stateless={:.3}ms stateful={:.3}ms overhead={overhead_pct:+.2}%",
-            breakdown.instrumented, breakdown.stateless_ms, breakdown.stateful_ms,
+             stateless={:.3}ms stateful={:.3}ms overhead={overhead_pct:+.2}% \
+             audit_events={}",
+            breakdown.instrumented,
+            breakdown.stateless_ms,
+            breakdown.stateful_ms,
+            breakdown.audit_events_per_block,
         );
         breakdowns.push(breakdown);
     }
@@ -236,8 +343,16 @@ fn main() {
     };
     println!("speedup {largest}-tx pipeline-par vs reference: {speedup:.2}x");
 
-    if smoke {
-        println!("smoke run: skipping BENCH_commit.json");
+    // Per-phase lifecycle latencies: a traced end-to-end workload through
+    // a full network (client → endorse → order → replicate → validate →
+    // commit), aggregated per phase via the tx-timeline histograms.
+    let phase_p50 = measure_phase_latencies(if smoke { 5 } else { 30 });
+    for (phase, p50_ms) in &phase_p50 {
+        println!("phase={phase:<10} p50={p50_ms:.3}ms");
+    }
+
+    if smoke || explicit_sizes.is_some() {
+        println!("partial run: skipping BENCH_commit.json");
         return;
     }
 
@@ -263,15 +378,22 @@ fn main() {
         json.push_str(&format!(
             "    {{\"block_txs\": {}, \"mode\": \"pipeline-par+noop-telemetry\", \
              \"min_block_ms\": {:.3}, \"stateless_ms\": {:.3}, \"stateful_ms\": {:.3}, \
-             \"telemetry_overhead_pct\": {:.2}}}{sep}\n",
+             \"telemetry_overhead_pct\": {:.2}, \"audit_events_per_block\": {}}}{sep}\n",
             b.block_txs,
             b.instrumented.as_secs_f64() * 1e3,
             b.stateless_ms,
             b.stateful_ms,
-            b.overhead_pct
+            b.overhead_pct,
+            b.audit_events_per_block
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"phase_latency_p50_ms\": {");
+    for (i, (phase, p50_ms)) in phase_p50.iter().enumerate() {
+        let sep = if i + 1 == phase_p50.len() { "" } else { ", " };
+        json.push_str(&format!("\"{phase}\": {p50_ms:.3}{sep}"));
+    }
+    json.push_str("},\n");
     // Headline overhead: the largest block size, where per-block span
     // costs are amortized and the per-transaction instrumentation cost
     // dominates — the number the <3% budget is judged against.

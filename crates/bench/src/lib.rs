@@ -17,11 +17,24 @@ pub const COL: &str = "PDC1";
 /// Builds the Fig. 11 measurement network: 3 orgs, PDC = {org1, org2},
 /// unconstrained guarded chaincode, `k1 = 12` committed.
 pub fn fixture_network(defense: DefenseConfig, seed: u64) -> FabricNetwork {
-    let mut net = NetworkBuilder::new("mychannel")
+    fixture_network_with(defense, seed, None)
+}
+
+/// [`fixture_network`] with a shared telemetry pipeline attached to every
+/// node, for benchmarks that measure the traced transaction lifecycle.
+pub fn traced_fixture_network(defense: DefenseConfig, seed: u64, t: Telemetry) -> FabricNetwork {
+    fixture_network_with(defense, seed, Some(t))
+}
+
+fn fixture_network_with(defense: DefenseConfig, seed: u64, t: Option<Telemetry>) -> FabricNetwork {
+    let mut builder = NetworkBuilder::new("mychannel")
         .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
         .seed(seed)
-        .defense(defense)
-        .build();
+        .defense(defense);
+    if let Some(t) = t {
+        builder = builder.with_telemetry(t);
+    }
+    let mut net = builder.build();
     let def = ChaincodeDefinition::new(NS)
         .with_endorsement_policy("MAJORITY Endorsement")
         .with_collection(

@@ -20,6 +20,7 @@
 //! to behave.
 
 use fabric_crypto::Keypair;
+use fabric_telemetry::{Telemetry, TraceContext};
 use fabric_types::{
     ChaincodeId, ChannelId, DefenseConfig, Endorsement, Identity, OrgId, PayloadCommitment,
     Proposal, ProposalResponse, Role, Transaction,
@@ -76,6 +77,7 @@ pub struct Client {
     keypair: Keypair,
     nonce: u64,
     defense: DefenseConfig,
+    telemetry: Option<Telemetry>,
 }
 
 impl Client {
@@ -87,7 +89,14 @@ impl Client {
             keypair,
             nonce: 0,
             defense,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a shared telemetry pipeline; transaction assembly then
+    /// records a `client.assemble` span in the transaction's trace.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The client's identity.
@@ -131,6 +140,17 @@ impl Client {
         proposal: &Proposal,
         responses: &[ProposalResponse],
     ) -> Result<(Transaction, Vec<u8>), ClientError> {
+        let _span = self
+            .telemetry
+            .as_ref()
+            .filter(|t| t.tracing_enabled())
+            .map(|t| {
+                let mut s = t.span("client.assemble");
+                s.trace(TraceContext::for_tx(proposal.tx_id.as_str()));
+                s.node(format!("client.{}", self.identity.org));
+                s.field("endorsements", responses.len());
+                s
+            });
         let first = responses.first().ok_or(ClientError::NoResponses)?;
 
         for r in responses {

@@ -97,7 +97,9 @@ pub mod prelude {
     pub use fabric_network::{FabricNetwork, NetworkBuilder, NetworkError, SubmitOutcome};
     pub use fabric_peer::Peer;
     pub use fabric_policy::{Policy, SignaturePolicy};
-    pub use fabric_telemetry::{AuditEvent, Telemetry};
+    pub use fabric_telemetry::{
+        render_chrome_trace, render_spans_jsonl, AuditEvent, Telemetry, TraceContext, TxTimeline,
+    };
     pub use fabric_types::{
         ChaincodeId, ChannelId, CollectionConfig, CollectionName, DefenseConfig, Identity, OrgId,
         Proposal, Role, Transaction, TxId, TxKind, TxValidationCode,

@@ -96,6 +96,15 @@ const RULES: &[Rule] = &[
                       (non-member endorsements, policy fallback, plaintext payloads) \
                       leaves no security-audit trail",
     },
+    Rule {
+        id: "PDC011",
+        name: "no-flight-recorder",
+        severity: Severity::Note,
+        use_case: None,
+        description: "the network's telemetry pipeline has no flight recorder, so attack \
+                      signals (defense rejections, non-member endorsements, MVCC \
+                      conflicts) trigger no forensic context dump",
+    },
 ];
 
 /// All registered rules, in stable ID order.
@@ -401,9 +410,10 @@ fn collect_out_of(policy: &SignaturePolicy, out: &mut Vec<(u32, usize)>) {
     }
 }
 
-/// PDC010: a live network known to run without a telemetry collector.
-/// `None` (scanned configs, plain definitions) stays silent — only a
-/// subject built from a running network knows this fact.
+/// PDC010/PDC011: a live network known to run without a telemetry
+/// collector or without a flight recorder. `None` (scanned configs, plain
+/// definitions) stays silent — only a subject built from a running
+/// network knows these facts.
 fn check_observability(subject: &LintSubject, out: &mut Vec<Finding>) {
     if subject.telemetry_attached == Some(false) {
         out.push(finding(
@@ -413,6 +423,17 @@ fn check_observability(subject: &LintSubject, out: &mut Vec<Finding>) {
             "no telemetry collector is attached to this network: non-member \
              endorsements, chaincode-level policy fallbacks, and plaintext \
              payload commits will go unaudited"
+                .to_string(),
+        ));
+    }
+    if subject.flight_recorder == Some(false) {
+        out.push(finding(
+            "PDC011",
+            subject,
+            Location::artifact(&subject.uri),
+            "the network's telemetry pipeline keeps no flight recorder: when an \
+             attack signal fires there will be no dump of the surrounding spans \
+             and audit events to investigate"
                 .to_string(),
         ));
     }
@@ -474,6 +495,7 @@ mod tests {
             }],
             leaks: Vec::new(),
             telemetry_attached: None,
+            flight_recorder: None,
         }
     }
 
@@ -500,6 +522,23 @@ mod tests {
             .find(|f| f.rule_id == "PDC010")
             .expect("PDC010 fires on a collector-less network");
         assert_eq!(f.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn pdc011_fires_only_on_known_missing_flight_recorder() {
+        // Unknown (scans, plain definitions): silent.
+        assert!(!fires(&clean_subject(), "PDC011"));
+        // Known attached: silent.
+        let attached = clean_subject().with_flight_recorder(true);
+        assert!(!fires(&attached, "PDC011"));
+        // Known missing: notes.
+        let missing = clean_subject().with_flight_recorder(false);
+        let findings = lint_subject(&missing);
+        let f = findings
+            .iter()
+            .find(|f| f.rule_id == "PDC011")
+            .expect("PDC011 fires on a recorder-less network");
+        assert_eq!(f.severity, Severity::Note);
     }
 
     #[test]

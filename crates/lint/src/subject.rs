@@ -112,6 +112,11 @@ pub struct LintSubject {
     /// means unknown and keeps PDC010 silent; `Some(false)` marks a live
     /// network whose PDC misuse signals go unaudited.
     pub telemetry_attached: Option<bool>,
+    /// Whether the network's telemetry pipeline includes a flight
+    /// recorder. `None` (the default) means unknown and keeps PDC011
+    /// silent; `Some(false)` marks a live network where attack signals
+    /// trigger no forensic dump.
+    pub flight_recorder: Option<bool>,
 }
 
 impl LintSubject {
@@ -132,6 +137,7 @@ impl LintSubject {
                 .collect(),
             leaks: Vec::new(),
             telemetry_attached: None,
+            flight_recorder: None,
         }
     }
 
@@ -140,6 +146,15 @@ impl LintSubject {
     /// `subject.with_telemetry_attached(net.telemetry().is_some())`.
     pub fn with_telemetry_attached(mut self, attached: bool) -> Self {
         self.telemetry_attached = Some(attached);
+        self
+    }
+
+    /// Records whether the subject's network keeps a flight recorder in
+    /// its telemetry pipeline (feeds rule PDC011). Typically
+    /// `subject.with_flight_recorder(net.telemetry().is_some_and(|t|
+    /// t.flight_recorder().is_some()))`.
+    pub fn with_flight_recorder(mut self, attached: bool) -> Self {
+        self.flight_recorder = Some(attached);
         self
     }
 

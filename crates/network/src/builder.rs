@@ -82,9 +82,10 @@ impl NetworkBuilder {
         self
     }
 
-    /// Attaches one shared telemetry pipeline to every peer and the
-    /// ordering service, so the whole network reports into a single
-    /// metrics registry, span collector, and audit-event log. Peers
+    /// Attaches one shared telemetry pipeline to every peer, client, and
+    /// the ordering service, so the whole network reports into a single
+    /// metrics registry, span collector, and audit-event log — and a
+    /// transaction's trace spans from every node land in one tree. Peers
     /// added later via `FabricNetwork::add_peer` inherit it.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
@@ -130,14 +131,15 @@ impl NetworkBuilder {
             }
             gossip.register(peer.gossip_id().clone());
             peers.insert(peer_name, peer);
-            clients.insert(
-                client_name,
-                Client::new(
-                    org.clone(),
-                    Keypair::generate_from_seed(self.seed ^ 0xc11e_0000 ^ org_tag),
-                    self.defense,
-                ),
+            let mut client = Client::new(
+                org.clone(),
+                Keypair::generate_from_seed(self.seed ^ 0xc11e_0000 ^ org_tag),
+                self.defense,
             );
+            if let Some(t) = &self.telemetry {
+                client.attach_telemetry(t.clone());
+            }
+            clients.insert(client_name, client);
         }
 
         let mut orderer = OrderingService::new(self.orderer_count, self.seed, self.batch_config);

@@ -362,6 +362,22 @@ impl FabricNetwork {
                 .map(|(k, v)| (k.to_string(), v.to_vec()))
                 .collect(),
         );
+        // The root of the transaction's trace: the whole client-observed
+        // submission, from proposal to commit confirmation.
+        let _submit_span = self
+            .telemetry()
+            .filter(|t| t.tracing_enabled())
+            .cloned()
+            .map(|t| {
+                let mut s = t.span("client.submit");
+                s.trace(fabric_telemetry::TraceContext::for_tx(
+                    proposal.tx_id.as_str(),
+                ));
+                s.node(client);
+                s.field("chaincode", chaincode);
+                s.field("function", function);
+                s
+            });
 
         let mut responses = Vec::new();
         for peer in endorsing_peers {

@@ -23,10 +23,10 @@
 
 use fabric_crypto::{Hash256, Keypair};
 use fabric_raft::{Cluster, NodeId, RaftConfig};
-use fabric_telemetry::{Telemetry, TICK_BUCKETS};
-use fabric_types::{Block, Identity, Role, Transaction};
+use fabric_telemetry::{SpanGuard, Telemetry, TraceContext, TICK_BUCKETS};
+use fabric_types::{Block, Identity, Role, Transaction, TxId};
 use fabric_wire::{Decode, Encode};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Block-cutting parameters (Fabric's `BatchSize`/`BatchTimeout`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +61,9 @@ pub struct OrderingService {
     keypair: Keypair,
     ready: VecDeque<Block>,
     telemetry: Option<Telemetry>,
+    /// Open `orderer.order` spans (queue wait: submit → batch cut), keyed
+    /// by tx id. Populated only when span tracing is enabled.
+    order_spans: HashMap<TxId, SpanGuard>,
 }
 
 impl OrderingService {
@@ -81,6 +84,7 @@ impl OrderingService {
             keypair,
             ready: VecDeque::new(),
             telemetry: None,
+            order_spans: HashMap::new(),
         }
     }
 
@@ -92,6 +96,7 @@ impl OrderingService {
     /// Attaches a shared telemetry pipeline: batch-cut latency, ordered
     /// block height, and Raft transport statistics are then reported.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.raft.set_telemetry(telemetry.clone());
         self.telemetry = Some(telemetry);
     }
 
@@ -100,8 +105,15 @@ impl OrderingService {
         self.telemetry.as_ref()
     }
 
-    /// Queues a transaction for ordering. Contents are not inspected.
+    /// Queues a transaction for ordering. Contents are not inspected
+    /// (only the tx id is read, to key the tracing span).
     pub fn submit(&mut self, tx: Transaction) {
+        if let Some(t) = self.telemetry.as_ref().filter(|t| t.tracing_enabled()) {
+            let mut span = t.span("orderer.order");
+            span.trace(TraceContext::for_tx(tx.tx_id.as_str()));
+            span.node("orderer");
+            self.order_spans.insert(tx.tx_id.clone(), span);
+        }
         self.pending.push_back(tx);
     }
 
@@ -165,12 +177,32 @@ impl OrderingService {
         let batch_size = self.pending.len().min(self.config.max_message_count);
         let batch: Vec<Transaction> = self.pending.drain(..batch_size).collect();
         let encoded = batch.to_wire();
-        if self.raft.propose(leader, encoded).is_err() {
-            // Leadership changed between `leader()` and `propose`; requeue.
+        let tracing = !self.order_spans.is_empty();
+        let traces: Vec<TraceContext> = if tracing {
+            batch
+                .iter()
+                .map(|tx| TraceContext::for_tx(tx.tx_id.as_str()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if self
+            .raft
+            .propose_with_trace(leader, encoded, &traces)
+            .is_err()
+        {
+            // Leadership changed between `leader()` and `propose`; requeue
+            // (any order spans stay open — the txs are still queued).
             for tx in batch.into_iter().rev() {
                 self.pending.push_front(tx);
             }
             return;
+        }
+        if tracing {
+            for tx in &batch {
+                // Dropping the guard records the queue-wait span.
+                self.order_spans.remove(&tx.tx_id);
+            }
         }
         if let Some(t) = &self.telemetry {
             t.metrics()

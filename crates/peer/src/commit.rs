@@ -23,7 +23,7 @@ use crate::telemetry::PeerTelemetry;
 use fabric_crypto::sha256;
 use fabric_ledger::BlockStoreError;
 use fabric_policy::{Policy, SignaturePolicy};
-use fabric_telemetry::AuditEvent;
+use fabric_telemetry::{AuditEvent, TraceContext};
 use fabric_types::{
     Block, ChaincodeEvent, ChaincodeId, CollectionName, Identity, OrgId, PayloadCommitment,
     PvtDataPackage, SignatureFailure, Transaction, TxId, TxValidationCode, Version,
@@ -31,6 +31,7 @@ use fabric_types::{
 use fabric_wire::Encode;
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
+use std::time::Instant;
 
 /// Supplies plaintext private data for a transaction being committed
 /// (backed by the gossip transient store plus anti-entropy pull).
@@ -105,18 +106,29 @@ struct CollectionAuditFacts<'a> {
     members: Option<&'a BTreeSet<OrgId>>,
 }
 
+/// One memoized [`CollectionAuditFacts`] resolution.
+type AuditFactsEntry<'a> = (
+    &'a ChaincodeId,
+    &'a CollectionName,
+    Option<CollectionAuditFacts<'a>>,
+);
+
 /// Memo of [`CollectionAuditFacts`] for one block (or one parallel
 /// worker's chunk of it). Blocks touch few distinct (namespace,
 /// collection) pairs, so a linear scan with two string compares beats
 /// re-hashing into the chaincode and policy maps for every transaction.
+/// The first few entries live inline: a block touching up to
+/// [`AUDIT_CACHE_INLINE`] pairs — the overwhelmingly common case — never
+/// heap-allocates, which matters for the no-op-telemetry overhead of
+/// single-transaction blocks.
 #[derive(Default)]
 struct AuditFactsCache<'a> {
-    entries: Vec<(
-        &'a ChaincodeId,
-        &'a CollectionName,
-        Option<CollectionAuditFacts<'a>>,
-    )>,
+    inline: [Option<AuditFactsEntry<'a>>; AUDIT_CACHE_INLINE],
+    spill: Vec<AuditFactsEntry<'a>>,
 }
+
+/// Inline capacity of [`AuditFactsCache`].
+const AUDIT_CACHE_INLINE: usize = 4;
 
 impl<'a> AuditFactsCache<'a> {
     /// The facts for `(namespace, collection)`; `None` when the peer has
@@ -127,10 +139,13 @@ impl<'a> AuditFactsCache<'a> {
         namespace: &'a ChaincodeId,
         collection: &'a CollectionName,
     ) -> Option<CollectionAuditFacts<'a>> {
+        let hit = |entry: &AuditFactsEntry<'a>| entry.0 == namespace && entry.1 == collection;
         if let Some((_, _, facts)) = self
-            .entries
+            .inline
             .iter()
-            .find(|(ns, col, _)| *ns == namespace && *col == collection)
+            .flatten()
+            .chain(self.spill.iter())
+            .find(|e| hit(e))
         {
             return *facts;
         }
@@ -145,7 +160,11 @@ impl<'a> AuditFactsCache<'a> {
                         .is_none(),
                 members: installed.compiled.members(collection),
             });
-        self.entries.push((namespace, collection, facts));
+        let entry = (namespace, collection, facts);
+        match self.inline.iter_mut().find(|slot| slot.is_none()) {
+            Some(slot) => *slot = Some(entry),
+            None => self.spill.push(entry),
+        }
         facts
     }
 }
@@ -177,23 +196,41 @@ impl Peer {
         let mut missing = Vec::new();
         let mut events = Vec::new();
 
-        // One handle clone (a few `Arc` bumps) up front: span guards must
+        // One handle clone (a single `Arc` bump) up front: telemetry must
         // stay alive across the mutable borrows of `self` below. Without
         // telemetry attached this is the only cost the commit path pays.
         let telemetry = self.telemetry.clone();
-        let block_span = telemetry.as_ref().map(|t| {
-            let mut s = t.span("peer.process_block");
-            s.field("block", block_num);
-            s.field("txs", block.transactions.len());
-            s
-        });
+        // Timing instrumentation — spans (block-level and per-transaction)
+        // and the stage-latency histograms — is extra work on the hot
+        // path, so all of it is gated off when spans go nowhere (no-op
+        // collector). Counters, gauges, and the audit log stay on either
+        // way: a disabled pipeline keeps counting, it just stops timing.
+        let tracing = telemetry.as_ref().is_some_and(|t| t.tracing_enabled());
+        let block_span = if tracing {
+            telemetry.as_ref().map(|t| {
+                let mut s = t.span("peer.process_block");
+                s.node(self.gossip_id.as_str());
+                s.field("block", block_num);
+                s.field("txs", block.transactions.len());
+                s
+            })
+        } else {
+            None
+        };
+        // Stage boundaries come from three raw `Instant` reads rather
+        // than span guards, so the histograms measure the pipeline, not
+        // the span bookkeeping around it.
+        let mut stage_mark = tracing.then(Instant::now);
 
         // Stage 1 — stateless: signatures and policy evaluation against
         // the pre-block state, fanned out across threads when enabled.
         let stateless_span = block_span.as_ref().map(|s| s.child("commit.stateless"));
         let mut verdicts = self.stateless_validate(&block.transactions);
-        if let (Some(t), Some(span)) = (&telemetry, stateless_span) {
-            t.stage_stateless.observe_duration(span.elapsed());
+        drop(stateless_span);
+        if let (Some(t), Some(mark)) = (&telemetry, stage_mark) {
+            let now = Instant::now();
+            t.stage_stateless.observe_duration(now - mark);
+            stage_mark = Some(now);
         }
 
         // Stage 2 — sequential merge: in-block duplicates, SBE dirty-key
@@ -216,6 +253,16 @@ impl Peer {
             // pre-block policy verdict.
             let mut dirty_params: HashSet<(&ChaincodeId, &str)> = HashSet::new();
             for (i, tx) in transactions.iter().enumerate() {
+                let commit_span = if tracing {
+                    telemetry.as_ref().map(|t| {
+                        let mut s = t.span("peer.commit");
+                        s.trace(TraceContext::for_tx(tx.tx_id.as_str()));
+                        s.node(self.gossip_id.as_str());
+                        s
+                    })
+                } else {
+                    None
+                };
                 let mut sbe_rechecked = false;
                 let code = if !seen_in_block.insert(&tx.tx_id) {
                     TxValidationCode::DuplicateTxId
@@ -251,11 +298,16 @@ impl Peer {
                     let stateless = std::mem::take(&mut verdicts[i].audit);
                     Self::audit_transaction(t, tx, code, sbe_rechecked, stateless);
                 }
+                if let Some(mut s) = commit_span {
+                    s.field("code", code);
+                    s.finish();
+                }
                 metadata.validation_codes.push(code);
             }
         }
-        if let (Some(t), Some(span)) = (&telemetry, stateful_span) {
-            t.stage_stateful.observe_duration(span.elapsed());
+        drop(stateful_span);
+        if let (Some(t), Some(mark)) = (&telemetry, stage_mark) {
+            t.stage_stateful.observe_duration(mark.elapsed());
         }
 
         // `check_extends` already ran before any mutation, so the append
@@ -494,6 +546,18 @@ impl Peer {
         tx: &'a Transaction,
         audit_cache: &mut AuditFactsCache<'a>,
     ) -> StatelessVerdict {
+        // Traced per-tx validation span (skipped entirely for no-op
+        // collectors — `tracing_enabled` gates the allocation).
+        let _validate_span = self
+            .telemetry
+            .as_ref()
+            .filter(|t| t.tracing_enabled())
+            .map(|t| {
+                let mut s = t.span("peer.validate");
+                s.trace(TraceContext::for_tx(tx.tx_id.as_str()));
+                s.node(self.gossip_id.as_str());
+                s
+            });
         let audit = if self.telemetry.is_some() {
             self.stateless_audit(tx, audit_cache)
         } else {

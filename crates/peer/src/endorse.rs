@@ -2,6 +2,7 @@
 
 use crate::node::Peer;
 use fabric_chaincode::{ChaincodeError, ChaincodeStub};
+use fabric_telemetry::TraceContext;
 use fabric_types::{
     CollectionHashedRwSet, DefenseConfig, Endorsement, NsRwSet, PayloadCommitment, Proposal,
     ProposalResponse, ProposalResponsePayload, PvtDataPackage, Response, TxRwSet,
@@ -70,10 +71,22 @@ impl Peer {
         &self,
         proposal: &Proposal,
     ) -> Result<(ProposalResponse, Option<PvtDataPackage>), EndorseError> {
-        let Some(telemetry) = self.telemetry.clone() else {
+        let Some(telemetry) = self.telemetry.as_ref() else {
             return self.endorse_inner(proposal);
         };
+        if !telemetry.tracing_enabled() {
+            // No-op collector: skip the span and the latency histogram,
+            // keep the outcome counters.
+            let result = self.endorse_inner(proposal);
+            match &result {
+                Ok(_) => telemetry.endorse_ok.inc(),
+                Err(_) => telemetry.endorse_err.inc(),
+            }
+            return result;
+        }
         let mut span = telemetry.span("peer.endorse");
+        span.trace(TraceContext::for_tx(proposal.tx_id.as_str()));
+        span.node(self.gossip_id.as_str());
         span.field("chaincode", &proposal.chaincode);
         span.field("function", &proposal.function);
         let result = self.endorse_inner(proposal);

@@ -2,15 +2,27 @@
 
 use fabric_telemetry::{Counter, Gauge, Histogram, Telemetry, DURATION_SECONDS_BUCKETS};
 use std::ops::Deref;
+use std::sync::Arc;
 
 /// A shared [`Telemetry`] pipeline plus the peer's hot-path metric
 /// handles, resolved once when the pipeline is attached. The commit and
 /// endorse paths then pay lock-free atomic updates per block instead of
 /// name/label registry lookups.
 ///
-/// Derefs to [`Telemetry`] for spans and audit events.
+/// All handles live behind one `Arc`, so the per-block clone the commit
+/// path makes (to keep telemetry alive across mutable borrows of the
+/// peer) is a single reference-count bump, not one per handle.
+///
+/// Derefs to [`PeerHandles`] (and through it to [`Telemetry`]) for
+/// spans, audit events, and the metric handles.
 #[derive(Debug, Clone)]
 pub(crate) struct PeerTelemetry {
+    inner: Arc<PeerHandles>,
+}
+
+/// The resolved handle set behind [`PeerTelemetry`]'s `Arc`.
+#[derive(Debug)]
+pub(crate) struct PeerHandles {
     pub telemetry: Telemetry,
     /// `fabric_commit_stage_seconds{stage="stateless"}`.
     pub stage_stateless: Histogram,
@@ -47,47 +59,57 @@ impl PeerTelemetry {
             )
         };
         PeerTelemetry {
-            stage_stateless: stage("stateless"),
-            stage_stateful: stage("stateful"),
-            blocks_committed: m.counter(
-                "fabric_blocks_committed_total",
-                "Blocks appended to the local chain",
-                &[],
-            ),
-            txs_processed: m.counter(
-                "fabric_txs_processed_total",
-                "Transactions carried by committed blocks",
-                &[],
-            ),
-            missing_private: m.counter(
-                "fabric_missing_private_data_total",
-                "Valid PDC transactions committed with hashes only",
-                &[],
-            ),
-            block_height: m.gauge(
-                "fabric_committed_block_height",
-                "Local chain height after the last commit",
-                &[],
-            ),
-            valid_txs: m.counter(
-                "fabric_validation_results_total",
-                "Transaction validation codes across committed blocks",
-                &[("code", "VALID")],
-            ),
-            endorse_ok: endorse("ok"),
-            endorse_err: endorse("err"),
-            endorse_seconds: m.histogram(
-                "fabric_endorse_seconds",
-                "Proposal simulation and endorsement latency",
-                &[],
-                DURATION_SECONDS_BUCKETS,
-            ),
-            telemetry,
+            inner: Arc::new(PeerHandles {
+                stage_stateless: stage("stateless"),
+                stage_stateful: stage("stateful"),
+                blocks_committed: m.counter(
+                    "fabric_blocks_committed_total",
+                    "Blocks appended to the local chain",
+                    &[],
+                ),
+                txs_processed: m.counter(
+                    "fabric_txs_processed_total",
+                    "Transactions carried by committed blocks",
+                    &[],
+                ),
+                missing_private: m.counter(
+                    "fabric_missing_private_data_total",
+                    "Valid PDC transactions committed with hashes only",
+                    &[],
+                ),
+                block_height: m.gauge(
+                    "fabric_committed_block_height",
+                    "Local chain height after the last commit",
+                    &[],
+                ),
+                valid_txs: m.counter(
+                    "fabric_validation_results_total",
+                    "Transaction validation codes across committed blocks",
+                    &[("code", "VALID")],
+                ),
+                endorse_ok: endorse("ok"),
+                endorse_err: endorse("err"),
+                endorse_seconds: m.histogram(
+                    "fabric_endorse_seconds",
+                    "Proposal simulation and endorsement latency",
+                    &[],
+                    DURATION_SECONDS_BUCKETS,
+                ),
+                telemetry,
+            }),
         }
     }
 }
 
 impl Deref for PeerTelemetry {
+    type Target = PeerHandles;
+
+    fn deref(&self) -> &PeerHandles {
+        &self.inner
+    }
+}
+
+impl Deref for PeerHandles {
     type Target = Telemetry;
 
     fn deref(&self) -> &Telemetry {

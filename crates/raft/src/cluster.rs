@@ -2,6 +2,7 @@
 
 use crate::message::{Envelope, NodeId};
 use crate::node::{NotLeader, RaftConfig, RaftNode, Role};
+use fabric_telemetry::{SpanGuard, Telemetry, TraceContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -35,6 +36,14 @@ pub struct Cluster {
     rng: StdRng,
     messages_delivered: u64,
     messages_dropped: u64,
+    /// Optional tracing pipeline; `raft.replicate` spans measure propose →
+    /// first-commit latency per log entry.
+    telemetry: Option<Telemetry>,
+    /// Open replicate spans keyed by log index, finished (dropped) once
+    /// the index first surfaces as committed at any node.
+    inflight: Vec<(u64, SpanGuard)>,
+    /// Highest log index any node has surfaced as committed.
+    max_committed_index: u64,
 }
 
 impl Cluster {
@@ -60,7 +69,16 @@ impl Cluster {
             rng: StdRng::seed_from_u64(seed),
             messages_delivered: 0,
             messages_dropped: 0,
+            telemetry: None,
+            inflight: Vec::new(),
+            max_committed_index: 0,
         }
+    }
+
+    /// Attaches a telemetry pipeline; each successful proposal then opens
+    /// a `raft.replicate` span that closes when the entry first commits.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Transport and consensus statistics since cluster creation.
@@ -143,8 +161,46 @@ impl Cluster {
     ///
     /// [`NotLeader`] when `node` is not the leader.
     pub fn propose(&mut self, node: NodeId, command: Vec<u8>) -> Result<u64, NotLeader> {
+        self.propose_with_trace(node, command, &[])
+    }
+
+    /// Proposes a command at `node`, opening one `raft.replicate` span per
+    /// trace context (or a single untraced span when `traces` is empty)
+    /// that closes when the entry first surfaces as committed. The caller
+    /// (the ordering service) passes one context per transaction carried
+    /// by the command, so replication latency lands in every
+    /// transaction's cross-node timeline.
+    ///
+    /// # Errors
+    ///
+    /// [`NotLeader`] when `node` is not the leader.
+    pub fn propose_with_trace(
+        &mut self,
+        node: NodeId,
+        command: Vec<u8>,
+        traces: &[TraceContext],
+    ) -> Result<u64, NotLeader> {
         let n = self.nodes.get_mut(&node).expect("node exists");
-        n.propose(command)
+        let index = n.propose(command)?;
+        if let Some(t) = self.telemetry.as_ref().filter(|t| t.tracing_enabled()) {
+            let open = |ctx: Option<&TraceContext>| {
+                let mut span = t.span("raft.replicate");
+                span.node(format!("raft{node}"));
+                span.field("index", index);
+                if let Some(ctx) = ctx {
+                    span.trace(*ctx);
+                }
+                span
+            };
+            if traces.is_empty() {
+                self.inflight.push((index, open(None)));
+            } else {
+                for ctx in traces {
+                    self.inflight.push((index, open(Some(ctx))));
+                }
+            }
+        }
+        Ok(index)
     }
 
     /// Commands committed at `node` so far, in order.
@@ -229,8 +285,14 @@ impl Cluster {
             let newly = node.take_committed();
             let log = self.committed.entry(*id).or_default();
             for entry in newly {
+                self.max_committed_index = self.max_committed_index.max(entry.index);
                 log.push(entry.command);
             }
+        }
+        if !self.inflight.is_empty() {
+            // Dropping a guard records the span: propose → first commit.
+            let max = self.max_committed_index;
+            self.inflight.retain(|(index, _)| *index > max);
         }
     }
 }

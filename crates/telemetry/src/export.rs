@@ -1,0 +1,178 @@
+//! Span exporters: Chrome-trace/Perfetto JSON and JSON-lines.
+//!
+//! [`render_chrome_trace`] emits the Trace Event Format understood by
+//! `chrome://tracing`, Perfetto's legacy importer, and Speedscope: a
+//! `{"traceEvents": [...]}` object of complete (`"ph": "X"`) events with
+//! microsecond timestamps. Nodes map to processes (`pid` + a
+//! `process_name` metadata event) and traces map to threads within the
+//! node, so one transaction reads as one lane per node in the UI.
+
+use crate::metrics::json_str;
+use crate::span::SpanRecord;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders spans as Chrome-trace JSON (Trace Event Format).
+///
+/// * Each span becomes a complete event: `ph:"X"` with `ts`/`dur` in
+///   microseconds from the telemetry epoch.
+/// * `pid` identifies the emitting node (assigned in first-appearance
+///   order; a `process_name` metadata event carries the node name).
+/// * `tid` identifies the trace within the node, keeping ids small —
+///   the full 64-bit trace id rides in `args.trace` as hex.
+pub fn render_chrome_trace(records: &[SpanRecord]) -> String {
+    let mut pids: HashMap<&str, u64> = HashMap::new();
+    let mut tids: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + 4);
+
+    for record in records {
+        let node = if record.node.is_empty() {
+            "(unattributed)"
+        } else {
+            record.node.as_str()
+        };
+        let next_pid = pids.len() as u64 + 1;
+        let pid = *pids.entry(node).or_insert_with(|| {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{next_pid},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(node)
+            ));
+            next_pid
+        });
+        let next_tid = tids.len() as u64 + 1;
+        let tid = *tids.entry((pid, record.trace_id)).or_insert(next_tid);
+
+        let mut args = String::new();
+        let _ = write!(args, "{{\"span\":{}", record.id);
+        if record.trace_id != 0 {
+            let _ = write!(args, ",\"trace\":\"{:#018x}\"", record.trace_id);
+        }
+        if let Some(parent) = record.parent {
+            let _ = write!(args, ",\"parent\":{parent}");
+        }
+        for (k, v) in &record.fields {
+            let _ = write!(args, ",{}:{}", json_str(k), json_str(v));
+        }
+        args.push('}');
+
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{args}}}",
+            json_str(&record.name),
+            record.start.as_micros(),
+            record.duration.as_micros(),
+        ));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, event) in events.iter().enumerate() {
+        out.push_str(event);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders spans as JSON lines, one object per record, in input order —
+/// the grep/jq-friendly dump format.
+pub fn render_spans_jsonl(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":{},\"start_us\":{},\"dur_us\":{}",
+            record.id,
+            json_str(&record.name),
+            record.start.as_micros(),
+            record.duration.as_micros(),
+        );
+        if let Some(parent) = record.parent {
+            let _ = write!(out, ",\"parent\":{parent}");
+        }
+        if record.trace_id != 0 {
+            let _ = write!(out, ",\"trace\":\"{:#018x}\"", record.trace_id);
+        }
+        if !record.node.is_empty() {
+            let _ = write!(out, ",\"node\":{}", json_str(&record.node));
+        }
+        if !record.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in record.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn record(id: u64, name: &str, node: &str, trace_id: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: (id > 1).then(|| id - 1),
+            name: name.into(),
+            fields: vec![("k".into(), "v\"q".into())],
+            start: Duration::from_micros(10 * id),
+            duration: Duration::from_micros(5),
+            trace_id,
+            node: node.into(),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_events_and_process_names() {
+        let records = vec![
+            record(1, "peer.endorse", "peer0.org1", 7),
+            record(2, "peer.commit", "peer0.org2", 7),
+        ];
+        let json = render_chrome_trace(&records);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"peer0.org1\""));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"dur\":5"));
+        assert!(json.contains("\"parent\":1"));
+        assert!(json.contains("\"k\":\"v\\\"q\""), "fields escaped: {json}");
+        // Two nodes -> two pids, same trace -> one tid lane per node.
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_span() {
+        let records = vec![
+            record(1, "a", "n1", 3),
+            SpanRecord {
+                id: 9,
+                parent: None,
+                name: "bare".into(),
+                fields: vec![],
+                start: Duration::ZERO,
+                duration: Duration::ZERO,
+                trace_id: 0,
+                node: String::new(),
+            },
+        ];
+        let out = render_spans_jsonl(&records);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().next().unwrap().contains("\"trace\":"));
+        let bare = out.lines().nth(1).unwrap();
+        assert!(!bare.contains("trace"));
+        assert!(!bare.contains("node"));
+        assert!(!bare.contains("fields"));
+    }
+}

@@ -15,6 +15,16 @@
 //!   paper's attack signals — see [`AuditEvent`] for the mapping onto
 //!   Use Cases 1–3 and the New Features.
 //!
+//! On top of the span stream sit the per-request tools: a
+//! [`TraceContext`] propagated across nodes keys every span of one
+//! transaction into a single causal tree (deterministic trace ids derived
+//! from tx ids), a [`TxTimeline`] assembles those spans into the five
+//! derived phase latencies (endorse / order / replicate / validate /
+//! commit), a [`FlightRecorder`] keeps a bounded ring of recent
+//! spans+events and dumps it when an attack signal fires, and
+//! [`render_chrome_trace`] exports any span set for Perfetto /
+//! `chrome://tracing`.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,19 +45,27 @@
 //! ```
 
 mod audit;
+mod export;
 mod metrics;
+mod recorder;
 mod span;
+mod timeline;
+mod trace;
 
 pub use audit::{AuditEvent, AuditLog};
+pub use export::{render_chrome_trace, render_spans_jsonl};
 pub use metrics::{
     Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry,
     DURATION_SECONDS_BUCKETS, TICK_BUCKETS,
 };
+pub use recorder::{FlightDump, FlightEntry, FlightRecorder};
 pub use span::{Collector, NoopCollector, SpanRecord, TraceSink};
+pub use timeline::{TxTimeline, PHASES, PHASE_SECONDS_BUCKETS};
+pub use trace::TraceContext;
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A shared handle to one telemetry pipeline: metrics registry, span
@@ -63,9 +81,19 @@ struct Inner {
     /// Retained only when the collector is the default in-memory sink,
     /// so [`Telemetry::trace`] can render reports.
     sink: Option<Arc<TraceSink>>,
+    /// Retained when spans route through a flight recorder, so
+    /// [`Telemetry::flight_recorder`] can read dumps back.
+    recorder: Option<Arc<FlightRecorder>>,
     collector: Arc<dyn Collector>,
+    /// False for [`Telemetry::noop`]: spans skip allocation, id
+    /// assignment, and collector dispatch entirely (timing via
+    /// [`SpanGuard::elapsed`] still works).
+    enabled: bool,
     epoch: Instant,
     next_span_id: AtomicU64,
+    /// Per-kind `fabric_audit_events_total` handles, resolved once —
+    /// [`Telemetry::emit`] sits on the sequential commit path.
+    audit_counters: [OnceLock<Counter>; 6],
 }
 
 impl Default for Telemetry {
@@ -87,7 +115,25 @@ impl Telemetry {
     /// Creates a telemetry pipeline that discards spans (metrics and the
     /// audit log still work). Used to measure instrumentation overhead.
     pub fn noop() -> Self {
-        Self::with_collector(Arc::new(NoopCollector))
+        let mut t = Self::with_collector(Arc::new(NoopCollector));
+        Arc::get_mut(&mut t.inner).expect("freshly created").enabled = false;
+        t
+    }
+
+    /// Creates a telemetry pipeline whose spans and audit events route
+    /// through a [`FlightRecorder`] ring of `capacity` recent entries
+    /// (backed by an in-memory [`TraceSink`], so [`Telemetry::trace`]
+    /// still works). The recorder snapshots the ring automatically when
+    /// one of the paper's attack signals fires — see
+    /// [`FlightRecorder::dumps`].
+    pub fn with_flight_recorder(capacity: usize) -> Self {
+        let sink = Arc::new(TraceSink::new());
+        let recorder = Arc::new(FlightRecorder::new(capacity, sink.clone()));
+        let mut t = Self::with_collector(recorder.clone());
+        let inner = Arc::get_mut(&mut t.inner).expect("freshly created");
+        inner.sink = Some(sink);
+        inner.recorder = Some(recorder);
+        t
     }
 
     /// Creates a telemetry pipeline with a custom span/audit collector.
@@ -97,9 +143,12 @@ impl Telemetry {
                 metrics: MetricsRegistry::new(),
                 audit: AuditLog::new(),
                 sink: None,
+                recorder: None,
                 collector,
+                enabled: true,
                 epoch: Instant::now(),
                 next_span_id: AtomicU64::new(1),
+                audit_counters: Default::default(),
             }),
         }
     }
@@ -119,36 +168,68 @@ impl Telemetry {
         self.inner.sink.as_deref()
     }
 
+    /// The flight recorder, when one was configured via
+    /// [`Telemetry::with_flight_recorder`].
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.inner.recorder.as_deref()
+    }
+
+    /// False for [`Telemetry::noop`]: span guards become zero-cost
+    /// timers. Callers can gate optional per-tx spans on this.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
     /// Opens a root span; it records to the collector when dropped.
     pub fn span(&self, name: impl Into<String>) -> SpanGuard {
-        self.open_span(name.into(), None)
+        self.open_span(name, None)
     }
 
     /// Emits an audit event: appended to the [`AuditLog`], forwarded to
     /// the collector, and counted in `fabric_audit_events_total`.
     pub fn emit(&self, event: AuditEvent) {
-        self.inner
-            .metrics
-            .counter(
-                "fabric_audit_events_total",
-                "Security-audit events by kind",
-                &[("kind", event.kind())],
-            )
+        self.inner.audit_counters[audit_kind_index(&event)]
+            .get_or_init(|| {
+                self.inner.metrics.counter(
+                    "fabric_audit_events_total",
+                    "Security-audit events by kind",
+                    &[("kind", event.kind())],
+                )
+            })
             .inc();
         self.inner.collector.audit_event(&event);
         self.inner.audit.record(event);
     }
 
-    fn open_span(&self, name: String, parent: Option<u64>) -> SpanGuard {
+    fn open_span(&self, name: impl Into<String>, parent: Option<u64>) -> SpanGuard {
+        let enabled = self.inner.enabled;
         SpanGuard {
             telemetry: self.clone(),
-            id: self.inner.next_span_id.fetch_add(1, Ordering::Relaxed),
+            enabled,
+            id: if enabled {
+                self.inner.next_span_id.fetch_add(1, Ordering::Relaxed)
+            } else {
+                0
+            },
             parent,
-            name,
+            trace_id: 0,
+            node: String::new(),
+            name: if enabled { name.into() } else { String::new() },
             fields: Vec::new(),
-            start_offset: self.inner.epoch.elapsed(),
             start: Instant::now(),
         }
+    }
+}
+
+/// Maps an audit-event kind to its slot in `Inner::audit_counters`.
+fn audit_kind_index(event: &AuditEvent) -> usize {
+    match event {
+        AuditEvent::EndorsementByNonMember { .. } => 0,
+        AuditEvent::PolicyFallbackToChaincodeLevel { .. } => 1,
+        AuditEvent::PlaintextPayloadInTx { .. } => 2,
+        AuditEvent::MvccConflict { .. } => 3,
+        AuditEvent::SbeReCheck { .. } => 4,
+        AuditEvent::DefenseRejected { .. } => 5,
     }
 }
 
@@ -162,26 +243,75 @@ impl fmt::Debug for Telemetry {
 }
 
 /// An open span; records a [`SpanRecord`] to the collector on drop.
+///
+/// When the owning telemetry is [`Telemetry::noop`] the guard is inert:
+/// it keeps a start [`Instant`] so [`SpanGuard::elapsed`] still times the
+/// region, but skips name/field allocation, id assignment, and the
+/// collector call.
 #[derive(Debug)]
 pub struct SpanGuard {
     telemetry: Telemetry,
+    enabled: bool,
     id: u64,
     parent: Option<u64>,
+    trace_id: u64,
+    node: String,
     name: String,
     fields: Vec<(String, String)>,
-    start_offset: Duration,
     start: Instant,
 }
 
 impl SpanGuard {
-    /// Attaches a key-value field to the span.
-    pub fn field(&mut self, key: impl Into<String>, value: impl ToString) {
-        self.fields.push((key.into(), value.to_string()));
+    /// This span's id within its telemetry instance (0 when tracing is
+    /// disabled).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
-    /// Opens a child span of this one.
+    /// Ties the span into a cross-node trace. When the span has no local
+    /// parent, the context's remote parent span is adopted, nesting this
+    /// node's subtree under the upstream hop.
+    pub fn trace(&mut self, ctx: TraceContext) {
+        if !ctx.is_active() {
+            return;
+        }
+        self.trace_id = ctx.trace_id;
+        if self.parent.is_none() && ctx.parent_span != 0 {
+            self.parent = Some(ctx.parent_span);
+        }
+    }
+
+    /// Attributes the span to a named node (peer/orderer/client).
+    pub fn node(&mut self, node: impl Into<String>) {
+        if self.enabled {
+            self.node = node.into();
+        }
+    }
+
+    /// The context to hand to a downstream hop: same trace, parented at
+    /// this span.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: self.id,
+        }
+    }
+
+    /// Attaches a key-value field to the span.
+    pub fn field(&mut self, key: impl Into<String>, value: impl ToString) {
+        if self.enabled {
+            self.fields.push((key.into(), value.to_string()));
+        }
+    }
+
+    /// Opens a child span of this one (same trace id and node).
     pub fn child(&self, name: impl Into<String>) -> SpanGuard {
-        self.telemetry.open_span(name.into(), Some(self.id))
+        let mut child = self.telemetry.open_span(name, Some(self.id));
+        child.trace_id = self.trace_id;
+        if child.enabled {
+            child.node = self.node.clone();
+        }
+        child
     }
 
     /// Time since the span was opened.
@@ -195,13 +325,20 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if !self.enabled {
+            return;
+        }
         let record = SpanRecord {
             id: self.id,
             parent: self.parent,
             name: std::mem::take(&mut self.name),
             fields: std::mem::take(&mut self.fields),
-            start: self.start_offset,
+            start: self
+                .start
+                .saturating_duration_since(self.telemetry.inner.epoch),
             duration: self.start.elapsed(),
+            trace_id: self.trace_id,
+            node: std::mem::take(&mut self.node),
         };
         self.telemetry.inner.collector.span_finished(record);
     }
@@ -234,6 +371,7 @@ mod tests {
     fn noop_telemetry_still_counts_and_audits() {
         let t = Telemetry::noop();
         assert!(t.trace().is_none());
+        assert!(!t.tracing_enabled());
         t.span("ignored").finish();
         t.emit(AuditEvent::MvccConflict {
             tx_id: TxId::new("tx1"),
@@ -245,6 +383,64 @@ mod tests {
             .metrics()
             .render_prometheus()
             .contains("fabric_audit_events_total{kind=\"mvcc_conflict\"} 1"));
+    }
+
+    #[test]
+    fn noop_spans_still_time_but_record_nothing() {
+        let t = Telemetry::noop();
+        let span = t.span("timer");
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(span.elapsed() >= Duration::from_millis(1));
+        assert_eq!(span.id(), 0);
+        span.finish();
+        assert!(t.trace().is_none());
+    }
+
+    #[test]
+    fn trace_context_threads_through_spans() {
+        let t = Telemetry::new();
+        let ctx = TraceContext::for_tx("tx-42");
+        {
+            let mut remote_parent = t.span("upstream");
+            remote_parent.trace(ctx);
+            remote_parent.node("client0.org1");
+            let downstream_ctx = remote_parent.context();
+            // A span on "another node": no local parent, adopts the
+            // remote one through the propagated context.
+            let mut local_root = t.span("downstream");
+            local_root.trace(downstream_ctx);
+            local_root.node("peer0.org1");
+            let child = local_root.child("downstream.child");
+            assert_eq!(child.context().trace_id, ctx.trace_id);
+            child.finish();
+        }
+        let records = t.trace().expect("sink").records();
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.trace_id == ctx.trace_id));
+        let upstream = records.iter().find(|r| r.name == "upstream").unwrap();
+        let downstream = records.iter().find(|r| r.name == "downstream").unwrap();
+        let child = records
+            .iter()
+            .find(|r| r.name == "downstream.child")
+            .unwrap();
+        assert_eq!(downstream.parent, Some(upstream.id));
+        assert_eq!(child.parent, Some(downstream.id));
+        assert_eq!(child.node, "peer0.org1");
+    }
+
+    #[test]
+    fn audit_counter_cache_matches_registry() {
+        let t = Telemetry::new();
+        for _ in 0..3 {
+            t.emit(AuditEvent::DefenseRejected {
+                tx_id: TxId::new("txd"),
+                code: fabric_types::TxValidationCode::BadPayload,
+            });
+        }
+        assert!(t
+            .metrics()
+            .render_prometheus()
+            .contains("fabric_audit_events_total{kind=\"defense_rejected\"} 3"));
     }
 
     #[test]

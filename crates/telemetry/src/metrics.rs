@@ -156,6 +156,33 @@ impl Histogram {
         acc += self.core.counts[self.core.bounds.len()].load(Ordering::Relaxed);
         (out, acc)
     }
+
+    /// Estimates the `q`-quantile (clamped to `0.0..=1.0`) from the
+    /// fixed buckets, interpolating linearly within the bucket that
+    /// contains the target rank (the Prometheus `histogram_quantile`
+    /// estimator).
+    ///
+    /// Returns `None` when the histogram is empty. Ranks that fall in
+    /// the `+Inf` overflow bucket clamp to the largest finite bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let (cumulative, total) = self.cumulative();
+        if total == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut prev_bound = 0.0;
+        let mut prev_count = 0u64;
+        for &(bound, count) in &cumulative {
+            if count as f64 >= rank && count > prev_count {
+                let in_bucket = (count - prev_count) as f64;
+                let fraction = ((rank - prev_count as f64) / in_bucket).clamp(0.0, 1.0);
+                return Some(prev_bound + (bound - prev_bound) * fraction);
+            }
+            prev_bound = bound;
+            prev_count = count;
+        }
+        cumulative.last().map(|&(bound, _)| bound)
+    }
 }
 
 /// The value of one metric series in a [`MetricSample`].
@@ -562,7 +589,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -709,5 +736,54 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.counter("m", "", &[]);
         registry.gauge("m", "", &[]);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "empty", &[], &[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "interp", &[], &[1.0, 2.0, 4.0]);
+        // 2 observations in (0,1], 2 in (1,2], none in (2,4].
+        for v in [0.2, 0.8, 1.5, 1.9] {
+            h.observe(v);
+        }
+        // Median rank 2.0 sits exactly at the top of the first bucket.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        // Rank 3.0 is halfway through the second bucket: 1.0 + 0.5*(2-1).
+        assert_eq!(h.quantile(0.75), Some(1.5));
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_in_single_bucket_scales_linearly() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "single", &[], &[10.0]);
+        for _ in 0..4 {
+            h.observe(3.0);
+        }
+        // All mass in one bucket: interpolation spans (0, 10].
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_bucket_to_last_finite_bound() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "overflow", &[], &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(100.0);
+        h.observe(200.0);
+        // Ranks beyond the finite buckets clamp to the largest bound.
+        assert_eq!(h.quantile(0.9), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        // But ranks inside finite buckets still interpolate.
+        assert!((h.quantile(0.1).unwrap() - 0.3).abs() < 1e-12);
     }
 }

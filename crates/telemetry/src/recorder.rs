@@ -1,0 +1,234 @@
+//! Flight recorder: a bounded ring of recent spans and audit events,
+//! snapshotted automatically when an attack signal fires.
+//!
+//! The [`FlightRecorder`] wraps another [`Collector`] (normally the
+//! in-memory [`crate::TraceSink`]) and mirrors everything that flows
+//! through it into a fixed-capacity ring buffer. When one of the paper's
+//! attack signals is emitted — [`AuditEvent::DefenseRejected`],
+//! [`AuditEvent::EndorsementByNonMember`], or
+//! [`AuditEvent::MvccConflict`] — the ring is snapshotted into a
+//! [`FlightDump`]: "what happened in the moments before this fired",
+//! without retaining an unbounded history.
+//!
+//! Writes are wait-free on the ring index (one `fetch_add`) plus one
+//! uncontended per-slot lock, so the recorder is safe to leave attached
+//! on validation hot paths.
+
+use crate::audit::AuditEvent;
+use crate::span::{Collector, SpanRecord};
+use fabric_types::TxId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One entry in the flight-recorder ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEntry {
+    /// A finished span.
+    Span(SpanRecord),
+    /// An emitted audit event.
+    Audit(AuditEvent),
+}
+
+/// A snapshot of the ring taken when a trigger event fired.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// The audit event that triggered the dump (also the newest ring
+    /// entry at snapshot time).
+    pub trigger: AuditEvent,
+    /// Ring contents, oldest first.
+    pub entries: Vec<FlightEntry>,
+}
+
+impl FlightDump {
+    /// The dump's audit events as `(kind, tx_id)` pairs, oldest first.
+    ///
+    /// Span timings differ run to run, but audit events are emitted in
+    /// block order by the sequential merge stage — this signature is
+    /// deterministic and lets tests compare dumps across the
+    /// parallel-validation knob.
+    pub fn audit_signature(&self) -> Vec<(&'static str, TxId)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                FlightEntry::Audit(ev) => Some((ev.kind(), ev.tx_id().clone())),
+                FlightEntry::Span(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Bounded ring buffer of recent [`FlightEntry`]s with automatic dumps
+/// on attack signals. Create via [`crate::Telemetry::with_flight_recorder`]
+/// or wrap any collector with [`FlightRecorder::new`].
+pub struct FlightRecorder {
+    inner: Arc<dyn Collector>,
+    ring: Box<[Mutex<Option<FlightEntry>>]>,
+    /// Next write position (monotonic; slot = head % capacity).
+    head: AtomicUsize,
+    dumps: Mutex<Vec<FlightDump>>,
+}
+
+impl FlightRecorder {
+    /// Wraps `inner`, keeping the most recent `capacity` entries
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize, inner: Arc<dyn Collector>) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner,
+            ring: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            dumps: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    fn push(&self, entry: FlightEntry) {
+        let slot = self.head.fetch_add(1, Ordering::Relaxed) % self.ring.len();
+        *self.ring[slot].lock() = Some(entry);
+    }
+
+    /// Snapshots the ring, oldest entry first.
+    pub fn recent(&self) -> Vec<FlightEntry> {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.ring.len();
+        let mut out = Vec::new();
+        for i in 0..cap {
+            // Slot (head + i) % cap holds the (cap - i)-th most recent
+            // entry once the ring has wrapped; before wrapping the None
+            // slots are simply skipped.
+            if let Some(entry) = self.ring[(head + i) % cap].lock().clone() {
+                out.push(entry);
+            }
+        }
+        out
+    }
+
+    /// All dumps captured so far, in trigger order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.dumps.lock().clone()
+    }
+
+    /// Discards captured dumps (the ring itself keeps rolling).
+    pub fn clear_dumps(&self) {
+        self.dumps.lock().clear();
+    }
+
+    /// True when `event` is one of the paper's dump-triggering attack
+    /// signals.
+    fn is_trigger(event: &AuditEvent) -> bool {
+        matches!(
+            event,
+            AuditEvent::DefenseRejected { .. }
+                | AuditEvent::EndorsementByNonMember { .. }
+                | AuditEvent::MvccConflict { .. }
+        )
+    }
+}
+
+impl Collector for FlightRecorder {
+    fn span_finished(&self, record: SpanRecord) {
+        self.push(FlightEntry::Span(record.clone()));
+        self.inner.span_finished(record);
+    }
+
+    fn audit_event(&self, event: &AuditEvent) {
+        self.push(FlightEntry::Audit(event.clone()));
+        if Self::is_trigger(event) {
+            let dump = FlightDump {
+                trigger: event.clone(),
+                entries: self.recent(),
+            };
+            self.dumps.lock().push(dump);
+        }
+        self.inner.audit_event(event);
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.ring.len())
+            .field("written", &self.head.load(Ordering::Relaxed))
+            .field("dumps", &self.dumps.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::NoopCollector;
+    use fabric_types::ChaincodeId;
+    use std::time::Duration;
+
+    fn span(id: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            name: name.into(),
+            fields: vec![],
+            start: Duration::from_millis(id),
+            duration: Duration::from_millis(1),
+            trace_id: 0,
+            node: String::new(),
+        }
+    }
+
+    fn conflict(n: u64) -> AuditEvent {
+        AuditEvent::MvccConflict {
+            tx_id: TxId::new(format!("tx{n}")),
+            chaincode: ChaincodeId::new("cc"),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_entries_in_order() {
+        let rec = FlightRecorder::new(3, Arc::new(NoopCollector));
+        for i in 1..=5 {
+            rec.span_finished(span(i, "s"));
+        }
+        let names: Vec<u64> = rec
+            .recent()
+            .iter()
+            .map(|e| match e {
+                FlightEntry::Span(s) => s.id,
+                FlightEntry::Audit(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn trigger_event_captures_dump_including_itself() {
+        let rec = FlightRecorder::new(8, Arc::new(NoopCollector));
+        rec.span_finished(span(1, "before"));
+        rec.audit_event(&conflict(7));
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].trigger, conflict(7));
+        assert_eq!(
+            dumps[0].audit_signature(),
+            vec![("mvcc_conflict", TxId::new("tx7"))]
+        );
+        assert!(matches!(dumps[0].entries[0], FlightEntry::Span(_)));
+        rec.clear_dumps();
+        assert!(rec.dumps().is_empty());
+    }
+
+    #[test]
+    fn non_trigger_events_do_not_dump() {
+        let rec = FlightRecorder::new(4, Arc::new(NoopCollector));
+        rec.audit_event(&AuditEvent::PlaintextPayloadInTx {
+            tx_id: TxId::new("txp"),
+            chaincode: ChaincodeId::new("cc"),
+            payload_bytes: 9,
+        });
+        assert!(rec.dumps().is_empty());
+        assert_eq!(rec.recent().len(), 1);
+    }
+}

@@ -26,6 +26,10 @@ pub struct SpanRecord {
     pub start: Duration,
     /// Wall time between span open and close.
     pub duration: Duration,
+    /// Cross-node trace id ([`crate::TraceContext`]); 0 = untraced.
+    pub trace_id: u64,
+    /// Name of the node that emitted the span; empty = unattributed.
+    pub node: String,
 }
 
 /// Receives finished spans and emitted audit events.
@@ -158,6 +162,8 @@ mod tests {
             fields: vec![("k".into(), "v".into())],
             start: Duration::ZERO,
             duration: Duration::from_millis(10),
+            trace_id: 0,
+            node: String::new(),
         });
         sink.span_finished(SpanRecord {
             id: 2,
@@ -166,6 +172,8 @@ mod tests {
             fields: vec![],
             start: Duration::from_millis(1),
             duration: Duration::from_millis(5),
+            trace_id: 0,
+            node: String::new(),
         });
         assert_eq!(sink.len(), 2);
         let tree = sink.render_tree();

@@ -78,6 +78,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         telemetry.trace().expect("in-memory sink").render_tree()
     );
 
+    // 2b. The same spans as Chrome-trace/Perfetto JSON and JSON-lines
+    //     (see the `trace_tx` example for the per-transaction view).
+    let records = telemetry.trace().expect("in-memory sink").records();
+    println!("\n== chrome trace (load in ui.perfetto.dev) ==");
+    println!("{}", render_chrome_trace(&records));
+    println!("== spans, JSON-lines ==");
+    print!("{}", render_spans_jsonl(&records));
+
     // 3. Security-audit events. The workflow ran with the original (no
     //    defenses) configuration, so the offers' public response payloads
     //    committed in plaintext — exactly the paper's Use Case 3 signal.

@@ -9,6 +9,9 @@
 #   5. commit-throughput bench smoke run              — bench code can't rot
 #   6. telemetry example smoke run                    — the metric surface
 #      other tooling scrapes (names below) must keep exporting
+#   7. trace_tx example smoke run                     — a tx id must keep
+#      resolving to a complete five-phase timeline and a Chrome-trace
+#      export
 #
 # Run from anywhere; operates on the repository containing this script.
 
@@ -48,5 +51,21 @@ for metric in \
     fi
 done
 echo "telemetry smoke: all required metric families exported"
+
+echo "==> trace_tx example --smoke"
+# The traced lifecycle must keep deriving every phase latency from one
+# tx id, and the Chrome-trace export must keep its JSON envelope.
+trace_out="$(cargo run --release -p fabric-pdc --example trace_tx -- --smoke)"
+for phase in endorse order replicate validate commit; do
+    if ! grep -q "phase=${phase}" <<<"$trace_out"; then
+        echo "FAIL: trace_tx smoke output is missing 'phase=${phase}'" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"traceEvents"' <<<"$trace_out"; then
+    echo "FAIL: trace_tx smoke output is missing the Chrome-trace header" >&2
+    exit 1
+fi
+echo "trace_tx smoke: five-phase timeline + Chrome-trace export present"
 
 echo "CI gate passed."

@@ -85,6 +85,24 @@ fn every_attack_leaves_an_audit_trail() {
                 .any(|e| matches!(e, AuditEvent::PolicyFallbackToChaincodeLevel { .. })),
             "{kind}: chaincode-level policy fallback not audited (Use Case 2)"
         );
+        // The non-member endorsement is an attack signal: the lab's flight
+        // recorder must have auto-dumped forensic context around it.
+        let recorder = lab
+            .net
+            .telemetry()
+            .and_then(|t| t.flight_recorder())
+            .expect("lab attaches a flight recorder");
+        assert!(
+            !recorder.dumps().is_empty(),
+            "{kind}: attack signal did not trigger a flight-recorder dump"
+        );
+        assert!(
+            recorder.dumps().iter().any(|d| d
+                .audit_signature()
+                .iter()
+                .any(|(k, _)| *k == "endorsement_by_non_member")),
+            "{kind}: no dump carries the non-member endorsement"
+        );
     }
 }
 
@@ -134,5 +152,17 @@ fn filter_defense_rejection_is_audited() {
             .iter()
             .any(|e| matches!(e, AuditEvent::DefenseRejected { .. })),
         "defense rejection not audited"
+    );
+    let recorder = lab
+        .net
+        .telemetry()
+        .and_then(|t| t.flight_recorder())
+        .expect("lab attaches a flight recorder");
+    assert!(
+        recorder.dumps().iter().any(|d| d
+            .audit_signature()
+            .iter()
+            .any(|(k, _)| *k == "defense_rejected")),
+        "the defense rejection did not trigger a flight-recorder dump"
     );
 }

@@ -99,6 +99,49 @@ fn attaching_a_collector_silences_pdc010() {
 }
 
 #[test]
+fn flight_recorder_presence_drives_pdc011() {
+    for (recorder, expect_finding) in [(false, true), (true, false)] {
+        let telemetry = if recorder {
+            Telemetry::with_flight_recorder(256)
+        } else {
+            Telemetry::new()
+        };
+        let mut net = NetworkBuilder::new("trade-channel")
+            .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+            .seed(4)
+            .with_telemetry(telemetry)
+            .build();
+        net.deploy_chaincode(
+            secured_trade_definition(),
+            std::sync::Arc::new(SecuredTrade::new("sellerCollection")),
+        );
+        let has_recorder = net
+            .telemetry()
+            .is_some_and(|t| t.flight_recorder().is_some());
+        assert_eq!(has_recorder, recorder);
+        let subjects: Vec<LintSubject> = net
+            .deployed_definitions()
+            .into_iter()
+            .map(|d| {
+                LintSubject::from_definition(d, net.orgs())
+                    .with_telemetry_attached(true)
+                    .with_flight_recorder(has_recorder)
+            })
+            .collect();
+        let findings = lint::lint_subjects(&subjects);
+        assert_eq!(
+            findings.iter().any(|f| f.rule_id == "PDC011"),
+            expect_finding,
+            "recorder={recorder}: {findings:#?}"
+        );
+        if expect_finding {
+            let f = findings.iter().find(|f| f.rule_id == "PDC011").unwrap();
+            assert_eq!(f.severity, Severity::Note);
+        }
+    }
+}
+
+#[test]
 fn stripping_the_collection_policy_reintroduces_use_case_errors() {
     // The same deployment without the collection-level policy: PDC writes
     // fall back to "ANY Endorsement", which any of the three orgs — all
