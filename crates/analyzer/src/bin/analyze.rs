@@ -4,8 +4,9 @@
 //! ```console
 //! $ analyze scan <dir> [--json]            # scan a corpus directory
 //! $ analyze project <dir> [--json]         # detail scan of one project
-//! $ analyze lint <dir> [--json] [--sarif <path>]
+//! $ analyze lint <dir> [--json] [--sarif <path>] [--flow]
 //!                                          # scan + run the PDC linter
+//!                                          # (--flow adds taint analysis)
 //! $ analyze generate <dir> [--full]        # materialize a synthetic corpus
 //! ```
 //!
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   analyze scan <corpus-dir> [--json]
   analyze project <project-dir> [--json]
-  analyze lint <dir> [--json] [--sarif <path>]
+  analyze lint <dir> [--json] [--sarif <path>] [--flow]
   analyze generate <out-dir> [--full]";
 
 /// Parsed command line: positionals plus the accepted flags.
@@ -31,6 +32,7 @@ struct Cli {
     dir: PathBuf,
     json: bool,
     full: bool,
+    flow: bool,
     sarif: Option<PathBuf>,
 }
 
@@ -41,12 +43,14 @@ impl Cli {
         let mut positionals: Vec<&str> = Vec::new();
         let mut json = false;
         let mut full = false;
+        let mut flow = false;
         let mut sarif = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--json" => json = true,
                 "--full" => full = true,
+                "--flow" => flow = true,
                 "--sarif" => {
                     let path = it
                         .next()
@@ -67,7 +71,7 @@ impl Cli {
         };
         let allowed: &[&str] = match command {
             "scan" | "project" => &["--json"],
-            "lint" => &["--json", "--sarif"],
+            "lint" => &["--json", "--sarif", "--flow"],
             "generate" => &["--full"],
             other => return Err(format!("unknown command: {other}")),
         };
@@ -80,11 +84,15 @@ impl Cli {
         if sarif.is_some() && !allowed.contains(&"--sarif") {
             return Err(format!("--sarif is not accepted by `{command}`"));
         }
+        if flow && !allowed.contains(&"--flow") {
+            return Err(format!("--flow is not accepted by `{command}`"));
+        }
         Ok(Cli {
             command: command.to_string(),
             dir: PathBuf::from(dir),
             json,
             full,
+            flow,
             sarif,
         })
     }
@@ -102,7 +110,7 @@ fn main() -> ExitCode {
     match cli.command.as_str() {
         "scan" => cmd_scan(&cli.dir, cli.json),
         "project" => cmd_project(&cli.dir, cli.json),
-        "lint" => cmd_lint(&cli.dir, cli.json, cli.sarif.as_deref()),
+        "lint" => cmd_lint(&cli.dir, cli.json, cli.flow, cli.sarif.as_deref()),
         "generate" => cmd_generate(&cli.dir, cli.full),
         _ => unreachable!("validated by Cli::parse"),
     }
@@ -238,7 +246,7 @@ fn project_json(report: &fabric_analyzer::ProjectReport) -> String {
     )
 }
 
-fn cmd_lint(dir: &Path, json: bool, sarif: Option<&Path>) -> ExitCode {
+fn cmd_lint(dir: &Path, json: bool, flow: bool, sarif: Option<&Path>) -> ExitCode {
     // A directory with scannable files at its top level is one project
     // (even when it has subdirectories like `chaincode/`); a corpus root
     // holds only project subdirectories.
@@ -268,7 +276,12 @@ fn cmd_lint(dir: &Path, json: bool, sarif: Option<&Path>) -> ExitCode {
             );
         }
     }
-    let findings = lint_corpus(&reports);
+    let findings = if flow {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+        fabric_analyzer::lint_corpus_with_flow(&reports, workers)
+    } else {
+        lint_corpus(&reports)
+    };
     if let Some(path) = sarif {
         if let Err(e) = std::fs::write(path, render::render_sarif(&findings)) {
             eprintln!("error: cannot write {}: {e}", path.display());

@@ -33,7 +33,7 @@ pub mod scan;
 pub mod yamlish;
 
 pub use corpus::{CorpusSpec, SyntheticProject};
-pub use lint::{lint_corpus, subject_from_report};
+pub use lint::{lint_corpus, lint_corpus_with_flow, subject_from_report};
 pub use report::{CorpusReport, YearRow};
 pub use scan::{
     dir_is_project, scan_corpus, scan_corpus_sequential, scan_corpus_with, scan_project,

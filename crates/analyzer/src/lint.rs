@@ -87,10 +87,12 @@ pub fn subject_from_report(report: &ProjectReport) -> LintSubject {
         chaincode_policy: report.default_policy.clone(),
         collections,
         leaks,
-        // Static scans cannot see a running network, so PDC010/PDC011
-        // never fire on corpus subjects.
+        // Static scans cannot see a running network or executable
+        // chaincode, so PDC010/PDC011/PDC018 never fire on corpus
+        // subjects.
         telemetry_attached: None,
         flight_recorder: None,
+        flow_analyzed: None,
     }
 }
 
@@ -99,6 +101,24 @@ pub fn subject_from_report(report: &ProjectReport) -> LintSubject {
 pub fn lint_corpus(reports: &[ProjectReport]) -> Vec<fabric_lint::Finding> {
     let subjects: Vec<LintSubject> = reports.iter().map(subject_from_report).collect();
     fabric_lint::lint_subjects(&subjects)
+}
+
+/// [`lint_corpus`] plus information-flow taint analysis of the built-in
+/// sample registry (`analyze lint --flow`), fanned out over `workers`
+/// threads. Both finding sets land in one deterministically ordered
+/// list, so every renderer shows configuration and flow findings
+/// side by side.
+pub fn lint_corpus_with_flow(
+    reports: &[ProjectReport],
+    workers: usize,
+) -> Vec<fabric_lint::Finding> {
+    let mut findings = lint_corpus(reports);
+    findings.extend(fabric_flow::analyze_targets_with(
+        &fabric_flow::sample_registry(),
+        workers,
+    ));
+    fabric_lint::sort_and_dedup(&mut findings);
+    findings
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 //! sequential reference scan.
 
 use fabric_analyzer::{
-    corpus, lint_corpus, scan_corpus_sequential, scan_corpus_with, CorpusReport, CorpusSpec,
+    corpus, lint_corpus, lint_corpus_with_flow, scan_corpus_sequential, scan_corpus_with,
+    CorpusReport, CorpusSpec,
 };
 use fabric_lint::render;
 use proptest::prelude::*;
@@ -72,7 +73,38 @@ proptest! {
         prop_assert_eq!(render::render_json(&findings_seq), render::render_json(&findings_par));
         prop_assert_eq!(render::render_sarif(&findings_seq), render::render_sarif(&findings_par));
 
+        // With flow analysis merged in (`--flow`), renders still
+        // byte-match regardless of worker count on either axis.
+        let flow_seq = lint_corpus_with_flow(&sequential, 1);
+        let flow_par = lint_corpus_with_flow(&parallel, workers);
+        prop_assert_eq!(render::render_text(&flow_seq), render::render_text(&flow_par));
+        prop_assert_eq!(render::render_json(&flow_seq), render::render_json(&flow_par));
+        prop_assert_eq!(render::render_sarif(&flow_seq), render::render_sarif(&flow_par));
+
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Flow analysis of the built-in registry alone is byte-deterministic
+/// across repeated runs and worker counts — even though one registered
+/// sample (`leaky_escrow::stamp`) is deliberately nondeterministic.
+#[test]
+fn flow_findings_are_deterministic_across_runs_and_workers() {
+    let registry = fabric_flow::sample_registry();
+    let reference = fabric_flow::analyze_targets(&registry);
+    assert!(
+        !reference.is_empty(),
+        "registry must surface the leaky sample"
+    );
+    for workers in [1, 2, 3, 5, 8] {
+        let run = fabric_flow::analyze_targets_with(&registry, workers);
+        assert_eq!(
+            render::render_text(&reference),
+            render::render_text(&run),
+            "worker count {workers} changed flow output"
+        );
+        assert_eq!(render::render_json(&reference), render::render_json(&run));
+        assert_eq!(render::render_sarif(&reference), render::render_sarif(&run));
     }
 }
 

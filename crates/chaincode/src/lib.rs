@@ -29,7 +29,7 @@ pub mod samples;
 
 pub use definition::{ChaincodeDefinition, CompiledPolicies};
 pub use error::ChaincodeError;
-pub use stub::{ChaincodeStub, SimulationResult};
+pub use stub::{ChaincodeStub, SimulationResult, StubOp};
 
 use std::sync::Arc;
 

@@ -11,10 +11,13 @@
 //!   deploys its own variant with its own business-rule guards
 //!   (customizable chaincode), e.g. org1 requires `k1.value < 15`, org2
 //!   requires `k1.value > 10`.
+//! * [`LeakyEscrow`] — a deliberately leaky chaincode exercising every
+//!   `fabric-flow` sink (PDC012–PDC017); the analyzer's positive fixture.
 
 mod asset_transfer;
 mod guarded;
 mod indexed_assets;
+mod leaky_escrow;
 mod perf_test;
 mod sacc;
 mod sbe_demo;
@@ -23,6 +26,7 @@ mod secured_trade;
 pub use asset_transfer::{Asset, AssetTransfer};
 pub use guarded::{Guard, GuardedPdc};
 pub use indexed_assets::IndexedAssets;
+pub use leaky_escrow::LeakyEscrow;
 pub use perf_test::PerfTest;
 pub use sacc::{SaccPrivate, SaccPrivateFixed};
 pub use sbe_demo::SbeDemo;

@@ -13,6 +13,142 @@ use std::collections::{BTreeMap, HashSet};
 /// Delimiter of composite key components (Fabric uses U+0000).
 const COMPOSITE_DELIMITER: char = '\u{0}';
 
+/// One shim-API call observed during a traced simulation.
+///
+/// Recording is off by default; [`ChaincodeStub::enable_op_log`] turns it
+/// on and [`ChaincodeStub::into_results_and_ops`] yields the log. The
+/// `fabric-flow` analyzer replays this log to attach provenance to every
+/// data sink (public writes, events, response payloads) and to render
+/// source→sink flow paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StubOp {
+    /// `GetState(key)` returning `value`.
+    GetState {
+        /// Public key read.
+        key: String,
+        /// Value returned, when the key existed.
+        value: Option<Vec<u8>>,
+    },
+    /// `PutState(key, value)`.
+    PutState {
+        /// Public key written.
+        key: String,
+        /// Value staged for the public write set.
+        value: Vec<u8>,
+    },
+    /// `DelState(key)`.
+    DelState {
+        /// Public key deleted.
+        key: String,
+    },
+    /// One `GetStateByRange` scan.
+    RangeScan {
+        /// Range start (inclusive).
+        start: String,
+        /// Range end (exclusive; empty = unbounded).
+        end: String,
+        /// Number of keys returned.
+        returned: usize,
+    },
+    /// `GetPrivateData(collection, key)` returning `value` (only recorded
+    /// when the membership guards passed).
+    GetPrivateData {
+        /// Collection read.
+        collection: CollectionName,
+        /// Private key read.
+        key: String,
+        /// Plaintext value returned, when the key existed.
+        value: Option<Vec<u8>>,
+    },
+    /// `GetPrivateDataHash(collection, key)`.
+    GetPrivateDataHash {
+        /// Collection whose hashed store was read.
+        collection: CollectionName,
+        /// Private key queried.
+        key: String,
+        /// Whether a hash entry existed.
+        found: bool,
+    },
+    /// `PutPrivateData(collection, key, value)`.
+    PutPrivateData {
+        /// Collection written.
+        collection: CollectionName,
+        /// Private key written.
+        key: String,
+        /// Plaintext value staged for the collection write set.
+        value: Vec<u8>,
+    },
+    /// `DelPrivateData(collection, key)`.
+    DelPrivateData {
+        /// Collection the delete targets.
+        collection: CollectionName,
+        /// Private key deleted.
+        key: String,
+    },
+    /// `SetEvent(name, payload)`.
+    SetEvent {
+        /// Event name.
+        name: String,
+        /// Event payload (committed into the public block).
+        payload: Vec<u8>,
+    },
+}
+
+impl StubOp {
+    /// The bytes this operation carried (read results, staged writes,
+    /// event payloads), when any. Taint analysis scans these for
+    /// sentinels.
+    pub fn carried(&self) -> Option<&[u8]> {
+        match self {
+            StubOp::GetState { value, .. } | StubOp::GetPrivateData { value, .. } => {
+                value.as_deref()
+            }
+            StubOp::PutState { value, .. } | StubOp::PutPrivateData { value, .. } => {
+                Some(value.as_slice())
+            }
+            StubOp::SetEvent { payload, .. } => Some(payload.as_slice()),
+            StubOp::DelState { .. }
+            | StubOp::DelPrivateData { .. }
+            | StubOp::RangeScan { .. }
+            | StubOp::GetPrivateDataHash { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StubOp {
+    /// Compact value-free rendering used in flow-path diagnostics (values
+    /// are omitted so rendered paths stay deterministic even for
+    /// nondeterministic chaincode).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StubOp::GetState { key, .. } => write!(f, "GetState({key:?})"),
+            StubOp::PutState { key, .. } => write!(f, "PutState({key:?})"),
+            StubOp::DelState { key } => write!(f, "DelState({key:?})"),
+            StubOp::RangeScan {
+                start,
+                end,
+                returned,
+            } => write!(
+                f,
+                "GetStateByRange({start:?}, {end:?}) -> {returned} key(s)"
+            ),
+            StubOp::GetPrivateData {
+                collection, key, ..
+            } => write!(f, "GetPrivateData({}, {key:?})", collection.as_str()),
+            StubOp::GetPrivateDataHash {
+                collection, key, ..
+            } => write!(f, "GetPrivateDataHash({}, {key:?})", collection.as_str()),
+            StubOp::PutPrivateData {
+                collection, key, ..
+            } => write!(f, "PutPrivateData({}, {key:?})", collection.as_str()),
+            StubOp::DelPrivateData { collection, key } => {
+                write!(f, "DelPrivateData({}, {key:?})", collection.as_str())
+            }
+            StubOp::SetEvent { name, .. } => write!(f, "SetEvent({name:?})"),
+        }
+    }
+}
+
 /// The rwsets produced by one simulated invocation.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SimulationResult {
@@ -56,6 +192,9 @@ pub struct ChaincodeStub<'a> {
     metadata_writes: Vec<MetadataWrite>,
     pvt_rwsets: BTreeMap<CollectionName, KvRwSet>,
     event: Option<ChaincodeEvent>,
+    /// Traced shim calls; `None` (the default) disables recording so the
+    /// endorsement hot path pays nothing.
+    op_log: Option<Vec<StubOp>>,
 }
 
 impl<'a> ChaincodeStub<'a> {
@@ -79,6 +218,21 @@ impl<'a> ChaincodeStub<'a> {
             metadata_writes: Vec::new(),
             pvt_rwsets: BTreeMap::new(),
             event: None,
+            op_log: None,
+        }
+    }
+
+    /// Turns on shim-call tracing: every subsequent data operation is
+    /// recorded as a [`StubOp`], retrievable via
+    /// [`into_results_and_ops`](Self::into_results_and_ops). Used by the
+    /// `fabric-flow` taint analyzer; normal endorsement leaves this off.
+    pub fn enable_op_log(&mut self) {
+        self.op_log = Some(Vec::new());
+    }
+
+    fn record(&mut self, op: impl FnOnce() -> StubOp) {
+        if let Some(log) = &mut self.op_log {
+            log.push(op());
         }
     }
 
@@ -149,11 +303,20 @@ impl<'a> ChaincodeStub<'a> {
             key: key.to_string(),
             version: entry.map(|e| e.version),
         });
-        entry.map(|e| e.value.clone())
+        let value = entry.map(|e| e.value.clone());
+        self.record(|| StubOp::GetState {
+            key: key.to_string(),
+            value: value.clone(),
+        });
+        value
     }
 
     /// Stages a public write.
     pub fn put_state(&mut self, key: &str, value: Vec<u8>) {
+        self.record(|| StubOp::PutState {
+            key: key.to_string(),
+            value: value.clone(),
+        });
         self.public_rwset.writes.push(KvWrite {
             key: key.to_string(),
             value: Some(value),
@@ -164,6 +327,9 @@ impl<'a> ChaincodeStub<'a> {
     /// Stages a public delete (a write with `is_delete = true` and a null
     /// value, per Table I).
     pub fn del_state(&mut self, key: &str) {
+        self.record(|| StubOp::DelState {
+            key: key.to_string(),
+        });
         self.public_rwset.writes.push(KvWrite {
             key: key.to_string(),
             value: None,
@@ -195,6 +361,11 @@ impl<'a> ChaincodeStub<'a> {
             });
             out.push((key, value));
         }
+        self.record(|| StubOp::RangeScan {
+            start: start.to_string(),
+            end: end.to_string(),
+            returned: out.len(),
+        });
         out
     }
 
@@ -275,6 +446,10 @@ impl<'a> ChaincodeStub<'a> {
     /// one. The event commits with the transaction and is delivered to
     /// listeners only if the transaction validates.
     pub fn set_event(&mut self, name: &str, payload: Vec<u8>) {
+        self.record(|| StubOp::SetEvent {
+            name: name.to_string(),
+            payload: payload.clone(),
+        });
         self.event = Some(ChaincodeEvent {
             name: name.to_string(),
             payload,
@@ -353,7 +528,13 @@ impl<'a> ChaincodeStub<'a> {
                 key: key.to_string(),
                 version: entry.map(|e| e.version),
             });
-        Ok(entry.map(|e| e.value.clone()))
+        let value = entry.map(|e| e.value.clone());
+        self.record(|| StubOp::GetPrivateData {
+            collection: collection.clone(),
+            key: key.to_string(),
+            value: value.clone(),
+        });
+        Ok(value)
     }
 
     /// Reads the hash of private data (`GetPrivateDataHash`).
@@ -379,6 +560,11 @@ impl<'a> ChaincodeStub<'a> {
                 key: key.to_string(),
                 version: entry.map(|(_, v)| v),
             });
+        self.record(|| StubOp::GetPrivateDataHash {
+            collection: collection.clone(),
+            key: key.to_string(),
+            found: entry.is_some(),
+        });
         entry.map(|(h, _)| h)
     }
 
@@ -386,6 +572,11 @@ impl<'a> ChaincodeStub<'a> {
     /// write-only result needs no state, so non-members endorse it without
     /// errors (Use Case 1).
     pub fn put_private_data(&mut self, collection: &CollectionName, key: &str, value: Vec<u8>) {
+        self.record(|| StubOp::PutPrivateData {
+            collection: collection.clone(),
+            key: key.to_string(),
+            value: value.clone(),
+        });
         self.pvt_rwsets
             .entry(collection.clone())
             .or_default()
@@ -400,6 +591,10 @@ impl<'a> ChaincodeStub<'a> {
     /// Stages a private delete (`DelPrivateData`) — like a write, endorsable
     /// by non-members (§IV-A4).
     pub fn del_private_data(&mut self, collection: &CollectionName, key: &str) {
+        self.record(|| StubOp::DelPrivateData {
+            collection: collection.clone(),
+            key: key.to_string(),
+        });
         self.pvt_rwsets
             .entry(collection.clone())
             .or_default()
@@ -413,7 +608,13 @@ impl<'a> ChaincodeStub<'a> {
 
     /// Finishes the simulation, yielding the accumulated rwsets.
     pub fn into_results(self) -> SimulationResult {
-        SimulationResult {
+        self.into_results_and_ops().0
+    }
+
+    /// Finishes a traced simulation, yielding the rwsets plus the shim-call
+    /// log (empty unless [`enable_op_log`](Self::enable_op_log) was called).
+    pub fn into_results_and_ops(self) -> (SimulationResult, Vec<StubOp>) {
+        let results = SimulationResult {
             public: self.public_rwset,
             metadata_writes: self.metadata_writes,
             event: self.event,
@@ -422,7 +623,8 @@ impl<'a> ChaincodeStub<'a> {
                 .into_iter()
                 .map(|(collection, rwset)| CollectionPvtRwSet { collection, rwset })
                 .collect(),
-        }
+        };
+        (results, self.op_log.unwrap_or_default())
     }
 }
 
@@ -580,6 +782,65 @@ mod tests {
             .get_private_data(&CollectionName::new("PDC1"), "k1")
             .unwrap_err();
         assert!(matches!(err, ChaincodeError::MemberOnlyRead { .. }));
+    }
+
+    #[test]
+    fn op_log_is_off_by_default() {
+        let (ws, def) = setup();
+        let members = member_set();
+        let prop = proposal("f", "Org1MSP");
+        let mut stub = ChaincodeStub::new(&ws, &def, &members, &prop);
+        stub.get_state("pub1");
+        stub.put_state("out", b"x".to_vec());
+        let (_, ops) = stub.into_results_and_ops();
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn op_log_records_shim_calls_in_order() {
+        let (ws, def) = setup();
+        let members = member_set();
+        let prop = proposal("f", "Org1MSP");
+        let mut stub = ChaincodeStub::new(&ws, &def, &members, &prop);
+        stub.enable_op_log();
+        stub.get_state("pub1");
+        stub.get_private_data(&CollectionName::new("PDC1"), "k1")
+            .unwrap();
+        stub.put_state("out", b"copied".to_vec());
+        stub.set_event("evt", b"payload".to_vec());
+        stub.del_private_data(&CollectionName::new("PDC1"), "k1");
+        let (_, ops) = stub.into_results_and_ops();
+        assert_eq!(ops.len(), 5);
+        assert_eq!(
+            ops[0],
+            StubOp::GetState {
+                key: "pub1".into(),
+                value: Some(b"v".to_vec()),
+            }
+        );
+        assert_eq!(ops[1].carried(), Some(b"secret".as_slice()));
+        assert_eq!(ops[2].to_string(), "PutState(\"out\")");
+        assert_eq!(ops[3].to_string(), "SetEvent(\"evt\")");
+        assert_eq!(ops[4].carried(), None);
+        // Display never renders carried values (determinism of rendered
+        // flow paths for nondeterministic chaincode depends on this).
+        for op in &ops {
+            assert!(!op.to_string().contains("secret"));
+            assert!(!op.to_string().contains("copied"));
+        }
+    }
+
+    #[test]
+    fn failed_private_reads_are_not_recorded() {
+        let (ws, def) = setup();
+        let no_memberships = HashSet::new();
+        let prop = proposal("f", "Org1MSP");
+        let mut stub = ChaincodeStub::new(&ws, &def, &no_memberships, &prop);
+        stub.enable_op_log();
+        stub.get_private_data(&CollectionName::new("PDC1"), "k1")
+            .unwrap_err();
+        let (_, ops) = stub.into_results_and_ops();
+        assert!(ops.is_empty());
     }
 
     #[test]

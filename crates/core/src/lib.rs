@@ -28,6 +28,7 @@
 //! | attacks | [`attacks`] | §IV attacks and the §V-A/§V-B experiment labs |
 //! | analyzer | [`analyzer`] | §V-C static analyzer + synthetic corpus |
 //! | lint | [`lint`] | rule-based PDC misconfiguration linter (text/JSON/SARIF) |
+//! | flow | [`flow`] | information-flow taint analysis of chaincode leakage |
 //! | telemetry | [`telemetry`] | tracing spans, metrics registry, security-audit events |
 //!
 //! ## Quick start
@@ -73,6 +74,7 @@ pub use fabric_attacks as attacks;
 pub use fabric_chaincode as chaincode;
 pub use fabric_client as client;
 pub use fabric_crypto as crypto;
+pub use fabric_flow as flow;
 pub use fabric_gossip as gossip;
 pub use fabric_ledger as ledger;
 pub use fabric_lint as lint;

@@ -31,7 +31,7 @@ pub mod render;
 pub mod rules;
 pub mod subject;
 
-pub use rules::{lint_subject, lint_subjects, rule, rules};
+pub use rules::{lint_subject, lint_subjects, rule, rules, sort_and_dedup};
 pub use subject::{CollectionFacts, LeakChannel, LeakFact, LintSubject};
 
 use std::fmt;

@@ -105,6 +105,65 @@ const RULES: &[Rule] = &[
                       signals (defense rejections, non-member endorsements, MVCC \
                       conflicts) trigger no forensic context dump",
     },
+    Rule {
+        id: "PDC012",
+        name: "private-to-public-state-flow",
+        severity: Severity::Error,
+        use_case: None,
+        description: "a chaincode function writes private-collection data into public world \
+                      state, replicating the plaintext to every peer on the channel",
+    },
+    Rule {
+        id: "PDC013",
+        name: "private-to-event-flow",
+        severity: Severity::Error,
+        use_case: None,
+        description: "a chaincode function emits private-collection data in a chaincode \
+                      event, delivering the plaintext to every block listener",
+    },
+    Rule {
+        id: "PDC014",
+        name: "private-response-to-non-member",
+        severity: Severity::Error,
+        use_case: Some(3),
+        description: "a chaincode function returns private-collection data in the proposal \
+                      response to a client from a non-member organization",
+    },
+    Rule {
+        id: "PDC015",
+        name: "cross-collection-downgrade",
+        severity: Severity::Error,
+        use_case: None,
+        description: "a chaincode function copies data from a stricter collection into one \
+                      with a laxer member set, granting non-entitled organizations the \
+                      plaintext",
+    },
+    Rule {
+        id: "PDC016",
+        name: "guessable-hash-commitment",
+        severity: Severity::Warning,
+        use_case: None,
+        description: "a chaincode function commits a low-entropy private value whose \
+                      on-chain hash (PR_Hash) any non-member peer can recover by brute \
+                      force",
+    },
+    Rule {
+        id: "PDC017",
+        name: "endorsement-nondeterminism",
+        severity: Severity::Warning,
+        use_case: None,
+        description: "a chaincode function produces divergent simulation results across \
+                      endorsing peers or repeated runs, so honest endorsements mismatch \
+                      and the transaction path is hijackable",
+    },
+    Rule {
+        id: "PDC018",
+        name: "chaincode-not-flow-analyzed",
+        severity: Severity::Note,
+        use_case: None,
+        description: "the deployed chaincode has not been through information-flow \
+                      analysis; private-data leakage through its code paths is unchecked",
+    },
 ];
 
 /// All registered rules, in stable ID order.
@@ -134,7 +193,7 @@ fn finding(
 }
 
 /// Lints one subject, returning findings sorted by
-/// [`Finding::sort_key`].
+/// [`Finding::sort_key`] with exact duplicates collapsed.
 pub fn lint_subject(subject: &LintSubject) -> Vec<Finding> {
     let mut findings = Vec::new();
     for collection in &subject.collections {
@@ -144,7 +203,7 @@ pub fn lint_subject(subject: &LintSubject) -> Vec<Finding> {
     check_chaincode_policy_ast(subject, &mut findings);
     check_leaks(subject, &mut findings);
     check_observability(subject, &mut findings);
-    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    sort_and_dedup(&mut findings);
     findings
 }
 
@@ -152,8 +211,17 @@ pub fn lint_subject(subject: &LintSubject) -> Vec<Finding> {
 /// finding list.
 pub fn lint_subjects<'a>(subjects: impl IntoIterator<Item = &'a LintSubject>) -> Vec<Finding> {
     let mut findings: Vec<Finding> = subjects.into_iter().flat_map(lint_subject).collect();
-    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    sort_and_dedup(&mut findings);
     findings
+}
+
+/// Canonical finding order: sorted by [`Finding::sort_key`], exact
+/// duplicates collapsed. Dedup matters for flow findings, where one leak
+/// is rediscovered by every (input, identity) combination that reaches
+/// it; byte-identical reports across runs depend on this normalization.
+pub fn sort_and_dedup(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    findings.dedup();
 }
 
 /// PDC001–PDC005: per-collection configuration checks.
@@ -437,6 +505,17 @@ fn check_observability(subject: &LintSubject, out: &mut Vec<Finding>) {
                 .to_string(),
         ));
     }
+    if subject.flow_analyzed == Some(false) {
+        out.push(finding(
+            "PDC018",
+            subject,
+            Location::artifact(&subject.uri),
+            "this chaincode has not been information-flow analyzed: whether its \
+             code paths route private data into public state, events, or \
+             non-member responses is unknown (run `analyze lint --flow`)"
+                .to_string(),
+        ));
+    }
 }
 
 /// PDC009: known payload leaks.
@@ -496,6 +575,7 @@ mod tests {
             leaks: Vec::new(),
             telemetry_attached: None,
             flight_recorder: None,
+            flow_analyzed: None,
         }
     }
 
@@ -539,6 +619,34 @@ mod tests {
             .find(|f| f.rule_id == "PDC011")
             .expect("PDC011 fires on a recorder-less network");
         assert_eq!(f.severity, Severity::Note);
+    }
+
+    #[test]
+    fn pdc018_fires_only_on_known_unanalyzed_chaincode() {
+        // Unknown (scans, plain definitions): silent.
+        assert!(!fires(&clean_subject(), "PDC018"));
+        // Known analyzed: silent.
+        let analyzed = clean_subject().with_flow_analyzed(true);
+        assert!(!fires(&analyzed, "PDC018"));
+        // Known unanalyzed: notes.
+        let unanalyzed = clean_subject().with_flow_analyzed(false);
+        let findings = lint_subject(&unanalyzed);
+        let f = findings
+            .iter()
+            .find(|f| f.rule_id == "PDC018")
+            .expect("PDC018 fires on unanalyzed chaincode");
+        assert_eq!(f.severity, Severity::Note);
+    }
+
+    #[test]
+    fn identical_findings_are_deduplicated() {
+        // Two identical subjects (same name) produce the same findings;
+        // the merged report must collapse them — the flow analyzer's
+        // (input × identity) matrix rediscovers each leak many times.
+        let mut subject = clean_subject();
+        subject.collections[0].endorsement_policy = None;
+        let merged = lint_subjects([&subject, &subject]);
+        assert_eq!(merged, lint_subject(&subject));
     }
 
     #[test]

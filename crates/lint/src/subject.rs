@@ -117,6 +117,11 @@ pub struct LintSubject {
     /// silent; `Some(false)` marks a live network where attack signals
     /// trigger no forensic dump.
     pub flight_recorder: Option<bool>,
+    /// Whether this chaincode has been through `fabric-flow` information-
+    /// flow analysis. `None` (the default) means unknown and keeps PDC018
+    /// silent; `Some(false)` marks a deployment knowingly running
+    /// un-analyzed chaincode.
+    pub flow_analyzed: Option<bool>,
 }
 
 impl LintSubject {
@@ -138,6 +143,7 @@ impl LintSubject {
             leaks: Vec::new(),
             telemetry_attached: None,
             flight_recorder: None,
+            flow_analyzed: None,
         }
     }
 
@@ -155,6 +161,17 @@ impl LintSubject {
     /// t.flight_recorder().is_some()))`.
     pub fn with_flight_recorder(mut self, attached: bool) -> Self {
         self.flight_recorder = Some(attached);
+        self
+    }
+
+    /// Records whether this chaincode has been information-flow analyzed
+    /// (feeds rule PDC018). Typically set to `true` after running the
+    /// `fabric-flow` analyzer over the deployed [`Chaincode`] instance,
+    /// `false` for deployments knowingly skipping it.
+    ///
+    /// [`Chaincode`]: fabric_chaincode::Chaincode
+    pub fn with_flow_analyzed(mut self, analyzed: bool) -> Self {
+        self.flow_analyzed = Some(analyzed);
         self
     }
 

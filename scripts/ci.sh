@@ -12,6 +12,10 @@
 #   7. trace_tx example smoke run                     — a tx id must keep
 #      resolving to a complete five-phase timeline and a Chrome-trace
 #      export
+#   8. flow-analysis smoke run                        — `analyze lint
+#      --flow` must keep flagging every flow rule on the leaky sample
+#      (with a rendered source→sink path) and stay silent on the
+#      defended samples
 #
 # Run from anywhere; operates on the repository containing this script.
 
@@ -67,5 +71,34 @@ if ! grep -q '"traceEvents"' <<<"$trace_out"; then
     exit 1
 fi
 echo "trace_tx smoke: five-phase timeline + Chrome-trace export present"
+
+echo "==> analyze lint --flow smoke"
+# Taint analysis of the built-in sample registry: the deliberately leaky
+# escrow sample carries Error-severity findings, so the lint exit code is
+# non-zero by design — the gate checks the report contents instead.
+flow_dir="$(mktemp -d)"
+flow_out="$(cargo run --release -p fabric-analyzer --bin analyze -- lint "$flow_dir" --flow || true)"
+rmdir "$flow_dir"
+for rule in PDC012 PDC013 PDC014 PDC015 PDC016 PDC017; do
+    if ! grep -q "${rule}" <<<"$flow_out"; then
+        echo "FAIL: flow smoke output is missing rule '${rule}'" >&2
+        exit 1
+    fi
+done
+if ! grep -q "leaky_escrow" <<<"$flow_out"; then
+    echo "FAIL: flow smoke output does not name the leaky sample" >&2
+    exit 1
+fi
+if ! grep -q "flow: GetPrivateData(escrowCollection" <<<"$flow_out"; then
+    echo "FAIL: flow smoke output is missing a source→sink flow path" >&2
+    exit 1
+fi
+for clean in guarded sacc secured_trade; do
+    if grep -qw "${clean}" <<<"$flow_out"; then
+        echo "FAIL: flow smoke flagged the defended sample '${clean}'" >&2
+        exit 1
+    fi
+done
+echo "flow smoke: all six flow rules fire on the leaky sample only"
 
 echo "CI gate passed."

@@ -142,6 +142,52 @@ fn flight_recorder_presence_drives_pdc011() {
 }
 
 #[test]
+fn flow_analysis_state_drives_pdc018() {
+    // Tri-state, mirroring PDC010/PDC011: unknown stays silent, a known
+    // gap fires the note, a completed analysis silences it.
+    for (flow_analyzed, expect_finding) in [(None, false), (Some(false), true), (Some(true), false)]
+    {
+        let definition = secured_trade_definition();
+        let mut subject = LintSubject::from_definition(&definition, &channel_orgs());
+        if let Some(analyzed) = flow_analyzed {
+            subject = subject.with_flow_analyzed(analyzed);
+        }
+        let findings = lint::lint_subject(&subject);
+        assert_eq!(
+            findings.iter().any(|f| f.rule_id == "PDC018"),
+            expect_finding,
+            "flow_analyzed={flow_analyzed:?}: {findings:#?}"
+        );
+        if expect_finding {
+            let f = findings.iter().find(|f| f.rule_id == "PDC018").unwrap();
+            assert_eq!(f.severity, Severity::Note);
+            assert!(f.message.contains("--flow"), "{}", f.message);
+        }
+    }
+}
+
+#[test]
+fn flow_analyzing_the_deployed_sample_justifies_the_tri_state_true() {
+    // The honest way to set `flow_analyzed: true` on a subject: actually
+    // run the flow analyzer over the deployed chaincode. secured_trade is
+    // in the built-in registry and must come back clean.
+    let target = fabric_pdc::flow::sample_registry()
+        .into_iter()
+        .find(|t| t.name == "secured_trade")
+        .expect("secured_trade registered");
+    let flow_findings = fabric_pdc::flow::analyze_target(&target);
+    assert!(flow_findings.is_empty(), "{flow_findings:#?}");
+
+    let subject = LintSubject::from_definition(&secured_trade_definition(), &channel_orgs())
+        .with_flow_analyzed(flow_findings.is_empty());
+    let findings = lint::lint_subject(&subject);
+    assert!(
+        findings.iter().all(|f| f.rule_id != "PDC018"),
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn stripping_the_collection_policy_reintroduces_use_case_errors() {
     // The same deployment without the collection-level policy: PDC writes
     // fall back to "ANY Endorsement", which any of the three orgs — all
