@@ -9,6 +9,18 @@
 //!   (compiled-policy caches, sequential stateless pass).
 //! * `pipeline-par` — the staged pipeline with parallel validation on.
 //!
+//! Two stream sections then measure the scheduler work of this PR:
+//!
+//! * `pipeline-overlap` — `Peer::process_blocks_overlapped` over a
+//!   pre-chained multi-block stream, overlapping block N+1's stateless
+//!   pass with block N's stateful merge (plus batched per-identity HMAC
+//!   verification), against the same stream committed one
+//!   `process_block` at a time.
+//! * `sharded-N` — one commit lane per channel through
+//!   `ShardedScheduler`, against the same channels drained on a single
+//!   lane. Channels share no ledger state, so the aggregate rate scales
+//!   with cores; single-core hosts serialize the lanes.
+//!
 //! Two further instrumented passes re-time `pipeline-par`: one with a
 //! no-op telemetry collector attached (interleaved with bare runs),
 //! yielding the disabled-instrumentation overhead, and one with a live
@@ -23,7 +35,11 @@
 //! cargo run --release -p fabric-bench --bin commit_throughput
 //! ```
 
-use fabric_bench::{fixture_network, prepared_commit_block, traced_fixture_network, NS};
+use fabric_bench::{
+    channel_fixture_network, fixture_network, prepared_commit_block, prepared_commit_stream,
+    traced_fixture_network, NS,
+};
+use fabric_pdc::peer::{CommitLane, ShardedScheduler};
 use fabric_pdc::prelude::*;
 use fabric_pdc::telemetry::PHASES;
 use fabric_pdc::types::{Block, PvtDataPackage};
@@ -162,6 +178,221 @@ fn time_overhead_pair(
         bare_samples.iter().copied().min().expect("runs > 0"),
         inst_samples.iter().copied().min().expect("runs > 0"),
     )
+}
+
+/// Times a whole-stream commit on fresh clones of `peer`: either the
+/// staged per-block pipeline in a loop (`overlap = false`) or the
+/// pipelined scheduler overlapping block N+1's stateless pass with
+/// block N's stateful merge (`overlap = true`).
+fn time_stream(
+    peer: &Peer,
+    blocks: &[Block],
+    pkgs: &HashMap<TxId, PvtDataPackage>,
+    overlap: bool,
+    runs: usize,
+    warmup: usize,
+) -> Duration {
+    let mut base = peer.clone();
+    base.set_parallel_validation(true);
+    let mut samples = Vec::with_capacity(runs);
+    for i in 0..warmup + runs {
+        let mut p = base.clone();
+        let bs = blocks.to_vec();
+        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+        let start = Instant::now();
+        if overlap {
+            let outcomes = p
+                .process_blocks_overlapped(bs, &mut provider)
+                .expect("stream chains");
+            assert!(
+                outcomes
+                    .iter()
+                    .all(|o| o.validation_codes.iter().all(|c| c.is_valid())),
+                "workload transactions must all validate"
+            );
+        } else {
+            for b in bs {
+                let outcome = p.process_block(b, &mut provider).expect("block chains");
+                assert!(
+                    outcome.validation_codes.iter().all(|c| c.is_valid()),
+                    "workload transactions must all validate"
+                );
+            }
+        }
+        let elapsed = start.elapsed();
+        if i >= warmup {
+            samples.push(elapsed);
+        }
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// One channel's commit workload: the validating peer, its pre-chained
+/// block stream, and the backing private-data packages.
+type ChannelWorkload = (Peer, Vec<Block>, HashMap<TxId, PvtDataPackage>);
+
+/// Times committing every channel's stream on fresh peer clones.
+/// `sharded = false` drains the channels one after another on the
+/// calling thread (a single commit lane); `sharded = true` hands one
+/// [`CommitLane`] per channel to the [`ShardedScheduler`], which runs
+/// them on scoped threads when the host has the cores.
+fn time_sharded(
+    channels: &[ChannelWorkload],
+    sharded: bool,
+    runs: usize,
+    warmup: usize,
+) -> Duration {
+    let mut samples = Vec::with_capacity(runs);
+    for i in 0..warmup + runs {
+        let mut peers: Vec<Peer> = channels
+            .iter()
+            .map(|(p, _, _)| {
+                let mut p = p.clone();
+                p.set_parallel_validation(true);
+                p
+            })
+            .collect();
+        let work: Vec<Vec<Block>> = channels.iter().map(|(_, b, _)| b.clone()).collect();
+        let elapsed = if sharded {
+            let mut lanes = Vec::with_capacity(channels.len());
+            for ((p, blocks), (_, _, pkgs)) in peers.iter_mut().zip(work).zip(channels) {
+                lanes.push(CommitLane::new(p, blocks, move |tx_id: &TxId| {
+                    pkgs.get(tx_id).cloned()
+                }));
+            }
+            let scheduler = ShardedScheduler::new(lanes);
+            let start = Instant::now();
+            let results = scheduler.commit();
+            let elapsed = start.elapsed();
+            for lane in results {
+                let outcomes = lane.expect("lane commits");
+                assert!(
+                    outcomes
+                        .iter()
+                        .all(|o| o.validation_codes.iter().all(|c| c.is_valid())),
+                    "workload transactions must all validate"
+                );
+            }
+            elapsed
+        } else {
+            let start = Instant::now();
+            for ((p, blocks), (_, _, pkgs)) in peers.iter_mut().zip(work).zip(channels) {
+                let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+                let outcomes = p
+                    .process_blocks_overlapped(blocks, &mut provider)
+                    .expect("lane commits");
+                assert!(
+                    outcomes
+                        .iter()
+                        .all(|o| o.validation_codes.iter().all(|c| c.is_valid())),
+                    "workload transactions must all validate"
+                );
+            }
+            start.elapsed()
+        };
+        if i >= warmup {
+            samples.push(elapsed);
+        }
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Results of the stream and sharded sections, carried into the JSON
+/// report.
+struct StreamSharded {
+    stream_blocks: usize,
+    stream_block_txs: usize,
+    par_tps: f64,
+    overlap_tps: f64,
+    shard_channels: usize,
+    shard_blocks: usize,
+    shard_block_txs: usize,
+    lanes1_tps: f64,
+    lanesn_tps: f64,
+    cores: usize,
+}
+
+/// Measures the `pipeline-overlap` stream mode and the `sharded-N`
+/// multi-channel mode, printing one row per configuration.
+fn run_stream_and_sharded(smoke: bool) -> StreamSharded {
+    // Stream: a pre-chained multi-block single-channel stream (block
+    // headers do not cover metadata, so the whole stream exists up
+    // front), committed per-block vs through the overlap scheduler.
+    let (stream_blocks, stream_block_txs) = if smoke { (2, 8) } else { (6, 1000) };
+    let (runs, warmup) = if smoke { (3, 1) } else { (8, 2) };
+    let mut net = fixture_network(DefenseConfig::original(), 7);
+    let (peer, stream, pkgs) = prepared_commit_stream(&mut net, stream_blocks, stream_block_txs, 1);
+    let stream_txs = (stream_blocks * stream_block_txs) as f64;
+    let par = time_stream(&peer, &stream, &pkgs, false, runs, warmup);
+    let overlap = time_stream(&peer, &stream, &pkgs, true, runs, warmup);
+    let par_tps = stream_txs / par.as_secs_f64();
+    let overlap_tps = stream_txs / overlap.as_secs_f64();
+    for (mode, median, tps) in [
+        ("pipeline-par", par, par_tps),
+        ("pipeline-overlap", overlap, overlap_tps),
+    ] {
+        println!(
+            "stream blocks={stream_blocks} block_txs={stream_block_txs:>5}  mode={mode:<17} \
+             median={median:>10.3?}  txs/sec={tps:>10.0}"
+        );
+    }
+    println!(
+        "overlap speedup vs per-block pipeline-par: {:.2}x",
+        overlap_tps / par_tps
+    );
+
+    // Sharded: one independent ledger per channel; lanes=1 drains them
+    // sequentially, lanes=N commits them on per-channel lanes.
+    let (shard_channels, shard_blocks, shard_block_txs) =
+        if smoke { (2, 2, 8) } else { (4, 2, 500) };
+    let (runs, warmup) = if smoke { (3, 1) } else { (6, 1) };
+    let channels: Vec<ChannelWorkload> = (0..shard_channels)
+        .map(|c| {
+            let mut net = channel_fixture_network(
+                &format!("lane{c}"),
+                DefenseConfig::original(),
+                20 + c as u64,
+            );
+            prepared_commit_stream(
+                &mut net,
+                shard_blocks,
+                shard_block_txs,
+                (c * shard_blocks * shard_block_txs) as u64,
+            )
+        })
+        .collect();
+    let agg_txs = (shard_channels * shard_blocks * shard_block_txs) as f64;
+    let lanes1 = time_sharded(&channels, false, runs, warmup);
+    let lanesn = time_sharded(&channels, true, runs, warmup);
+    let lanes1_tps = agg_txs / lanes1.as_secs_f64();
+    let lanesn_tps = agg_txs / lanesn.as_secs_f64();
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    for (lanes, median, tps) in [
+        (1, lanes1, lanes1_tps),
+        (shard_channels, lanesn, lanesn_tps),
+    ] {
+        println!(
+            "sharded channels={shard_channels} lanes={lanes}  median={median:>10.3?}  \
+             aggregate_txs/sec={tps:>10.0}  (cores={cores})"
+        );
+    }
+
+    StreamSharded {
+        stream_blocks,
+        stream_block_txs,
+        par_tps,
+        overlap_tps,
+        shard_channels,
+        shard_blocks,
+        shard_block_txs,
+        lanes1_tps,
+        lanesn_tps,
+        cores,
+    }
 }
 
 /// Runs `txs` traced transactions through a fresh fixture network and
@@ -343,6 +574,14 @@ fn main() {
     };
     println!("speedup {largest}-tx pipeline-par vs reference: {speedup:.2}x");
 
+    // Stream + sharded sections (skipped under --sizes, which iterates
+    // on one per-block configuration).
+    let stream_sharded = if explicit_sizes.is_none() {
+        Some(run_stream_and_sharded(smoke))
+    } else {
+        None
+    };
+
     // Per-phase lifecycle latencies: a traced end-to-end workload through
     // a full network (client → endorse → order → replicate → validate →
     // commit), aggregated per phase via the tx-timeline histograms.
@@ -388,6 +627,31 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    let ss = stream_sharded.expect("full runs measure the stream and sharded sections");
+    json.push_str(&format!(
+        "  \"stream\": {{\"blocks\": {}, \"block_txs\": {}, \
+         \"pipeline_par_txs_per_sec\": {:.0}, \"pipeline_overlap_txs_per_sec\": {:.0}, \
+         \"overlap_speedup\": {:.2}}},\n",
+        ss.stream_blocks,
+        ss.stream_block_txs,
+        ss.par_tps,
+        ss.overlap_tps,
+        ss.overlap_tps / ss.par_tps
+    ));
+    json.push_str(&format!(
+        "  \"sharded\": {{\"channels\": {}, \"blocks_per_channel\": {}, \"block_txs\": {}, \
+         \"lanes_1_txs_per_sec\": {:.0}, \"lanes_{}_txs_per_sec\": {:.0}, \
+         \"hardware_cores\": {}, \"target_txs_per_sec\": 1000000, \
+         \"note\": \"channels share no ledger state; the aggregate rate scales with cores, \
+         and single-core hosts serialize the lanes\"}},\n",
+        ss.shard_channels,
+        ss.shard_blocks,
+        ss.shard_block_txs,
+        ss.lanes1_tps,
+        ss.shard_channels,
+        ss.lanesn_tps,
+        ss.cores
+    ));
     json.push_str("  \"phase_latency_p50_ms\": {");
     for (i, (phase, p50_ms)) in phase_p50.iter().enumerate() {
         let sep = if i + 1 == phase_p50.len() { "" } else { ", " };

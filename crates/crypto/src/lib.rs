@@ -38,4 +38,4 @@ mod sig;
 
 pub use hash::{sha256, Hash256, Sha256};
 pub use hmac::hmac_sha256;
-pub use sig::{Keypair, PublicKey, Signature};
+pub use sig::{BatchVerifier, Keypair, PublicKey, Signature};

@@ -122,6 +122,13 @@ pub struct LintSubject {
     /// silent; `Some(false)` marks a deployment knowingly running
     /// un-analyzed chaincode.
     pub flow_analyzed: Option<bool>,
+    /// Number of commit lanes the hosting consortium schedules its
+    /// channels onto. `None` (the default) means unknown and keeps PDC019
+    /// silent.
+    pub commit_lanes: Option<usize>,
+    /// Number of channels the hosting consortium operates. `None` (the
+    /// default) means unknown and keeps PDC019 silent.
+    pub consortium_channels: Option<usize>,
 }
 
 impl LintSubject {
@@ -144,6 +151,8 @@ impl LintSubject {
             telemetry_attached: None,
             flight_recorder: None,
             flow_analyzed: None,
+            commit_lanes: None,
+            consortium_channels: None,
         }
     }
 
@@ -172,6 +181,16 @@ impl LintSubject {
     /// [`Chaincode`]: fabric_chaincode::Chaincode
     pub fn with_flow_analyzed(mut self, analyzed: bool) -> Self {
         self.flow_analyzed = Some(analyzed);
+        self
+    }
+
+    /// Records how the hosting consortium schedules commits (feeds rule
+    /// PDC019): the number of per-channel commit lanes and the number of
+    /// channels. Typically `subject.with_commit_scheduling(
+    /// consortium.commit_lanes(), consortium.channel_names().len())`.
+    pub fn with_commit_scheduling(mut self, lanes: usize, channels: usize) -> Self {
+        self.commit_lanes = Some(lanes);
+        self.consortium_channels = Some(channels);
         self
     }
 

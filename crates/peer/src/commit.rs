@@ -18,18 +18,20 @@
 //!    detection), MVCC version conflicts, and the state mutations of valid
 //!    transactions.
 
-use crate::node::Peer;
+use crate::channel::ChannelPolicies;
+use crate::node::{InstalledChaincode, Peer};
 use crate::telemetry::PeerTelemetry;
 use fabric_crypto::sha256;
-use fabric_ledger::BlockStoreError;
-use fabric_policy::{Policy, SignaturePolicy};
+use fabric_ledger::{BlockStoreError, HistoryDb, WorldState};
+use fabric_policy::{Policy, PolicyCache, SignaturePolicy};
 use fabric_telemetry::{AuditEvent, TraceContext};
 use fabric_types::{
-    Block, ChaincodeEvent, ChaincodeId, CollectionName, Identity, OrgId, PayloadCommitment,
-    PvtDataPackage, SignatureFailure, Transaction, TxId, TxValidationCode, Version,
+    Block, ChaincodeEvent, ChaincodeId, CollectionName, DefenseConfig, Identity, OrgId,
+    PayloadCommitment, PvtDataPackage, SignatureFailure, Transaction, TxId, TxValidationCode,
+    Version,
 };
 use fabric_wire::Encode;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
 
@@ -122,7 +124,7 @@ type AuditFactsEntry<'a> = (
 /// heap-allocates, which matters for the no-op-telemetry overhead of
 /// single-transaction blocks.
 #[derive(Default)]
-struct AuditFactsCache<'a> {
+pub(crate) struct AuditFactsCache<'a> {
     inline: [Option<AuditFactsEntry<'a>>; AUDIT_CACHE_INLINE],
     spill: Vec<AuditFactsEntry<'a>>,
 }
@@ -135,7 +137,7 @@ impl<'a> AuditFactsCache<'a> {
     /// no such chaincode installed.
     fn lookup(
         &mut self,
-        peer: &'a Peer,
+        chaincodes: &'a HashMap<ChaincodeId, InstalledChaincode>,
         namespace: &'a ChaincodeId,
         collection: &'a CollectionName,
     ) -> Option<CollectionAuditFacts<'a>> {
@@ -149,8 +151,7 @@ impl<'a> AuditFactsCache<'a> {
         {
             return *facts;
         }
-        let facts = peer
-            .chaincodes
+        let facts = chaincodes
             .get(namespace)
             .map(|installed| CollectionAuditFacts {
                 policy_fallback: installed.definition.collection(collection).is_some()
@@ -269,7 +270,7 @@ impl Peer {
                 } else if let Some(failure) = verdicts[i].structural {
                     failure
                 } else {
-                    let policy = if Self::touches_dirty_params(tx, &dirty_params) {
+                    let policy = if touches_dirty_params(tx, &dirty_params) {
                         sbe_rechecked = true;
                         self.policy_checks(tx)
                     } else {
@@ -296,7 +297,7 @@ impl Peer {
                 }
                 if let Some(t) = &telemetry {
                     let stateless = std::mem::take(&mut verdicts[i].audit);
-                    Self::audit_transaction(t, tx, code, sbe_rechecked, stateless);
+                    audit_transaction(t, tx, code, sbe_rechecked, stateless);
                 }
                 if let Some(mut s) = commit_span {
                     s.field("code", code);
@@ -323,174 +324,13 @@ impl Peer {
             .validation_codes
             .clone();
         if let Some(t) = &telemetry {
-            self.record_block_metrics(t, block_num, &validation_codes, missing.len());
+            record_block_metrics(t, block_num, &validation_codes, missing.len());
         }
         Ok(BlockCommitOutcome {
             validation_codes,
             missing_private_data: missing,
             events,
         })
-    }
-
-    /// Whether `tx` touches (writes or re-parameterizes) a key whose SBE
-    /// validation parameter changed earlier in the current block.
-    fn touches_dirty_params(tx: &Transaction, dirty: &HashSet<(&ChaincodeId, &str)>) -> bool {
-        if dirty.is_empty() {
-            return false;
-        }
-        tx.payload.results.ns_rwsets.iter().any(|ns| {
-            ns.public
-                .writes
-                .iter()
-                .map(|w| w.key.as_str())
-                .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()))
-                .any(|key| dirty.contains(&(&ns.namespace, key)))
-        })
-    }
-
-    /// Collects the security-audit signals observable on `tx` against the
-    /// pre-block state: non-member endorsements and chaincode-policy
-    /// fallbacks on touched collections (Use Cases 1–2) and plaintext
-    /// payloads riding PDC transactions (Use Case 3). Runs in the
-    /// stateless stage (chaincode definitions cannot change inside a
-    /// block); the common no-signal case allocates nothing.
-    fn stateless_audit<'a>(
-        &'a self,
-        tx: &'a Transaction,
-        cache: &mut AuditFactsCache<'a>,
-    ) -> Vec<AuditEvent> {
-        let mut events = Vec::new();
-        let mut touches_collection = false;
-        for ns in &tx.payload.results.ns_rwsets {
-            for col in &ns.collections {
-                let Some(facts) = cache.lookup(self, &ns.namespace, &col.collection) else {
-                    continue; // Unknown namespace: BadPayload, nothing to attribute.
-                };
-                touches_collection = true;
-                if facts.policy_fallback {
-                    events.push(AuditEvent::PolicyFallbackToChaincodeLevel {
-                        tx_id: tx.tx_id.clone(),
-                        chaincode: ns.namespace.clone(),
-                        collection: col.collection.clone(),
-                    });
-                }
-                let mut flagged: Vec<&OrgId> = Vec::new();
-                for e in &tx.endorsements {
-                    let org = &e.endorser.org;
-                    let member = facts.members.is_some_and(|m| m.contains(org));
-                    if !member && !flagged.contains(&org) {
-                        flagged.push(org);
-                        events.push(AuditEvent::EndorsementByNonMember {
-                            tx_id: tx.tx_id.clone(),
-                            collection: col.collection.clone(),
-                            endorser_org: org.clone(),
-                        });
-                    }
-                }
-            }
-        }
-        if touches_collection
-            && tx.commitment == PayloadCommitment::Plain
-            && !tx.payload.response.payload.is_empty()
-        {
-            events.push(AuditEvent::PlaintextPayloadInTx {
-                tx_id: tx.tx_id.clone(),
-                chaincode: tx.chaincode.clone(),
-                payload_bytes: tx.payload.response.payload.len(),
-            });
-        }
-        events
-    }
-
-    /// Emits `tx`'s audit events: the pre-computed stateless signals
-    /// first, then the outcome-dependent ones (SBE re-checks, MVCC
-    /// conflicts, defense rejections). Called from the sequential merge
-    /// stage only, in block order, so the emitted sequence is independent
-    /// of stage-1 parallelism.
-    fn audit_transaction(
-        t: &PeerTelemetry,
-        tx: &Transaction,
-        code: TxValidationCode,
-        sbe_rechecked: bool,
-        stateless: Vec<AuditEvent>,
-    ) {
-        for event in stateless {
-            t.emit(event);
-        }
-        if sbe_rechecked {
-            t.emit(AuditEvent::SbeReCheck {
-                tx_id: tx.tx_id.clone(),
-                chaincode: tx.chaincode.clone(),
-                outcome: code,
-            });
-        }
-        match code {
-            TxValidationCode::MvccReadConflict => t.emit(AuditEvent::MvccConflict {
-                tx_id: tx.tx_id.clone(),
-                chaincode: tx.chaincode.clone(),
-            }),
-            TxValidationCode::NonMemberEndorsement => t.emit(AuditEvent::DefenseRejected {
-                tx_id: tx.tx_id.clone(),
-                code,
-            }),
-            _ => {}
-        }
-    }
-
-    /// Flushes per-block counters and gauges after a successful commit.
-    /// Validation codes are tallied locally first so each series costs one
-    /// registry lookup per block, not one per transaction.
-    fn record_block_metrics(
-        &self,
-        t: &PeerTelemetry,
-        block_num: u64,
-        codes: &[TxValidationCode],
-        missing: usize,
-    ) {
-        // All-valid blocks (the throughput workload) take the allocation-
-        // free path: one cached-handle increment.
-        let mut valid = 0u64;
-        let mut others: Vec<(TxValidationCode, u64)> = Vec::new();
-        for code in codes {
-            if code.is_valid() {
-                valid += 1;
-                continue;
-            }
-            match others.iter_mut().find(|(c, _)| c == code) {
-                Some((_, n)) => *n += 1,
-                None => others.push((*code, 1)),
-            }
-        }
-        if valid > 0 {
-            t.valid_txs.inc_by(valid);
-        }
-        for (code, n) in others {
-            t.metrics()
-                .counter(
-                    "fabric_validation_results_total",
-                    "Transaction validation codes across committed blocks",
-                    &[("code", &code.to_string())],
-                )
-                .inc_by(n);
-        }
-        t.blocks_committed.inc();
-        t.txs_processed.inc_by(codes.len() as u64);
-        if missing > 0 {
-            t.missing_private.inc_by(missing as u64);
-        }
-        t.block_height.set((block_num + 1) as f64);
-    }
-
-    /// The stateless signature checks of one transaction; `None` = passed.
-    ///
-    /// Uses the combined [`Transaction::verify_signatures`] pass, which
-    /// serializes the shared payload bytes once for all signatures.
-    fn signature_check(tx: &Transaction) -> Option<TxValidationCode> {
-        match tx.verify_signatures() {
-            None => None,
-            Some(SignatureFailure::Client) => Some(TxValidationCode::InvalidClientSignature),
-            Some(SignatureFailure::Endorsement) => Some(TxValidationCode::InvalidEndorserSignature),
-        }
     }
 
     /// Runs [`Peer::stateless_checks`] over a block's transactions, fanned
@@ -559,11 +399,11 @@ impl Peer {
                 s
             });
         let audit = if self.telemetry.is_some() {
-            self.stateless_audit(tx, audit_cache)
+            stateless_audit(&self.chaincodes, tx, audit_cache)
         } else {
             Vec::new()
         };
-        let structural = if let Some(code) = Self::signature_check(tx) {
+        let structural = if let Some(code) = signature_check(tx) {
             Some(code)
         } else if tx.channel != self.channel {
             Some(TxValidationCode::BadPayload)
@@ -590,7 +430,7 @@ impl Peer {
     /// checks, endorsement policy (proof-of-policy check 1), and MVCC
     /// version conflicts (check 2). Does not mutate state.
     pub fn validate_transaction(&self, tx: &Transaction) -> TxValidationCode {
-        if let Some(code) = Self::signature_check(tx) {
+        if let Some(code) = signature_check(tx) {
             return code;
         }
         if tx.channel != self.channel {
@@ -618,113 +458,20 @@ impl Peer {
     /// rwsets, and empty results. Note it does NOT distinguish member from
     /// non-member endorsements (Use Case 1).
     fn policy_checks(&self, tx: &Transaction) -> Option<TxValidationCode> {
-        let endorsers: Vec<&Identity> = tx.endorsements.iter().map(|e| &e.endorser).collect();
-
-        for ns in &tx.payload.results.ns_rwsets {
-            let Some(installed) = self.chaincodes.get(&ns.namespace) else {
-                return Some(TxValidationCode::BadPayload);
-            };
-            let compiled = &installed.compiled;
-
-            let mut non_sbe_public_writes = false;
-            let touched_keys = ns
-                .public
-                .writes
-                .iter()
-                .map(|w| w.key.as_str())
-                .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()));
-            for key in touched_keys {
-                match self
-                    .world_state
-                    .get_validation_parameter(&ns.namespace, key)
-                {
-                    Some(expr) => {
-                        let Some(key_policy) = self.sbe_policies.get_or_parse(expr) else {
-                            return Some(TxValidationCode::BadPayload);
-                        };
-                        if !key_policy.satisfied_by_refs(&endorsers) {
-                            return Some(TxValidationCode::EndorsementPolicyFailure);
-                        }
-                    }
-                    None => non_sbe_public_writes = true,
-                }
-            }
-
-            let needs_chaincode_policy = !ns.public.reads.is_empty()
-                || non_sbe_public_writes
-                || !ns.collections.is_empty()
-                || (ns.public.writes.is_empty() && ns.metadata_writes.is_empty());
-            if needs_chaincode_policy {
-                let Some(cc_policy) = compiled.endorsement() else {
-                    return Some(TxValidationCode::BadPayload);
-                };
-                if !cc_policy.evaluate_refs(self.channel_policies.org_policies(), &endorsers) {
-                    return Some(TxValidationCode::EndorsementPolicyFailure);
-                }
-            }
-
-            for col in &ns.collections {
-                if installed.definition.collection(&col.collection).is_none() {
-                    return Some(TxValidationCode::BadPayload);
-                }
-                let has_writes = !col.writes.is_empty();
-                let has_reads = !col.reads.is_empty();
-                // Original Fabric: the collection-level policy (when
-                // defined) governs transactions that *write* the
-                // collection; read-only transactions are always validated
-                // with the chaincode-level policy (Use Case 2, per the
-                // key-level validator in the Fabric source).
-                // New Feature 1 extends the collection-level policy to
-                // read-only transactions (§IV-C1).
-                if has_writes || (self.defense.collection_policy_for_reads && has_reads) {
-                    if let Some(col_policy) = compiled.collection_endorsement(&col.collection) {
-                        let Some(col_policy) = col_policy else {
-                            return Some(TxValidationCode::BadPayload);
-                        };
-                        if !col_policy.satisfied_by_refs(&endorsers) {
-                            return Some(TxValidationCode::EndorsementPolicyFailure);
-                        }
-                    }
-                }
-                // Supplemental defense: reject endorsements by peers whose
-                // org is not a member of the touched collection.
-                if self.defense.filter_non_member_endorsers {
-                    let all_members = endorsers
-                        .iter()
-                        .all(|e| compiled.org_is_member(&e.org, &col.collection));
-                    if !all_members {
-                        return Some(TxValidationCode::NonMemberEndorsement);
-                    }
-                }
-            }
-        }
-        None
+        policy_checks_parts(
+            &self.chaincodes,
+            &self.channel_policies,
+            self.defense,
+            &self.sbe_policies,
+            &self.world_state,
+            tx,
+        )
     }
 
     /// Proof-of-policy check 2 — MVCC version conflicts against the
-    /// current state; `None` = no conflict. Only versions are compared;
-    /// chaincode is never re-executed, so fabricated values with correct
-    /// versions pass (§IV-A1).
+    /// current state; `None` = no conflict.
     fn mvcc_checks(&self, tx: &Transaction) -> Option<TxValidationCode> {
-        for ns in &tx.payload.results.ns_rwsets {
-            if self
-                .world_state
-                .check_mvcc_public(&ns.namespace, &ns.public.reads)
-                .is_err()
-            {
-                return Some(TxValidationCode::MvccReadConflict);
-            }
-            for col in &ns.collections {
-                if self
-                    .world_state
-                    .check_mvcc_hashed(&ns.namespace, &col.collection, &col.reads)
-                    .is_err()
-                {
-                    return Some(TxValidationCode::MvccReadConflict);
-                }
-            }
-        }
-        None
+        mvcc_checks_parts(&self.world_state, tx)
     }
 
     /// The pre-pipeline validator, kept as a cost-faithful snapshot of the
@@ -1002,84 +749,416 @@ impl Peer {
         version: Version,
         pvt_provider: &mut PvtDataProvider<'_>,
     ) -> bool {
-        let mut plaintext_complete = true;
-        let mut package: Option<Option<PvtDataPackage>> = None;
-
-        for ns in &tx.payload.results.ns_rwsets {
-            self.world_state
-                .apply_public_writes(&ns.namespace, &ns.public, version);
-            self.world_state
-                .apply_metadata_writes(&ns.namespace, &ns.metadata_writes);
-            for w in &ns.public.writes {
-                self.history.record(
-                    &ns.namespace,
-                    &w.key,
-                    &tx.tx_id,
-                    version,
-                    w.value.clone(),
-                    w.is_delete,
-                );
-            }
-            for col in &ns.collections {
-                if col.writes.is_empty() {
-                    continue;
-                }
-                let is_member = self.is_collection_member(&ns.namespace, &col.collection);
-                let mut applied_plaintext = false;
-                if is_member {
-                    let pkg = package
-                        .get_or_insert_with(|| pvt_provider(&tx.tx_id))
-                        .as_ref();
-                    if let Some(pkg) = pkg {
-                        // Verify plaintext against committed hashes before
-                        // updating the ledger (Fig. 2, step 18). The
-                        // verify-and-apply entry point hashes each key and
-                        // value exactly once instead of materializing a
-                        // full hashed copy of the plaintext rwset.
-                        let matching = pkg
-                            .namespaces
-                            .iter()
-                            .zip(&pkg.collections)
-                            .find(|(n, c)| **n == ns.namespace && c.collection == col.collection)
-                            .map(|(_, c)| c);
-                        if let Some(pvt) = matching {
-                            applied_plaintext = self.world_state.apply_private_writes_verified(
-                                &ns.namespace,
-                                pvt,
-                                col,
-                                version,
-                            );
-                        }
-                    }
-                }
-                if !applied_plaintext {
-                    self.world_state.apply_hashed_writes(
-                        &ns.namespace,
-                        &col.collection,
-                        &col.writes,
-                        version,
-                    );
-                    if is_member {
-                        plaintext_complete = false;
-                    }
-                }
-            }
-        }
-        plaintext_complete
+        apply_transaction_parts(
+            &self.chaincodes,
+            &mut self.world_state,
+            &mut self.history,
+            tx,
+            version,
+            pvt_provider,
+        )
     }
 
     fn purge_expired(&mut self, current_block: u64) {
-        let collections: Vec<(fabric_types::CollectionName, u64)> = self
-            .chaincodes
-            .values()
-            .flat_map(|cc| cc.definition.collections.iter())
-            .filter(|c| c.block_to_live > 0)
-            .map(|c| (c.name.clone(), c.block_to_live))
-            .collect();
-        for (name, btl) in collections {
-            self.world_state
-                .purge_expired_private(&name, btl, current_block);
+        purge_expired_parts(&self.chaincodes, &mut self.world_state, current_block);
+    }
+}
+
+/// Whether `tx` touches (writes or re-parameterizes) a key whose SBE
+/// validation parameter changed earlier in the current block.
+pub(crate) fn touches_dirty_params(
+    tx: &Transaction,
+    dirty: &HashSet<(&ChaincodeId, &str)>,
+) -> bool {
+    if dirty.is_empty() {
+        return false;
+    }
+    tx.payload.results.ns_rwsets.iter().any(|ns| {
+        ns.public
+            .writes
+            .iter()
+            .map(|w| w.key.as_str())
+            .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()))
+            .any(|key| dirty.contains(&(&ns.namespace, key)))
+    })
+}
+
+/// Collects the security-audit signals observable on `tx` against the
+/// pre-block state: non-member endorsements and chaincode-policy
+/// fallbacks on touched collections (Use Cases 1–2) and plaintext
+/// payloads riding PDC transactions (Use Case 3). Runs in the
+/// stateless stage (chaincode definitions cannot change inside a
+/// block); the common no-signal case allocates nothing.
+pub(crate) fn stateless_audit<'a>(
+    chaincodes: &'a HashMap<ChaincodeId, InstalledChaincode>,
+    tx: &'a Transaction,
+    cache: &mut AuditFactsCache<'a>,
+) -> Vec<AuditEvent> {
+    let mut events = Vec::new();
+    let mut touches_collection = false;
+    for ns in &tx.payload.results.ns_rwsets {
+        for col in &ns.collections {
+            let Some(facts) = cache.lookup(chaincodes, &ns.namespace, &col.collection) else {
+                continue; // Unknown namespace: BadPayload, nothing to attribute.
+            };
+            touches_collection = true;
+            if facts.policy_fallback {
+                events.push(AuditEvent::PolicyFallbackToChaincodeLevel {
+                    tx_id: tx.tx_id.clone(),
+                    chaincode: ns.namespace.clone(),
+                    collection: col.collection.clone(),
+                });
+            }
+            let mut flagged: Vec<&OrgId> = Vec::new();
+            for e in &tx.endorsements {
+                let org = &e.endorser.org;
+                let member = facts.members.is_some_and(|m| m.contains(org));
+                if !member && !flagged.contains(&org) {
+                    flagged.push(org);
+                    events.push(AuditEvent::EndorsementByNonMember {
+                        tx_id: tx.tx_id.clone(),
+                        collection: col.collection.clone(),
+                        endorser_org: org.clone(),
+                    });
+                }
+            }
         }
+    }
+    if touches_collection
+        && tx.commitment == PayloadCommitment::Plain
+        && !tx.payload.response.payload.is_empty()
+    {
+        events.push(AuditEvent::PlaintextPayloadInTx {
+            tx_id: tx.tx_id.clone(),
+            chaincode: tx.chaincode.clone(),
+            payload_bytes: tx.payload.response.payload.len(),
+        });
+    }
+    events
+}
+
+/// Emits `tx`'s audit events: the pre-computed stateless signals
+/// first, then the outcome-dependent ones (SBE re-checks, MVCC
+/// conflicts, defense rejections). Called from the sequential merge
+/// stage only, in block order, so the emitted sequence is independent
+/// of stage-1 parallelism.
+pub(crate) fn audit_transaction(
+    t: &PeerTelemetry,
+    tx: &Transaction,
+    code: TxValidationCode,
+    sbe_rechecked: bool,
+    stateless: Vec<AuditEvent>,
+) {
+    for event in stateless {
+        t.emit(event);
+    }
+    if sbe_rechecked {
+        t.emit(AuditEvent::SbeReCheck {
+            tx_id: tx.tx_id.clone(),
+            chaincode: tx.chaincode.clone(),
+            outcome: code,
+        });
+    }
+    match code {
+        TxValidationCode::MvccReadConflict => t.emit(AuditEvent::MvccConflict {
+            tx_id: tx.tx_id.clone(),
+            chaincode: tx.chaincode.clone(),
+        }),
+        TxValidationCode::NonMemberEndorsement => t.emit(AuditEvent::DefenseRejected {
+            tx_id: tx.tx_id.clone(),
+            code,
+        }),
+        _ => {}
+    }
+}
+
+/// Flushes per-block counters and gauges after a successful commit.
+/// Validation codes are tallied locally first so each series costs one
+/// registry lookup per block, not one per transaction.
+pub(crate) fn record_block_metrics(
+    t: &PeerTelemetry,
+    block_num: u64,
+    codes: &[TxValidationCode],
+    missing: usize,
+) {
+    // All-valid blocks (the throughput workload) take the allocation-
+    // free path: one cached-handle increment.
+    let mut valid = 0u64;
+    let mut others: Vec<(TxValidationCode, u64)> = Vec::new();
+    for code in codes {
+        if code.is_valid() {
+            valid += 1;
+            continue;
+        }
+        match others.iter_mut().find(|(c, _)| c == code) {
+            Some((_, n)) => *n += 1,
+            None => others.push((*code, 1)),
+        }
+    }
+    if valid > 0 {
+        t.valid_txs.inc_by(valid);
+    }
+    for (code, n) in others {
+        t.metrics()
+            .counter(
+                "fabric_validation_results_total",
+                "Transaction validation codes across committed blocks",
+                &[("code", &code.to_string())],
+            )
+            .inc_by(n);
+    }
+    t.blocks_committed.inc();
+    t.txs_processed.inc_by(codes.len() as u64);
+    if missing > 0 {
+        t.missing_private.inc_by(missing as u64);
+    }
+    t.block_height.set((block_num + 1) as f64);
+}
+
+/// The stateless signature checks of one transaction; `None` = passed.
+///
+/// Uses the combined [`Transaction::verify_signatures`] pass, which
+/// serializes the shared payload bytes once for all signatures.
+pub(crate) fn signature_check(tx: &Transaction) -> Option<TxValidationCode> {
+    match tx.verify_signatures() {
+        None => None,
+        Some(SignatureFailure::Client) => Some(TxValidationCode::InvalidClientSignature),
+        Some(SignatureFailure::Endorsement) => Some(TxValidationCode::InvalidEndorserSignature),
+    }
+}
+
+/// [`signature_check`] through a [`BatchVerifier`], amortizing endorser-
+/// identity resolution across every transaction verified with the same
+/// batch. Identical outcomes to the per-call path.
+pub(crate) fn signature_check_batched(
+    tx: &Transaction,
+    batch: &mut fabric_crypto::BatchVerifier,
+) -> Option<TxValidationCode> {
+    match tx.verify_signatures_batched(batch) {
+        None => None,
+        Some(SignatureFailure::Client) => Some(TxValidationCode::InvalidClientSignature),
+        Some(SignatureFailure::Endorsement) => Some(TxValidationCode::InvalidEndorserSignature),
+    }
+}
+
+/// Proof-of-policy check 1 — endorsement policies, evaluated from the
+/// compiled caches against the supplied world state; `None` = satisfied.
+///
+/// Split out of [`Peer::policy_checks`] so the overlap scheduler's merge
+/// stage can re-evaluate policies against the live state while the
+/// producer thread holds other parts of the peer. Semantics are
+/// identical to the per-block pipeline: key-level (state-based)
+/// endorsement first, then the chaincode-level policy for everything not
+/// fully covered by key-level parameters, then collection-level policies
+/// and the non-member-endorser defense filter.
+pub(crate) fn policy_checks_parts(
+    chaincodes: &HashMap<ChaincodeId, InstalledChaincode>,
+    channel_policies: &ChannelPolicies,
+    defense: DefenseConfig,
+    sbe_policies: &PolicyCache,
+    world_state: &WorldState,
+    tx: &Transaction,
+) -> Option<TxValidationCode> {
+    let endorsers: Vec<&Identity> = tx.endorsements.iter().map(|e| &e.endorser).collect();
+
+    for ns in &tx.payload.results.ns_rwsets {
+        let Some(installed) = chaincodes.get(&ns.namespace) else {
+            return Some(TxValidationCode::BadPayload);
+        };
+        let compiled = &installed.compiled;
+
+        let mut non_sbe_public_writes = false;
+        let touched_keys = ns
+            .public
+            .writes
+            .iter()
+            .map(|w| w.key.as_str())
+            .chain(ns.metadata_writes.iter().map(|m| m.key.as_str()));
+        for key in touched_keys {
+            match world_state.get_validation_parameter(&ns.namespace, key) {
+                Some(expr) => {
+                    let Some(key_policy) = sbe_policies.get_or_parse(expr) else {
+                        return Some(TxValidationCode::BadPayload);
+                    };
+                    if !key_policy.satisfied_by_refs(&endorsers) {
+                        return Some(TxValidationCode::EndorsementPolicyFailure);
+                    }
+                }
+                None => non_sbe_public_writes = true,
+            }
+        }
+
+        let needs_chaincode_policy = !ns.public.reads.is_empty()
+            || non_sbe_public_writes
+            || !ns.collections.is_empty()
+            || (ns.public.writes.is_empty() && ns.metadata_writes.is_empty());
+        if needs_chaincode_policy {
+            let Some(cc_policy) = compiled.endorsement() else {
+                return Some(TxValidationCode::BadPayload);
+            };
+            if !cc_policy.evaluate_refs(channel_policies.org_policies(), &endorsers) {
+                return Some(TxValidationCode::EndorsementPolicyFailure);
+            }
+        }
+
+        for col in &ns.collections {
+            if installed.definition.collection(&col.collection).is_none() {
+                return Some(TxValidationCode::BadPayload);
+            }
+            let has_writes = !col.writes.is_empty();
+            let has_reads = !col.reads.is_empty();
+            // Original Fabric: the collection-level policy (when
+            // defined) governs transactions that *write* the
+            // collection; read-only transactions are always validated
+            // with the chaincode-level policy (Use Case 2, per the
+            // key-level validator in the Fabric source).
+            // New Feature 1 extends the collection-level policy to
+            // read-only transactions (§IV-C1).
+            if has_writes || (defense.collection_policy_for_reads && has_reads) {
+                if let Some(col_policy) = compiled.collection_endorsement(&col.collection) {
+                    let Some(col_policy) = col_policy else {
+                        return Some(TxValidationCode::BadPayload);
+                    };
+                    if !col_policy.satisfied_by_refs(&endorsers) {
+                        return Some(TxValidationCode::EndorsementPolicyFailure);
+                    }
+                }
+            }
+            // Supplemental defense: reject endorsements by peers whose
+            // org is not a member of the touched collection.
+            if defense.filter_non_member_endorsers {
+                let all_members = endorsers
+                    .iter()
+                    .all(|e| compiled.org_is_member(&e.org, &col.collection));
+                if !all_members {
+                    return Some(TxValidationCode::NonMemberEndorsement);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Proof-of-policy check 2 — MVCC version conflicts against the
+/// supplied state; `None` = no conflict. Only versions are compared;
+/// chaincode is never re-executed, so fabricated values with correct
+/// versions pass (§IV-A1).
+pub(crate) fn mvcc_checks_parts(
+    world_state: &WorldState,
+    tx: &Transaction,
+) -> Option<TxValidationCode> {
+    for ns in &tx.payload.results.ns_rwsets {
+        if world_state
+            .check_mvcc_public(&ns.namespace, &ns.public.reads)
+            .is_err()
+        {
+            return Some(TxValidationCode::MvccReadConflict);
+        }
+        for col in &ns.collections {
+            if world_state
+                .check_mvcc_hashed(&ns.namespace, &col.collection, &col.reads)
+                .is_err()
+            {
+                return Some(TxValidationCode::MvccReadConflict);
+            }
+        }
+    }
+    None
+}
+
+/// Applies a valid transaction's writes at `version` to the supplied
+/// ledger parts. Returns `false` when this peer is a member of a written
+/// collection but could not obtain matching plaintext (hashes were
+/// committed regardless).
+pub(crate) fn apply_transaction_parts(
+    chaincodes: &HashMap<ChaincodeId, InstalledChaincode>,
+    world_state: &mut WorldState,
+    history: &mut HistoryDb,
+    tx: &Transaction,
+    version: Version,
+    pvt_provider: &mut PvtDataProvider<'_>,
+) -> bool {
+    let mut plaintext_complete = true;
+    let mut package: Option<Option<PvtDataPackage>> = None;
+
+    for ns in &tx.payload.results.ns_rwsets {
+        world_state.apply_public_writes(&ns.namespace, &ns.public, version);
+        world_state.apply_metadata_writes(&ns.namespace, &ns.metadata_writes);
+        for w in &ns.public.writes {
+            history.record(
+                &ns.namespace,
+                &w.key,
+                &tx.tx_id,
+                version,
+                w.value.clone(),
+                w.is_delete,
+            );
+        }
+        for col in &ns.collections {
+            if col.writes.is_empty() {
+                continue;
+            }
+            let is_member = chaincodes
+                .get(&ns.namespace)
+                .is_some_and(|cc| cc.memberships.contains(&col.collection));
+            let mut applied_plaintext = false;
+            if is_member {
+                let pkg = package
+                    .get_or_insert_with(|| pvt_provider(&tx.tx_id))
+                    .as_ref();
+                if let Some(pkg) = pkg {
+                    // Verify plaintext against committed hashes before
+                    // updating the ledger (Fig. 2, step 18). The
+                    // verify-and-apply entry point hashes each key and
+                    // value exactly once instead of materializing a
+                    // full hashed copy of the plaintext rwset.
+                    let matching = pkg
+                        .namespaces
+                        .iter()
+                        .zip(&pkg.collections)
+                        .find(|(n, c)| **n == ns.namespace && c.collection == col.collection)
+                        .map(|(_, c)| c);
+                    if let Some(pvt) = matching {
+                        applied_plaintext = world_state.apply_private_writes_verified(
+                            &ns.namespace,
+                            pvt,
+                            col,
+                            version,
+                        );
+                    }
+                }
+            }
+            if !applied_plaintext {
+                world_state.apply_hashed_writes(
+                    &ns.namespace,
+                    &col.collection,
+                    &col.writes,
+                    version,
+                );
+                if is_member {
+                    plaintext_complete = false;
+                }
+            }
+        }
+    }
+    plaintext_complete
+}
+
+/// Purges expired private data for every collection with a block-to-live
+/// bound, against the supplied ledger parts.
+pub(crate) fn purge_expired_parts(
+    chaincodes: &HashMap<ChaincodeId, InstalledChaincode>,
+    world_state: &mut WorldState,
+    current_block: u64,
+) {
+    let collections: Vec<(fabric_types::CollectionName, u64)> = chaincodes
+        .values()
+        .flat_map(|cc| cc.definition.collections.iter())
+        .filter(|c| c.block_to_live > 0)
+        .map(|c| (c.name.clone(), c.block_to_live))
+        .collect();
+    for (name, btl) in collections {
+        world_state.purge_expired_private(&name, btl, current_block);
     }
 }
 

@@ -22,9 +22,10 @@ mod channel;
 mod commit;
 mod endorse;
 mod node;
+mod sched;
 mod telemetry;
 
-pub use channel::ChannelPolicies;
+pub use channel::{ChannelPolicies, CommitLane, ShardedScheduler};
 pub use commit::{BlockCommitOutcome, CommitError, PvtDataProvider};
 pub use endorse::EndorseError;
 pub use node::{InstalledChaincode, Peer};

@@ -4,7 +4,7 @@ use crate::identity::Identity;
 use crate::ids::{ChaincodeId, ChannelId, TxId};
 use crate::proposal::{Endorsement, PayloadCommitment, ProposalResponsePayload};
 use crate::rwset::{TxKind, TxRwSet};
-use fabric_crypto::Signature;
+use fabric_crypto::{BatchVerifier, PublicKey, Signature};
 use fabric_wire::Encode;
 use std::fmt;
 
@@ -164,6 +164,26 @@ impl Transaction {
     /// commit pipeline's hot path: every transaction in every block passes
     /// through here.
     pub fn verify_signatures(&self) -> Option<SignatureFailure> {
+        self.verify_signatures_impl(|pk, msg, sig| sig.verify(pk, msg))
+    }
+
+    /// [`Transaction::verify_signatures`] through a [`BatchVerifier`]:
+    /// identical outcome, but each signer's verification material is
+    /// resolved from the CA registry once per verifier instead of once per
+    /// signature. The overlap commit scheduler keeps one verifier per
+    /// validation worker across a whole block stream, so the handful of
+    /// endorsing identities that sign every transaction are resolved a
+    /// handful of times total.
+    pub fn verify_signatures_batched(&self, batch: &mut BatchVerifier) -> Option<SignatureFailure> {
+        self.verify_signatures_impl(|pk, msg, sig| batch.verify(pk, msg, sig))
+    }
+
+    /// Shared body of the combined signature checks, parameterized over
+    /// the primitive verification call.
+    fn verify_signatures_impl(
+        &self,
+        mut verify: impl FnMut(&PublicKey, &[u8], &Signature) -> bool,
+    ) -> Option<SignatureFailure> {
         // `signed_bytes(Plain)` is the payload's canonical wire form, so
         // these bytes double as the middle segment of the client tuple.
         let payload_bytes = self.payload.to_wire();
@@ -172,17 +192,18 @@ impl Transaction {
         self.tx_id.encode(&mut client_bytes);
         client_bytes.extend_from_slice(&payload_bytes);
         self.endorsements.encode(&mut client_bytes);
-        if !self
-            .client_signature
-            .verify(&self.creator.public_key, &client_bytes)
-        {
+        if !verify(
+            &self.creator.public_key,
+            &client_bytes,
+            &self.client_signature,
+        ) {
             return Some(SignatureFailure::Client);
         }
         if self.endorsements.is_empty() {
             return Some(SignatureFailure::Endorsement);
         }
         for e in &self.endorsements {
-            if !e.signature.verify(&e.endorser.public_key, &payload_bytes) {
+            if !verify(&e.endorser.public_key, &payload_bytes, &e.signature) {
                 return Some(SignatureFailure::Endorsement);
             }
         }
@@ -289,6 +310,41 @@ mod tests {
             bad_client.verify_signatures(),
             Some(SignatureFailure::Client)
         );
+    }
+
+    #[test]
+    fn batched_verify_matches_per_call_verify() {
+        let good = sample_tx();
+        let mut bad_endorsement = sample_tx();
+        bad_endorsement.endorsements[0].signature =
+            Keypair::generate_from_seed(99).sign(b"wrong bytes");
+        let client_kp = Keypair::generate_from_seed(21);
+        bad_endorsement.client_signature = client_kp.sign(&Transaction::client_signed_bytes(
+            &bad_endorsement.tx_id,
+            &bad_endorsement.payload,
+            &bad_endorsement.endorsements,
+        ));
+        let mut bad_client = sample_tx();
+        bad_client.client_signature = Keypair::generate_from_seed(98).sign(b"wrong bytes");
+        let mut no_endorsements = sample_tx();
+        no_endorsements.endorsements.clear();
+        no_endorsements.client_signature = client_kp.sign(&Transaction::client_signed_bytes(
+            &no_endorsements.tx_id,
+            &no_endorsements.payload,
+            &no_endorsements.endorsements,
+        ));
+
+        // One shared verifier across all four transactions, twice over, so
+        // every identity is exercised both cold and cached.
+        let mut batch = BatchVerifier::new();
+        for _ in 0..2 {
+            for tx in [&good, &bad_endorsement, &bad_client, &no_endorsements] {
+                assert_eq!(
+                    tx.verify_signatures_batched(&mut batch),
+                    tx.verify_signatures()
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 #   2. `cargo clippy --all-targets -- -D warnings`    — lint-clean, tests included
 #   3. `cargo build --release`                        — release build works
 #   4. `cargo test -q`                                — full test suite
-#   5. commit-throughput bench smoke run              — bench code can't rot
+#   5. commit-throughput bench smoke run              — bench code can't
+#      rot, and the pipeline-overlap + sharded rows must keep printing
 #   6. telemetry example smoke run                    — the metric surface
 #      other tooling scrapes (names below) must keep exporting
 #   7. trace_tx example smoke run                     — a tx id must keep
@@ -34,8 +35,33 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> pipeline_equivalence test inventory"
+# The equivalence proptests are the proof the pipelined/sharded commit
+# schedulers preserve the reference semantics. A refactor that renames or
+# drops one would silently skip the proof, so the gate pins both names.
+equivalence_tests="$(cargo test --release --test pipeline_equivalence -- --list)"
+for t in \
+    pipeline_matches_reference_on_random_blocks \
+    overlap_matches_reference_on_random_streams; do
+    if ! grep -q "${t}" <<<"$equivalence_tests"; then
+        echo "FAIL: pipeline_equivalence no longer lists proptest '${t}'" >&2
+        exit 1
+    fi
+done
+echo "equivalence inventory: both scheduler proptests present"
+
 echo "==> commit_throughput --smoke"
-cargo run --release -p fabric-bench --bin commit_throughput -- --smoke
+bench_out="$(cargo run --release -p fabric-bench --bin commit_throughput -- --smoke)"
+echo "$bench_out"
+# The stream and sharded sections must keep measuring (a bench refactor
+# that drops a mode would otherwise pass silently).
+for row in "mode=pipeline-overlap" "sharded channels=" "aggregate_txs/sec="; do
+    if ! grep -q "${row}" <<<"$bench_out"; then
+        echo "FAIL: commit_throughput smoke output is missing '${row}'" >&2
+        exit 1
+    fi
+done
+echo "commit_throughput smoke: overlap + sharded rows present"
 
 echo "==> telemetry example --smoke"
 # The Prometheus dump must keep exporting the metric families dashboards

@@ -11,8 +11,16 @@
 //! write against the pre-block parameter and must re-check it
 //! sequentially (dirty-key detection), exactly as the reference does by
 //! construction.
+//!
+//! The same contract extends to multi-block streams and the pipelined
+//! commit scheduler (`process_blocks_overlapped`), which runs block
+//! N+1's stateless pass concurrently with block N's stateful merge: the
+//! concatenated outcomes, final digest, chain tip, and audit-event
+//! sequence must match the reference loop even when an SBE mutation or
+//! an MVCC read hazard straddles the overlap window.
 
 use fabric_pdc::chaincode::samples::SbeDemo;
+use fabric_pdc::peer::{BlockCommitOutcome, CommitLane, ShardedScheduler};
 use fabric_pdc::prelude::*;
 use fabric_pdc::types::{Block, PvtDataPackage, Transaction};
 use proptest::prelude::*;
@@ -42,6 +50,11 @@ enum TxSpec {
     /// Private write to `bk{key}` endorsed by the given collection-member
     /// peers (subset of {org1, org2}; singletons fail the collection AND).
     PdcWrite { key: u8, endorsers: Vec<usize> },
+    /// Private read-modify-write of the seeded `bk0`: its hashed read
+    /// carries the pre-stream version, so any earlier write to `bk0` —
+    /// in the same block or an earlier block of the stream — makes this
+    /// an MVCC read conflict.
+    PdcAdd { endorsers: Vec<usize> },
     /// Public write to `sk{key}`; validity depends on the key's SBE
     /// parameter at validation time (possibly written earlier in-block).
     SbePut { key: u8, endorsers: Vec<usize> },
@@ -73,6 +86,7 @@ fn arb_spec() -> impl Strategy<Value = TxSpec> {
     prop_oneof![
         3 => (0u8..4, arb_member_endorsers())
             .prop_map(|(key, endorsers)| TxSpec::PdcWrite { key, endorsers }),
+        2 => arb_member_endorsers().prop_map(|endorsers| TxSpec::PdcAdd { endorsers }),
         3 => (0u8..3, arb_endorsers())
             .prop_map(|(key, endorsers)| TxSpec::SbePut { key, endorsers }),
         2 => (0u8..3, 0usize..SBE_POLICIES.len(), arb_endorsers())
@@ -99,6 +113,18 @@ fn equivalence_network(seed: u64) -> FabricNetwork {
         );
     net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained(COL)));
     net.deploy_chaincode(ChaincodeDefinition::new(SBE_NS), Arc::new(SbeDemo));
+    // Seed bk0 so `PdcAdd` read-modify-writes have a key to read.
+    let outcome = net
+        .submit_transaction(
+            "client0.org1",
+            PDC_NS,
+            "write",
+            &["bk0", "12"],
+            &[],
+            &["peer0.org1", "peer0.org2"],
+        )
+        .expect("seed bk0");
+    assert!(outcome.validation_code.is_valid(), "seed bk0");
     for (function, args) in [
         ("put", vec!["sk0", "seeded"]),
         (
@@ -160,58 +186,33 @@ fn build_tx(
     tx
 }
 
-/// Builds the block described by `specs` on top of the network's current
-/// state, plus the private-data packages its commit needs.
-fn build_block(
+/// Builds the pre-chained block stream described by `blocks_specs` on
+/// top of the network's current state (block headers do not cover
+/// metadata, so the whole stream exists before the first commit), plus
+/// the private-data packages its commit needs.
+///
+/// Every transaction is endorsed against the *pre-stream* committed
+/// state — so a `PdcAdd` in a later block carries a read version an
+/// earlier block's write invalidates, and a `DuplicateOf` may copy a
+/// transaction from an earlier block (caught by the committed-duplicate
+/// check once that block lands).
+fn build_stream(
     net: &mut FabricNetwork,
-    specs: &[TxSpec],
-) -> (Block, HashMap<TxId, PvtDataPackage>) {
-    let mut txs: Vec<Transaction> = Vec::with_capacity(specs.len());
+    blocks_specs: &[Vec<TxSpec>],
+) -> (Vec<Block>, HashMap<TxId, PvtDataPackage>) {
+    let total: usize = blocks_specs.iter().map(Vec::len).sum();
+    let mut all: Vec<Transaction> = Vec::with_capacity(total);
     let mut pkgs = HashMap::new();
-    for (i, spec) in specs.iter().enumerate() {
-        let tx = match spec {
-            TxSpec::PdcWrite { key, endorsers } => build_tx(
-                net,
-                PDC_NS,
-                "write",
-                vec![
-                    format!("bk{key}").into_bytes(),
-                    format!("{}", 100 + i).into_bytes(),
-                ],
-                endorsers,
-                i as u64,
-                &mut pkgs,
-            ),
-            TxSpec::SbePut { key, endorsers } => build_tx(
-                net,
-                SBE_NS,
-                "put",
-                vec![
-                    format!("sk{key}").into_bytes(),
-                    format!("v{i}").into_bytes(),
-                ],
-                endorsers,
-                i as u64,
-                &mut pkgs,
-            ),
-            TxSpec::SbeSetPolicy {
-                key,
-                policy,
-                endorsers,
-            } => build_tx(
-                net,
-                SBE_NS,
-                "set_policy",
-                vec![
-                    format!("sk{key}").into_bytes(),
-                    SBE_POLICIES[*policy].as_bytes().to_vec(),
-                ],
-                endorsers,
-                i as u64,
-                &mut pkgs,
-            ),
-            TxSpec::Tampered { key } => {
-                let mut tx = build_tx(
+    let store = net.peer("peer0.org2").block_store();
+    let first_number = store.height();
+    let mut prev = store.tip_hash();
+    let mut stream = Vec::with_capacity(blocks_specs.len());
+    for (specs, number) in blocks_specs.iter().zip(first_number..) {
+        let mut txs: Vec<Transaction> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let i = all.len();
+            let tx = match spec {
+                TxSpec::PdcWrite { key, endorsers } => build_tx(
                     net,
                     PDC_NS,
                     "write",
@@ -219,35 +220,97 @@ fn build_block(
                         format!("bk{key}").into_bytes(),
                         format!("{}", 100 + i).into_bytes(),
                     ],
-                    &[0, 1],
-                    i as u64,
-                    &mut pkgs,
-                );
-                tx.payload.response.payload = b"tampered".to_vec();
-                tx
-            }
-            TxSpec::DuplicateOf(j) => match txs.get(j % specs.len().max(1)) {
-                Some(tx) => tx.clone(),
-                // No earlier transaction to copy: degrade to a valid write.
-                None => build_tx(
-                    net,
-                    PDC_NS,
-                    "write",
-                    vec![
-                        format!("bk{i}").into_bytes(),
-                        format!("{}", 100 + i).into_bytes(),
-                    ],
-                    &[0, 1],
+                    endorsers,
                     i as u64,
                     &mut pkgs,
                 ),
-            },
-        };
-        txs.push(tx);
+                TxSpec::PdcAdd { endorsers } => build_tx(
+                    net,
+                    PDC_NS,
+                    "add",
+                    vec![b"bk0".to_vec(), b"1".to_vec()],
+                    endorsers,
+                    i as u64,
+                    &mut pkgs,
+                ),
+                TxSpec::SbePut { key, endorsers } => build_tx(
+                    net,
+                    SBE_NS,
+                    "put",
+                    vec![
+                        format!("sk{key}").into_bytes(),
+                        format!("v{i}").into_bytes(),
+                    ],
+                    endorsers,
+                    i as u64,
+                    &mut pkgs,
+                ),
+                TxSpec::SbeSetPolicy {
+                    key,
+                    policy,
+                    endorsers,
+                } => build_tx(
+                    net,
+                    SBE_NS,
+                    "set_policy",
+                    vec![
+                        format!("sk{key}").into_bytes(),
+                        SBE_POLICIES[*policy].as_bytes().to_vec(),
+                    ],
+                    endorsers,
+                    i as u64,
+                    &mut pkgs,
+                ),
+                TxSpec::Tampered { key } => {
+                    let mut tx = build_tx(
+                        net,
+                        PDC_NS,
+                        "write",
+                        vec![
+                            format!("bk{key}").into_bytes(),
+                            format!("{}", 100 + i).into_bytes(),
+                        ],
+                        &[0, 1],
+                        i as u64,
+                        &mut pkgs,
+                    );
+                    tx.payload.response.payload = b"tampered".to_vec();
+                    tx
+                }
+                TxSpec::DuplicateOf(j) => match all.get(j % total.max(1)) {
+                    Some(tx) => tx.clone(),
+                    // No earlier transaction to copy: degrade to a valid write.
+                    None => build_tx(
+                        net,
+                        PDC_NS,
+                        "write",
+                        vec![
+                            format!("bk{i}").into_bytes(),
+                            format!("{}", 100 + i).into_bytes(),
+                        ],
+                        &[0, 1],
+                        i as u64,
+                        &mut pkgs,
+                    ),
+                },
+            };
+            all.push(tx.clone());
+            txs.push(tx);
+        }
+        let block = Block::new(number, prev, txs);
+        prev = block.hash();
+        stream.push(block);
     }
-    let store = net.peer("peer0.org2").block_store();
-    let block = Block::new(store.height(), store.tip_hash(), txs);
-    (block, pkgs)
+    (stream, pkgs)
+}
+
+/// Builds the single block described by `specs` (see [`build_stream`]).
+fn build_block(
+    net: &mut FabricNetwork,
+    specs: &[TxSpec],
+) -> (Block, HashMap<TxId, PvtDataPackage>) {
+    let (mut stream, pkgs) = build_stream(net, std::slice::from_ref(&specs.to_vec()));
+    (stream.pop().expect("one block"), pkgs)
 }
 
 /// Runs the block through the reference validator and through the
@@ -292,6 +355,70 @@ fn assert_equivalent(net: &FabricNetwork, block: &Block, pkgs: &HashMap<TxId, Pv
         audit_sequences[0], audit_sequences[1],
         "audit-event sequence depends on stage-1 parallelism"
     );
+}
+
+/// Commits the whole stream through the reference loop, the per-block
+/// pipeline (parallel off and on), and the pipelined overlap scheduler
+/// (parallel off and on), asserting identical concatenated outcomes,
+/// final world-state digests, chain tips, and audit-event sequences.
+fn assert_stream_equivalent(
+    net: &FabricNetwork,
+    blocks: &[Block],
+    pkgs: &HashMap<TxId, PvtDataPackage>,
+) -> Vec<BlockCommitOutcome> {
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+
+    let mut reference = net.peer("peer0.org2").clone();
+    let mut ref_outcomes = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        ref_outcomes.push(
+            reference
+                .process_block_reference(b.clone(), &mut provider)
+                .expect("reference: stream chains"),
+        );
+    }
+
+    let mut audit_sequences = Vec::with_capacity(4);
+    for (overlap, parallel) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut peer = net.peer("peer0.org2").clone();
+        peer.set_parallel_validation(parallel);
+        let telemetry = Telemetry::new();
+        peer.set_telemetry(telemetry.clone());
+        let outcomes = if overlap {
+            peer.process_blocks_overlapped(blocks.to_vec(), &mut provider)
+                .expect("overlap: stream chains")
+        } else {
+            blocks
+                .iter()
+                .map(|b| {
+                    peer.process_block(b.clone(), &mut provider)
+                        .expect("pipeline: stream chains")
+                })
+                .collect()
+        };
+        assert_eq!(
+            outcomes, ref_outcomes,
+            "stream outcomes diverged (overlap={overlap}, parallel={parallel})"
+        );
+        assert_eq!(
+            peer.world_state().digest(),
+            reference.world_state().digest(),
+            "world state diverged (overlap={overlap}, parallel={parallel})"
+        );
+        assert_eq!(
+            peer.block_store().tip_hash(),
+            reference.block_store().tip_hash(),
+            "chain tip diverged (overlap={overlap}, parallel={parallel})"
+        );
+        audit_sequences.push(telemetry.audit().events());
+    }
+    for (i, seq) in audit_sequences.iter().enumerate().skip(1) {
+        assert_eq!(
+            *seq, audit_sequences[0],
+            "audit-event sequence depends on the scheduler (variant {i})"
+        );
+    }
+    ref_outcomes
 }
 
 proptest! {
@@ -449,4 +576,318 @@ fn adversarial_block_audits_deterministically() {
         .position(|e| matches!(e, AuditEvent::PlaintextPayloadInTx { .. }))
         .unwrap();
     assert!(recheck_pos < plaintext_pos, "events out of block order");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random multi-block streams: the pipelined overlap scheduler is an
+    /// observationally pure optimization of the reference loop, even
+    /// with duplicates, SBE mutations, and read-modify-writes whose
+    /// hazards span the overlap window between consecutive blocks.
+    #[test]
+    fn overlap_matches_reference_on_random_streams(
+        blocks_specs in proptest::collection::vec(
+            proptest::collection::vec(arb_spec(), 1..6),
+            2..4,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let mut net = equivalence_network(20_000 + seed);
+        let (blocks, pkgs) = build_stream(&mut net, &blocks_specs);
+        assert_stream_equivalent(&net, &blocks, &pkgs);
+    }
+}
+
+/// Directed cross-block MVCC hazard: block N writes `bk0`, and block
+/// N+1 carries a read-modify-write of `bk0` endorsed against the
+/// pre-stream version. The overlap scheduler runs block N+1's stateless
+/// pass while block N is still merging, so only the merge-stage MVCC
+/// check — against the post-block-N state — can catch the conflict.
+#[test]
+fn cross_block_mvcc_conflict_straddles_pipeline_boundary() {
+    let mut net = equivalence_network(55);
+    let blocks_specs = vec![
+        vec![TxSpec::PdcWrite {
+            key: 0,
+            endorsers: vec![0, 1],
+        }],
+        vec![
+            TxSpec::PdcAdd {
+                endorsers: vec![0, 1],
+            },
+            TxSpec::PdcWrite {
+                key: 1,
+                endorsers: vec![0, 1],
+            },
+        ],
+    ];
+    let (blocks, pkgs) = build_stream(&mut net, &blocks_specs);
+    let outcomes = assert_stream_equivalent(&net, &blocks, &pkgs);
+    assert_eq!(outcomes[0].validation_codes, vec![TxValidationCode::Valid]);
+    assert_eq!(
+        outcomes[1].validation_codes,
+        vec![TxValidationCode::MvccReadConflict, TxValidationCode::Valid],
+        "the stale read-modify-write conflicts; the fresh-key write lands"
+    );
+}
+
+/// Directed in-block MVCC hazard for completeness: the write and the
+/// stale read-modify-write share one block, so the conflict arises from
+/// the merge stage's own in-block version bump.
+#[test]
+fn in_block_mvcc_conflict_matches_reference() {
+    let mut net = equivalence_network(56);
+    let blocks_specs = vec![vec![
+        TxSpec::PdcWrite {
+            key: 0,
+            endorsers: vec![0, 1],
+        },
+        TxSpec::PdcAdd {
+            endorsers: vec![0, 1],
+        },
+    ]];
+    let (blocks, pkgs) = build_stream(&mut net, &blocks_specs);
+    let outcomes = assert_stream_equivalent(&net, &blocks, &pkgs);
+    assert_eq!(
+        outcomes[0].validation_codes,
+        vec![TxValidationCode::Valid, TxValidationCode::MvccReadConflict]
+    );
+}
+
+/// Directed cross-block SBE mutation: block N pins `sk1` to OR(org3),
+/// so a block-N+1 write endorsed by org1+org2 — statelessly fine under
+/// the chaincode MAJORITY policy, and staged by the overlap scheduler
+/// before block N commits — must fail the merge-stage policy check
+/// against the freshly committed parameter, while an org3 endorsement
+/// passes it.
+#[test]
+fn cross_block_sbe_mutation_governs_next_block() {
+    let mut net = equivalence_network(66);
+    let blocks_specs = vec![
+        vec![
+            TxSpec::SbePut {
+                key: 1,
+                endorsers: vec![0, 1],
+            },
+            TxSpec::SbeSetPolicy {
+                key: 1,
+                policy: 2,
+                endorsers: vec![0, 1],
+            },
+        ],
+        vec![
+            TxSpec::SbePut {
+                key: 1,
+                endorsers: vec![0, 1],
+            },
+            TxSpec::SbePut {
+                key: 1,
+                endorsers: vec![2],
+            },
+        ],
+    ];
+    let (blocks, pkgs) = build_stream(&mut net, &blocks_specs);
+    let outcomes = assert_stream_equivalent(&net, &blocks, &pkgs);
+    assert_eq!(
+        outcomes[0].validation_codes,
+        vec![TxValidationCode::Valid, TxValidationCode::Valid]
+    );
+    assert_eq!(
+        outcomes[1].validation_codes,
+        vec![
+            TxValidationCode::EndorsementPolicyFailure,
+            TxValidationCode::Valid,
+        ],
+        "the committed parameter from the previous block governs"
+    );
+}
+
+/// Cross-block duplicate: a byte-for-byte copy of a block-N transaction
+/// in block N+1 is caught by the committed-duplicate check, which in
+/// the overlap scheduler runs at merge time against the live block
+/// store (after block N landed), never in the staged pass.
+#[test]
+fn cross_block_duplicate_is_rejected_as_committed() {
+    let mut net = equivalence_network(67);
+    let blocks_specs = vec![
+        vec![TxSpec::PdcWrite {
+            key: 2,
+            endorsers: vec![0, 1],
+        }],
+        // DuplicateOf indexes the global transaction list: 0 is the
+        // block-0 write.
+        vec![
+            TxSpec::DuplicateOf(0),
+            TxSpec::PdcWrite {
+                key: 3,
+                endorsers: vec![0, 1],
+            },
+        ],
+    ];
+    let (blocks, pkgs) = build_stream(&mut net, &blocks_specs);
+    let outcomes = assert_stream_equivalent(&net, &blocks, &pkgs);
+    assert_eq!(outcomes[0].validation_codes, vec![TxValidationCode::Valid]);
+    assert_eq!(
+        outcomes[1].validation_codes,
+        vec![TxValidationCode::DuplicateTxId, TxValidationCode::Valid]
+    );
+}
+
+/// Two independent channels committed on sharded lanes produce exactly
+/// the outcomes, digests, and tips of committing each channel's stream
+/// by itself.
+#[test]
+fn sharded_lanes_match_per_channel_commits() {
+    let mut net_a = equivalence_network(88);
+    let mut net_b = equivalence_network(89);
+    let specs = vec![
+        vec![
+            TxSpec::PdcWrite {
+                key: 1,
+                endorsers: vec![0, 1],
+            },
+            TxSpec::SbePut {
+                key: 1,
+                endorsers: vec![0, 1],
+            },
+        ],
+        vec![TxSpec::PdcAdd {
+            endorsers: vec![0, 1],
+        }],
+    ];
+    let (blocks_a, pkgs_a) = build_stream(&mut net_a, &specs);
+    let (blocks_b, pkgs_b) = build_stream(&mut net_b, &specs);
+
+    // Per-channel baselines.
+    let expected_a = assert_stream_equivalent(&net_a, &blocks_a, &pkgs_a);
+    let expected_b = assert_stream_equivalent(&net_b, &blocks_b, &pkgs_b);
+    let mut base_a = net_a.peer("peer0.org2").clone();
+    let mut base_b = net_b.peer("peer0.org2").clone();
+    let mut provider_a = |tx_id: &TxId| pkgs_a.get(tx_id).cloned();
+    let mut provider_b = |tx_id: &TxId| pkgs_b.get(tx_id).cloned();
+    base_a
+        .process_blocks_overlapped(blocks_a.clone(), &mut provider_a)
+        .expect("channel a chains");
+    base_b
+        .process_blocks_overlapped(blocks_b.clone(), &mut provider_b)
+        .expect("channel b chains");
+
+    // Sharded commit of both channels.
+    let mut lane_a = net_a.peer("peer0.org2").clone();
+    let mut lane_b = net_b.peer("peer0.org2").clone();
+    let scheduler = ShardedScheduler::new(vec![
+        CommitLane::new(&mut lane_a, blocks_a, |tx_id| pkgs_a.get(tx_id).cloned()),
+        CommitLane::new(&mut lane_b, blocks_b, |tx_id| pkgs_b.get(tx_id).cloned()),
+    ]);
+    let results = scheduler.commit();
+    assert_eq!(results.len(), 2);
+    let outcomes_a = results[0].as_ref().expect("lane a commits");
+    let outcomes_b = results[1].as_ref().expect("lane b commits");
+    assert_eq!(*outcomes_a, expected_a);
+    assert_eq!(*outcomes_b, expected_b);
+    assert_eq!(lane_a.world_state().digest(), base_a.world_state().digest());
+    assert_eq!(lane_b.world_state().digest(), base_b.world_state().digest());
+    assert_eq!(
+        lane_a.block_store().tip_hash(),
+        base_a.block_store().tip_hash()
+    );
+    assert_eq!(
+        lane_b.block_store().tip_hash(),
+        base_b.block_store().tip_hash()
+    );
+}
+
+/// A stream whose third block does not chain: the overlap scheduler
+/// commits the blocks before it, reports the error, and leaves the
+/// failing block (and everything after) uncommitted.
+#[test]
+fn overlap_stops_at_first_non_chaining_block() {
+    let mut net = equivalence_network(91);
+    let specs = vec![
+        vec![TxSpec::PdcWrite {
+            key: 1,
+            endorsers: vec![0, 1],
+        }],
+        vec![TxSpec::PdcWrite {
+            key: 2,
+            endorsers: vec![0, 1],
+        }],
+        vec![TxSpec::PdcWrite {
+            key: 3,
+            endorsers: vec![0, 1],
+        }],
+    ];
+    let (mut blocks, pkgs) = build_stream(&mut net, &specs);
+    let broken = &blocks[2];
+    blocks[2] = Block::new(
+        broken.header.number,
+        sha256(b"bogus previous hash"),
+        broken.transactions.clone(),
+    );
+
+    let mut peer = net.peer("peer0.org2").clone();
+    let start_height = peer.block_store().height();
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let err = peer.process_blocks_overlapped(blocks.clone(), &mut provider);
+    assert!(err.is_err(), "broken chain must be rejected");
+    assert_eq!(
+        peer.block_store().height(),
+        start_height + 2,
+        "the two chaining blocks commit before the break is detected"
+    );
+    assert_eq!(peer.block_store().tip_hash(), blocks[1].hash());
+}
+
+/// The per-block stage histograms are parallelism- and scheduler-
+/// invariant: every block contributes exactly one stateless and one
+/// stateful observation whether the stages run interleaved
+/// (`process_block`) or overlapped across threads
+/// (`process_blocks_overlapped`).
+#[test]
+fn stage_histograms_count_once_per_block_regardless_of_overlap() {
+    let mut net = equivalence_network(92);
+    let specs = vec![
+        vec![TxSpec::PdcWrite {
+            key: 1,
+            endorsers: vec![0, 1],
+        }],
+        vec![TxSpec::SbePut {
+            key: 1,
+            endorsers: vec![0, 1],
+        }],
+        vec![TxSpec::PdcWrite {
+            key: 2,
+            endorsers: vec![0, 1],
+        }],
+    ];
+    let (blocks, pkgs) = build_stream(&mut net, &specs);
+    for (overlap, parallel) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut peer = net.peer("peer0.org2").clone();
+        peer.set_parallel_validation(parallel);
+        let telemetry = Telemetry::new();
+        peer.set_telemetry(telemetry.clone());
+        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+        if overlap {
+            peer.process_blocks_overlapped(blocks.clone(), &mut provider)
+                .expect("stream chains");
+        } else {
+            for b in &blocks {
+                peer.process_block(b.clone(), &mut provider)
+                    .expect("block chains");
+            }
+        }
+        for stage in ["stateless", "stateful"] {
+            let count = telemetry
+                .metrics()
+                .find_histogram("fabric_commit_stage_seconds", &[("stage", stage)])
+                .map(|h| h.count())
+                .unwrap_or(0);
+            assert_eq!(
+                count,
+                blocks.len() as u64,
+                "{stage} must record once per block (overlap={overlap}, parallel={parallel})"
+            );
+        }
+    }
 }
