@@ -5,6 +5,7 @@ use crate::mal_client::MaliciousClient;
 use fabric_chaincode::samples::{Guard, GuardedPdc};
 use fabric_chaincode::ChaincodeDefinition;
 use fabric_crypto::Keypair;
+use fabric_monitor::{AlertTransition, Monitor};
 use fabric_network::{FabricNetwork, NetworkBuilder};
 use fabric_telemetry::{AuditEvent, Telemetry};
 use fabric_types::{
@@ -169,6 +170,9 @@ pub struct AttackOutcome {
     /// (the lab attaches a shared [`Telemetry`] pipeline, so every attack
     /// leaves a forensic trail even when it succeeds).
     pub audit_events: Vec<AuditEvent>,
+    /// Alert-state transitions the lab's [`Monitor`] logged while this
+    /// attack ran — which detection rules fired (and resolved) on it.
+    pub alerts: Vec<AlertTransition>,
 }
 
 /// Builds the §V-A prototype: `org_count` orgs, PDC1 = {org1, org2},
@@ -183,11 +187,13 @@ pub struct AttackOutcome {
 pub fn build_lab(cfg: &LabConfig) -> AttackLab {
     let org_names: Vec<String> = (1..=cfg.org_count).map(|i| format!("Org{i}MSP")).collect();
     let org_refs: Vec<&str> = org_names.iter().map(String::as_str).collect();
+    let telemetry = Telemetry::with_flight_recorder(1024);
     let mut net = NetworkBuilder::new("mychannel")
         .orgs(&org_refs)
         .seed(cfg.seed)
         .defense(cfg.defense)
-        .with_telemetry(Telemetry::with_flight_recorder(1024))
+        .with_telemetry(telemetry.clone())
+        .with_monitor(Monitor::new(&telemetry))
         .build();
 
     let mut collection = CollectionConfig::membership_of(
@@ -257,6 +263,13 @@ pub fn build_lab(cfg: &LabConfig) -> AttackLab {
         });
     }
 
+    // The default lab collection carries no collection-level policy, so
+    // even the honest seeding legitimately trips the UC2 fallback audit.
+    // Re-baseline the monitor: attacks are judged against a quiet network.
+    if let Some(monitor) = net.monitor() {
+        monitor.reset();
+    }
+
     let attacker = MaliciousClient::new(
         cfg.attacker_org(),
         Keypair::generate_from_seed(cfg.seed ^ 0xbad0_c0de),
@@ -278,9 +291,18 @@ pub fn run_attack(lab: &mut AttackLab, kind: AttackKind) -> AttackOutcome {
         .telemetry()
         .map(|t| t.audit().len())
         .unwrap_or_default();
+    let alerts_before = lab
+        .net
+        .monitor()
+        .map(|m| m.transitions().len())
+        .unwrap_or_default();
     let mut outcome = run_attack_inner(lab, kind);
     if let Some(t) = lab.net.telemetry() {
         outcome.audit_events = t.audit().events_since(audit_before);
+    }
+    if let Some(m) = lab.net.monitor() {
+        let transitions = m.transitions();
+        outcome.alerts = transitions[alerts_before.min(transitions.len())..].to_vec();
     }
     outcome
 }
@@ -311,6 +333,7 @@ fn run_attack_inner(lab: &mut AttackLab, kind: AttackKind) -> AttackOutcome {
                     format!("transaction marked {code}")
                 },
                 audit_events: Vec::new(),
+                alerts: Vec::new(),
             }
         }
         AttackKind::FakeWrite => {
@@ -350,6 +373,7 @@ fn run_attack_inner(lab: &mut AttackLab, kind: AttackKind) -> AttackOutcome {
                     format!("transaction marked {code}")
                 },
                 audit_events: Vec::new(),
+                alerts: Vec::new(),
             }
         }
     }
@@ -373,6 +397,7 @@ fn failed(kind: AttackKind, code: Option<TxValidationCode>, note: String) -> Att
         succeeded: false,
         note,
         audit_events: Vec::new(),
+        alerts: Vec::new(),
     }
 }
 
@@ -451,6 +476,7 @@ fn judge_state_injection(
             format!("transaction marked {code}; victim state: {at_victim:?}")
         },
         audit_events: Vec::new(),
+        alerts: Vec::new(),
     }
 }
 

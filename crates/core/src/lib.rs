@@ -30,6 +30,7 @@
 //! | lint | [`lint`] | rule-based PDC misconfiguration linter (text/JSON/SARIF) |
 //! | flow | [`flow`] | information-flow taint analysis of chaincode leakage |
 //! | telemetry | [`telemetry`] | tracing spans, metrics registry, security-audit events |
+//! | monitor | [`monitor`] | streaming health scoring, rate anomaly detection, alerting |
 //!
 //! ## Quick start
 //!
@@ -78,6 +79,7 @@ pub use fabric_flow as flow;
 pub use fabric_gossip as gossip;
 pub use fabric_ledger as ledger;
 pub use fabric_lint as lint;
+pub use fabric_monitor as monitor;
 pub use fabric_network as network;
 pub use fabric_orderer as orderer;
 pub use fabric_peer as peer;
@@ -96,6 +98,9 @@ pub mod prelude {
     pub use fabric_chaincode::{Chaincode, ChaincodeDefinition, ChaincodeError, ChaincodeStub};
     pub use fabric_client::Client;
     pub use fabric_crypto::{sha256, Hash256, Keypair};
+    pub use fabric_monitor::{
+        AlertPhase, AlertTransition, Monitor, MonitorConfig, NetworkStatus, NodeSample,
+    };
     pub use fabric_network::{FabricNetwork, NetworkBuilder, NetworkError, SubmitOutcome};
     pub use fabric_peer::Peer;
     pub use fabric_policy::{Policy, SignaturePolicy};

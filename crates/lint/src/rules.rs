@@ -173,6 +173,15 @@ const RULES: &[Rule] = &[
                       single lane; channels are ledger-independent, so per-channel commit \
                       lanes would multiply aggregate throughput",
     },
+    Rule {
+        id: "PDC020",
+        name: "telemetry-without-monitor",
+        severity: Severity::Note,
+        use_case: None,
+        description: "the network records security-audit telemetry but drives no \
+                      streaming monitor over it, so attack-rate spikes and node \
+                      degradation raise no online alert",
+    },
 ];
 
 /// All registered rules, in stable ID order.
@@ -514,6 +523,20 @@ fn check_observability(subject: &LintSubject, out: &mut Vec<Finding>) {
                 .to_string(),
         ));
     }
+    // PDC020 is conditioned on telemetry being present: without a
+    // collector there is nothing to monitor, and PDC010 already covers
+    // that more fundamental gap.
+    if subject.telemetry_attached == Some(true) && subject.monitor_attached == Some(false) {
+        out.push(finding(
+            "PDC020",
+            subject,
+            Location::artifact(&subject.uri),
+            "the network collects audit telemetry but no monitor evaluates it \
+             online: a burst of non-member endorsements or plaintext payload \
+             commits would be recorded yet raise no alert"
+                .to_string(),
+        ));
+    }
     if subject.flow_analyzed == Some(false) {
         out.push(finding(
             "PDC018",
@@ -599,6 +622,7 @@ mod tests {
             telemetry_attached: None,
             flight_recorder: None,
             flow_analyzed: None,
+            monitor_attached: None,
             commit_lanes: None,
             consortium_channels: None,
         }
@@ -660,6 +684,38 @@ mod tests {
             .iter()
             .find(|f| f.rule_id == "PDC018")
             .expect("PDC018 fires on unanalyzed chaincode");
+        assert_eq!(f.severity, Severity::Note);
+    }
+
+    #[test]
+    fn pdc020_fires_only_on_audited_but_unmonitored_networks() {
+        // Unknown (scans, plain definitions): silent.
+        assert!(!fires(&clean_subject(), "PDC020"));
+        // Telemetry and monitor both known-attached: silent.
+        let monitored = clean_subject()
+            .with_telemetry_attached(true)
+            .with_monitor_attached(true);
+        assert!(!fires(&monitored, "PDC020"));
+        // No telemetry at all: PDC010's territory, PDC020 stays silent.
+        let unaudited = clean_subject()
+            .with_telemetry_attached(false)
+            .with_monitor_attached(false);
+        assert!(!fires(&unaudited, "PDC020"));
+        // Monitor known missing with telemetry unknown: silent (a scan
+        // cannot know whether a live network evaluates its audit stream).
+        assert!(!fires(
+            &clean_subject().with_monitor_attached(false),
+            "PDC020"
+        ));
+        // Telemetry attached, monitor known missing: notes.
+        let unmonitored = clean_subject()
+            .with_telemetry_attached(true)
+            .with_monitor_attached(false);
+        let findings = lint_subject(&unmonitored);
+        let f = findings
+            .iter()
+            .find(|f| f.rule_id == "PDC020")
+            .expect("PDC020 fires on a monitored-less audited network");
         assert_eq!(f.severity, Severity::Note);
     }
 

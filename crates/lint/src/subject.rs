@@ -122,6 +122,11 @@ pub struct LintSubject {
     /// silent; `Some(false)` marks a deployment knowingly running
     /// un-analyzed chaincode.
     pub flow_analyzed: Option<bool>,
+    /// Whether the network's telemetry pipeline feeds a streaming
+    /// monitor (`fabric-monitor`). `None` (the default) means unknown and
+    /// keeps PDC020 silent; `Some(false)` marks a live network that
+    /// records audit events nobody evaluates online.
+    pub monitor_attached: Option<bool>,
     /// Number of commit lanes the hosting consortium schedules its
     /// channels onto. `None` (the default) means unknown and keeps PDC019
     /// silent.
@@ -151,6 +156,7 @@ impl LintSubject {
             telemetry_attached: None,
             flight_recorder: None,
             flow_analyzed: None,
+            monitor_attached: None,
             commit_lanes: None,
             consortium_channels: None,
         }
@@ -170,6 +176,14 @@ impl LintSubject {
     /// t.flight_recorder().is_some()))`.
     pub fn with_flight_recorder(mut self, attached: bool) -> Self {
         self.flight_recorder = Some(attached);
+        self
+    }
+
+    /// Records whether the subject's network drives a streaming monitor
+    /// over its telemetry (feeds rule PDC020). Typically
+    /// `subject.with_monitor_attached(net.monitor().is_some())`.
+    pub fn with_monitor_attached(mut self, attached: bool) -> Self {
+        self.monitor_attached = Some(attached);
         self
     }
 

@@ -1,0 +1,435 @@
+//! The alert state machine: pending → firing → resolved.
+//!
+//! Conditions (detector activations, critical node verdicts) are fed in
+//! once per tick keyed by a dedup key (`rule`, or `rule:node`). A
+//! condition must hold for `for_ticks` consecutive ticks before the
+//! alert fires (hysteresis against one-tick blips), and must then stay
+//! clear for `resolve_ticks` consecutive ticks before it resolves
+//! (hysteresis against flapping). Firing and resolving append to a
+//! transition log; resolved alerts land in a bounded history ring.
+//!
+//! Everything is keyed and iterated through `BTreeMap`s and advances in
+//! whole ticks, so the transition log is a pure function of the
+//! condition sequence — the determinism the equivalence tests assert.
+
+use fabric_telemetry::{AuditEvent, FlightDump};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Phase of an alert's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertPhase {
+    /// Condition active, hysteresis not yet satisfied.
+    Pending,
+    /// Alert is live.
+    Firing,
+    /// Condition cleared long enough; alert closed.
+    Resolved,
+}
+
+impl AlertPhase {
+    /// Upper-case label used by renderers (`FIRING ...` lines).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertPhase::Pending => "PENDING",
+            AlertPhase::Firing => "FIRING",
+            AlertPhase::Resolved => "RESOLVED",
+        }
+    }
+}
+
+/// One alert instance (active or historical).
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Rule name, e.g. `uc1_nonmember_endorsement_rate`.
+    pub rule: String,
+    /// Dedup key: the rule name, suffixed with the node for per-node
+    /// rules (`node_critical:peer0.org1`).
+    pub key: String,
+    pub phase: AlertPhase,
+    /// Tick the condition first became active.
+    pub pending_since: u64,
+    /// Tick the alert fired, once it has.
+    pub fired_at: Option<u64>,
+    /// Tick the alert resolved, once it has.
+    pub resolved_at: Option<u64>,
+    /// Condition description at the worst observed point.
+    pub message: String,
+    /// Flight-recorder snapshot captured when the alert fired, when a
+    /// recorder was attached and the rule had audit evidence.
+    pub forensics: Option<FlightDump>,
+}
+
+/// One entry of the firing/resolved transition log.
+///
+/// Deliberately carries no wall-clock or forensic payload: two runs that
+/// see the same condition sequence produce `==`-identical logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertTransition {
+    /// Monitor tick the transition happened on.
+    pub tick: u64,
+    /// Rule name.
+    pub rule: String,
+    /// Dedup key.
+    pub key: String,
+    /// `Firing` or `Resolved`.
+    pub to: AlertPhase,
+}
+
+impl fmt::Display for AlertTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tick={} {} {}", self.tick, self.to.label(), self.key)
+    }
+}
+
+/// A condition evaluation for one dedup key at one tick.
+#[derive(Debug, Clone)]
+pub(crate) struct Condition {
+    pub rule: &'static str,
+    pub active: bool,
+    pub message: String,
+    /// The audit event to flight-dump against if this firing needs
+    /// forensics.
+    pub evidence: Option<AuditEvent>,
+}
+
+#[derive(Debug)]
+struct ActiveAlert {
+    alert: Alert,
+    /// Consecutive active ticks while pending.
+    active_streak: u64,
+    /// Consecutive inactive ticks while firing.
+    inactive_streak: u64,
+}
+
+/// Bounded alert book: active alerts, transition log, resolved history.
+#[derive(Debug)]
+pub(crate) struct AlertBook {
+    /// Ticks a condition must hold before firing.
+    pub for_ticks: u64,
+    /// Ticks a condition must stay clear before resolving.
+    pub resolve_ticks: u64,
+    history_cap: usize,
+    transitions_cap: usize,
+    active: BTreeMap<String, ActiveAlert>,
+    transitions: VecDeque<AlertTransition>,
+    history: VecDeque<Alert>,
+}
+
+impl AlertBook {
+    pub fn new(
+        for_ticks: u64,
+        resolve_ticks: u64,
+        history_cap: usize,
+        transitions_cap: usize,
+    ) -> Self {
+        AlertBook {
+            for_ticks: for_ticks.max(1),
+            resolve_ticks: resolve_ticks.max(1),
+            history_cap: history_cap.max(1),
+            transitions_cap: transitions_cap.max(1),
+            active: BTreeMap::new(),
+            transitions: VecDeque::new(),
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Advances every tracked key by one tick. `conditions` maps dedup
+    /// key → this tick's evaluation; keys seen before but absent from
+    /// the map count as inactive. `capture` turns firing evidence into a
+    /// flight dump. Returns the transitions appended this tick.
+    pub fn step(
+        &mut self,
+        tick: u64,
+        conditions: &BTreeMap<String, Condition>,
+        capture: &mut dyn FnMut(&AuditEvent) -> Option<FlightDump>,
+    ) -> Vec<AlertTransition> {
+        let mut out = Vec::new();
+
+        // Phase 1: advance existing alerts (including keys with no
+        // condition entry this tick — those are inactive).
+        let mut drop_keys = Vec::new();
+        for (key, state) in self.active.iter_mut() {
+            let cond = conditions.get(key);
+            let active = cond.is_some_and(|c| c.active);
+            match state.alert.phase {
+                AlertPhase::Pending => {
+                    if active {
+                        state.active_streak += 1;
+                        if let Some(c) = cond {
+                            state.alert.message = c.message.clone();
+                        }
+                        if state.active_streak >= self.for_ticks {
+                            state.alert.phase = AlertPhase::Firing;
+                            state.alert.fired_at = Some(tick);
+                            state.inactive_streak = 0;
+                            if state.alert.forensics.is_none() {
+                                state.alert.forensics = cond
+                                    .and_then(|c| c.evidence.as_ref())
+                                    .and_then(&mut *capture);
+                            }
+                            out.push(AlertTransition {
+                                tick,
+                                rule: state.alert.rule.clone(),
+                                key: key.clone(),
+                                to: AlertPhase::Firing,
+                            });
+                        }
+                    } else {
+                        // A blip that never met the for-duration: forget it.
+                        drop_keys.push(key.clone());
+                    }
+                }
+                AlertPhase::Firing => {
+                    if active {
+                        state.inactive_streak = 0;
+                        if let Some(c) = cond {
+                            state.alert.message = c.message.clone();
+                        }
+                    } else {
+                        state.inactive_streak += 1;
+                        if state.inactive_streak >= self.resolve_ticks {
+                            state.alert.phase = AlertPhase::Resolved;
+                            state.alert.resolved_at = Some(tick);
+                            out.push(AlertTransition {
+                                tick,
+                                rule: state.alert.rule.clone(),
+                                key: key.clone(),
+                                to: AlertPhase::Resolved,
+                            });
+                            drop_keys.push(key.clone());
+                        }
+                    }
+                }
+                AlertPhase::Resolved => unreachable!("resolved alerts leave the active map"),
+            }
+        }
+        for key in drop_keys {
+            if let Some(state) = self.active.remove(&key) {
+                if state.alert.phase == AlertPhase::Resolved {
+                    if self.history.len() == self.history_cap {
+                        self.history.pop_front();
+                    }
+                    self.history.push_back(state.alert);
+                }
+            }
+        }
+
+        // Phase 2: open pending entries for newly active keys. With
+        // for_ticks == 1 they fire on this same tick.
+        let mut newly_fired = Vec::new();
+        for (key, cond) in conditions {
+            if !cond.active || self.active.contains_key(key) {
+                continue;
+            }
+            let mut state = ActiveAlert {
+                active_streak: 1,
+                inactive_streak: 0,
+                alert: Alert {
+                    rule: cond.rule.to_string(),
+                    key: key.clone(),
+                    phase: AlertPhase::Pending,
+                    pending_since: tick,
+                    fired_at: None,
+                    resolved_at: None,
+                    message: cond.message.clone(),
+                    forensics: None,
+                },
+            };
+            if state.active_streak >= self.for_ticks {
+                state.alert.phase = AlertPhase::Firing;
+                state.alert.fired_at = Some(tick);
+                state.alert.forensics = cond.evidence.as_ref().and_then(&mut *capture);
+                newly_fired.push(AlertTransition {
+                    tick,
+                    rule: cond.rule.to_string(),
+                    key: key.clone(),
+                    to: AlertPhase::Firing,
+                });
+            }
+            self.active.insert(key.clone(), state);
+        }
+        out.extend(newly_fired);
+
+        for t in &out {
+            if self.transitions.len() == self.transitions_cap {
+                self.transitions.pop_front();
+            }
+            self.transitions.push_back(t.clone());
+        }
+        out
+    }
+
+    /// Currently tracked alerts (pending and firing), key order.
+    pub fn active(&self) -> Vec<Alert> {
+        self.active.values().map(|s| s.alert.clone()).collect()
+    }
+
+    /// Rules with at least one firing alert, deduped, sorted.
+    pub fn firing_rules(&self) -> Vec<String> {
+        let mut rules: Vec<String> = self
+            .active
+            .values()
+            .filter(|s| s.alert.phase == AlertPhase::Firing)
+            .map(|s| s.alert.rule.clone())
+            .collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+
+    /// The firing/resolved transition log, oldest first.
+    pub fn transitions(&self) -> Vec<AlertTransition> {
+        self.transitions.iter().cloned().collect()
+    }
+
+    /// Resolved alerts, oldest first (bounded ring).
+    pub fn history(&self) -> Vec<Alert> {
+        self.history.iter().cloned().collect()
+    }
+
+    /// Drops all alert state and logs.
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.transitions.clear();
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(rule: &'static str, active: bool) -> (String, Condition) {
+        (
+            rule.to_string(),
+            Condition {
+                rule,
+                active,
+                message: format!("{rule} condition"),
+                evidence: None,
+            },
+        )
+    }
+
+    fn no_capture(_: &AuditEvent) -> Option<FlightDump> {
+        None
+    }
+
+    #[test]
+    fn fires_immediately_with_for_ticks_one_and_resolves_after_quiet() {
+        let mut book = AlertBook::new(1, 2, 8, 64);
+        let active: BTreeMap<_, _> = [cond("r", true)].into();
+        let quiet: BTreeMap<_, _> = BTreeMap::new();
+        let t1 = book.step(1, &active, &mut no_capture);
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].to, AlertPhase::Firing);
+        assert!(
+            book.step(2, &quiet, &mut no_capture).is_empty(),
+            "one quiet tick"
+        );
+        let t3 = book.step(3, &quiet, &mut no_capture);
+        assert_eq!(t3.len(), 1);
+        assert_eq!(t3[0].to, AlertPhase::Resolved);
+        assert!(book.active().is_empty());
+        assert_eq!(book.history().len(), 1);
+        assert_eq!(book.history()[0].fired_at, Some(1));
+        assert_eq!(book.history()[0].resolved_at, Some(3));
+    }
+
+    #[test]
+    fn for_duration_hysteresis_swallows_blips() {
+        let mut book = AlertBook::new(3, 1, 8, 64);
+        let active: BTreeMap<_, _> = [cond("r", true)].into();
+        let quiet: BTreeMap<_, _> = BTreeMap::new();
+        // Two active ticks then a gap: never fires.
+        assert!(book.step(1, &active, &mut no_capture).is_empty());
+        assert!(book.step(2, &active, &mut no_capture).is_empty());
+        assert!(book.step(3, &quiet, &mut no_capture).is_empty());
+        assert!(book.active().is_empty(), "blip was forgotten");
+        // Three consecutive active ticks: fires on the third.
+        assert!(book.step(4, &active, &mut no_capture).is_empty());
+        assert!(book.step(5, &active, &mut no_capture).is_empty());
+        let t = book.step(6, &active, &mut no_capture);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, AlertPhase::Firing);
+    }
+
+    #[test]
+    fn resolve_hysteresis_rides_through_flapping() {
+        let mut book = AlertBook::new(1, 3, 8, 64);
+        let active: BTreeMap<_, _> = [cond("r", true)].into();
+        let quiet: BTreeMap<_, _> = BTreeMap::new();
+        book.step(1, &active, &mut no_capture);
+        // Two quiet ticks, then active again: still one firing alert,
+        // no resolve, no re-fire.
+        assert!(book.step(2, &quiet, &mut no_capture).is_empty());
+        assert!(book.step(3, &quiet, &mut no_capture).is_empty());
+        assert!(book.step(4, &active, &mut no_capture).is_empty());
+        assert_eq!(book.firing_rules(), vec!["r".to_string()]);
+        assert_eq!(
+            book.transitions().len(),
+            1,
+            "flapping produced no extra transitions"
+        );
+    }
+
+    #[test]
+    fn keys_dedup_and_independent_keys_track_separately() {
+        let mut book = AlertBook::new(1, 1, 8, 64);
+        let conditions: BTreeMap<String, Condition> = [
+            (
+                "node_critical:peer0.org1".to_string(),
+                Condition {
+                    rule: "node_critical",
+                    active: true,
+                    message: "m".into(),
+                    evidence: None,
+                },
+            ),
+            (
+                "node_critical:peer0.org2".to_string(),
+                Condition {
+                    rule: "node_critical",
+                    active: true,
+                    message: "m".into(),
+                    evidence: None,
+                },
+            ),
+        ]
+        .into();
+        let t = book.step(1, &conditions, &mut no_capture);
+        assert_eq!(t.len(), 2, "one alert per key");
+        // Same conditions again: already firing, nothing new.
+        assert!(book.step(2, &conditions, &mut no_capture).is_empty());
+        assert_eq!(book.firing_rules(), vec!["node_critical".to_string()]);
+    }
+
+    #[test]
+    fn history_ring_is_bounded() {
+        let mut book = AlertBook::new(1, 1, 2, 64);
+        let quiet: BTreeMap<_, _> = BTreeMap::new();
+        for i in 0..5u64 {
+            let active: BTreeMap<_, _> = [cond("r", true)].into();
+            book.step(i * 2 + 1, &active, &mut no_capture);
+            book.step(i * 2 + 2, &quiet, &mut no_capture);
+        }
+        assert_eq!(book.history().len(), 2, "ring keeps the newest two");
+        assert_eq!(book.history()[1].resolved_at, Some(10));
+    }
+
+    #[test]
+    fn transition_log_is_bounded() {
+        let mut book = AlertBook::new(1, 1, 1, 4);
+        let quiet: BTreeMap<_, _> = BTreeMap::new();
+        for i in 0..6u64 {
+            let active: BTreeMap<_, _> = [cond("r", true)].into();
+            book.step(i * 2 + 1, &active, &mut no_capture);
+            book.step(i * 2 + 2, &quiet, &mut no_capture);
+        }
+        let log = book.transitions();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.last().unwrap().tick, 12);
+    }
+}

@@ -4,6 +4,7 @@ use crate::net::FabricNetwork;
 use fabric_client::Client;
 use fabric_crypto::Keypair;
 use fabric_gossip::GossipHub;
+use fabric_monitor::Monitor;
 use fabric_orderer::{BatchConfig, OrderingService};
 use fabric_peer::{ChannelPolicies, Peer};
 use fabric_telemetry::Telemetry;
@@ -25,6 +26,7 @@ pub struct NetworkBuilder {
     seed: u64,
     parallel_validation: bool,
     telemetry: Option<Telemetry>,
+    monitor: Option<Monitor>,
 }
 
 impl NetworkBuilder {
@@ -42,6 +44,7 @@ impl NetworkBuilder {
             seed: 0,
             parallel_validation: false,
             telemetry: None,
+            monitor: None,
         }
     }
 
@@ -92,13 +95,39 @@ impl NetworkBuilder {
         self
     }
 
+    /// Attaches a streaming [`Monitor`] to the network, mirroring
+    /// [`NetworkBuilder::with_telemetry`]: `FabricNetwork::advance`
+    /// drives it one evaluation tick per network tick with per-node
+    /// health samples, and its alerts become part of the network's
+    /// operational state (`FabricNetwork::monitor`).
+    ///
+    /// The monitor watches a telemetry pipeline. If none was attached
+    /// yet, the monitor's own pipeline is adopted for the whole network;
+    /// if one was, it must be the same pipeline (`build` panics on a
+    /// mismatch — a monitor watching a registry nobody writes to would
+    /// silently never fire).
+    pub fn with_monitor(mut self, monitor: Monitor) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
     /// Builds the network and elects the ordering-service leader.
     ///
     /// # Panics
     ///
     /// Panics if no organizations were configured.
-    pub fn build(self) -> FabricNetwork {
+    pub fn build(mut self) -> FabricNetwork {
         assert!(!self.orgs.is_empty(), "a network needs organizations");
+        if let Some(monitor) = &self.monitor {
+            match &self.telemetry {
+                Some(t) => assert!(
+                    t.same_pipeline(monitor.telemetry()),
+                    "with_monitor: the monitor watches a different telemetry \
+                     pipeline than the one attached via with_telemetry"
+                ),
+                None => self.telemetry = Some(monitor.telemetry().clone()),
+            }
+        }
         let policies = ChannelPolicies::default_for(&self.orgs);
         let mut gossip = GossipHub::new(self.seed);
         let mut peers = BTreeMap::new();
@@ -148,7 +177,12 @@ impl NetworkBuilder {
         }
         orderer.run_until_ready(10_000);
 
-        FabricNetwork::from_parts(self.channel, self.orgs, peers, clients, orderer, gossip)
+        let mut net =
+            FabricNetwork::from_parts(self.channel, self.orgs, peers, clients, orderer, gossip);
+        if let Some(monitor) = self.monitor {
+            net.attach_monitor(monitor);
+        }
+        net
     }
 }
 
@@ -186,5 +220,30 @@ mod tests {
     #[should_panic(expected = "needs organizations")]
     fn empty_orgs_panic() {
         let _ = NetworkBuilder::new("ch1").build();
+    }
+
+    #[test]
+    fn with_monitor_alone_adopts_the_monitors_telemetry_pipeline() {
+        let telemetry = Telemetry::new();
+        let monitor = Monitor::new(&telemetry);
+        let net = NetworkBuilder::new("ch1")
+            .orgs(&["Org1MSP"])
+            .seed(2)
+            .with_monitor(monitor)
+            .build();
+        let net_telemetry = net.telemetry().expect("monitor pipeline adopted");
+        assert!(net_telemetry.same_pipeline(&telemetry));
+        assert!(net.monitor().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "different telemetry")]
+    fn mismatched_monitor_and_telemetry_pipelines_panic() {
+        let monitor = Monitor::new(&Telemetry::new());
+        let _ = NetworkBuilder::new("ch1")
+            .orgs(&["Org1MSP"])
+            .with_telemetry(Telemetry::new())
+            .with_monitor(monitor)
+            .build();
     }
 }

@@ -4,6 +4,7 @@ use crate::error::NetworkError;
 use fabric_chaincode::{ChaincodeDefinition, ChaincodeHandle};
 use fabric_client::Client;
 use fabric_gossip::{GossipHub, PeerId};
+use fabric_monitor::{Monitor, NodeSample};
 use fabric_orderer::OrderingService;
 use fabric_peer::Peer;
 use fabric_types::{
@@ -38,6 +39,8 @@ pub struct FabricNetwork {
     /// member peers; the source of truth Fabric's reconciliation protocol
     /// queries when a peer joins late or lost data.
     pvt_archive: HashMap<TxId, PvtDataPackage>,
+    /// Streaming alert engine driven one evaluation tick per network tick.
+    monitor: Option<Monitor>,
 }
 
 impl std::fmt::Debug for FabricNetwork {
@@ -70,7 +73,18 @@ impl FabricNetwork {
             events: Vec::new(),
             deployed: Vec::new(),
             pvt_archive: HashMap::new(),
+            monitor: None,
         }
+    }
+
+    pub(crate) fn attach_monitor(&mut self, monitor: Monitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// The streaming monitor attached via `NetworkBuilder::with_monitor`,
+    /// if any.
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
     }
 
     /// The channel name.
@@ -285,7 +299,46 @@ impl FabricNetwork {
             for block in blocks {
                 self.deliver_block(block);
             }
+            self.observe_monitor_tick();
         }
+    }
+
+    /// One monitor evaluation per network tick: drain the audit events
+    /// this tick produced and score every node's health from the same
+    /// state the tick left behind.
+    fn observe_monitor_tick(&mut self) {
+        let Some(monitor) = self.monitor.clone() else {
+            return;
+        };
+        let ordered_height = self.orderer.ordered_height();
+        // The commit pipeline is shared across peers in-process, so the
+        // stateful-stage p99 is a network-wide signal sampled once.
+        let stage_p99 = monitor
+            .telemetry()
+            .metrics()
+            .find_histogram("fabric_commit_stage_seconds", &[("stage", "stateful")])
+            .and_then(|h| h.quantile(0.99));
+        let mut samples: Vec<NodeSample> = self
+            .peers
+            .iter()
+            .map(|(name, peer)| NodeSample {
+                node: name.clone(),
+                committed_height: peer.block_store().height(),
+                ordered_height,
+                backlog: 0,
+                gossip_pending: self.gossip.transient_len(peer.gossip_id()) as u64,
+                stage_p99_seconds: stage_p99,
+            })
+            .collect();
+        samples.push(NodeSample {
+            node: "orderer".to_string(),
+            committed_height: ordered_height,
+            ordered_height,
+            backlog: self.orderer.pending_len() as u64,
+            gossip_pending: 0,
+            stage_p99_seconds: None,
+        });
+        monitor.observe_tick(&samples);
     }
 
     fn deliver_block(&mut self, block: fabric_types::Block) {

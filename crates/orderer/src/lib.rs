@@ -122,6 +122,12 @@ impl OrderingService {
         self.pending.len()
     }
 
+    /// Blocks cut so far — the chain height every peer should converge
+    /// to (monitors score committed-height lag against this).
+    pub fn ordered_height(&self) -> u64 {
+        self.next_number
+    }
+
     /// Runs ticks until the Raft cluster has a leader (start-up helper).
     pub fn run_until_ready(&mut self, max_ticks: usize) -> bool {
         self.raft.run_until_leader(max_ticks).is_some()

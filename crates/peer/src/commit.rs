@@ -239,6 +239,11 @@ impl Peer {
         // vector is written straight into the block's metadata. Audit
         // events are emitted from this stage only, so their sequence is
         // identical whether stage 1 ran sequentially or fanned out.
+        if let Some(t) = &telemetry {
+            // New block entering the merge: re-arm per-block collector
+            // state (the flight recorder's trigger dedup).
+            t.block_boundary();
+        }
         let stateful_span = block_span.as_ref().map(|s| s.child("commit.stateful"));
         let mut block = block;
         let Block {

@@ -251,6 +251,11 @@ impl MergeParts<'_> {
             None
         };
         let mark = tracing.then(Instant::now);
+        if let Some(t) = &telemetry {
+            // New block entering the merge: re-arm per-block collector
+            // state (the flight recorder's trigger dedup).
+            t.block_boundary();
+        }
 
         let mut block = block;
         let Block {

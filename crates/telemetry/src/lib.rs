@@ -55,7 +55,7 @@ mod trace;
 pub use audit::{AuditEvent, AuditLog};
 pub use export::{render_chrome_trace, render_spans_jsonl};
 pub use metrics::{
-    Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry,
+    Counter, CounterWindow, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry,
     DURATION_SECONDS_BUCKETS, TICK_BUCKETS,
 };
 pub use recorder::{FlightDump, FlightEntry, FlightRecorder};
@@ -178,6 +178,21 @@ impl Telemetry {
     /// timers. Callers can gate optional per-tx spans on this.
     pub fn tracing_enabled(&self) -> bool {
         self.inner.enabled
+    }
+
+    /// True when `other` is a clone of this handle (same registry, audit
+    /// log, and collector). Lets wiring code detect two *different*
+    /// pipelines being attached to one network by mistake.
+    pub fn same_pipeline(&self, other: &Telemetry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Marks a block boundary on the commit path: forwarded to the
+    /// collector so per-block scoping (e.g. the flight recorder's
+    /// trigger dedup) resets. Called by peers at the start of each
+    /// block's sequential merge stage.
+    pub fn block_boundary(&self) {
+        self.inner.collector.block_boundary();
     }
 
     /// Opens a root span; it records to the collector when dropped.

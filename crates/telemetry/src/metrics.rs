@@ -49,6 +49,65 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
     }
+
+    /// Increase since a previously observed value (a "mark").
+    ///
+    /// Counters are monotonic, so the delta saturates at zero: a mark
+    /// taken from a different counter (or a stale/corrupt mark larger
+    /// than the current value) can never produce a bogus huge delta via
+    /// unsigned wraparound.
+    pub fn delta_since(&self, mark: u64) -> u64 {
+        self.get().saturating_sub(mark)
+    }
+
+    /// Events per second since a previously observed value.
+    ///
+    /// Returns `0.0` when `elapsed` is zero (or negative through float
+    /// rounding) rather than dividing by zero.
+    pub fn rate_since(&self, mark: u64, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delta_since(mark) as f64 / secs
+    }
+
+    /// A windowed-read cursor over this counter: each
+    /// [`CounterWindow::take_delta`] returns the increase since the
+    /// previous call.
+    pub fn window(&self) -> CounterWindow {
+        CounterWindow {
+            counter: self.clone(),
+            mark: self.get(),
+        }
+    }
+}
+
+/// A cursor for windowed delta reads of a [`Counter`].
+///
+/// Created by [`Counter::window`]; remembers the last observed value so
+/// repeated [`CounterWindow::take_delta`] calls partition the counter's
+/// growth into non-overlapping windows.
+#[derive(Debug, Clone)]
+pub struct CounterWindow {
+    counter: Counter,
+    mark: u64,
+}
+
+impl CounterWindow {
+    /// Increase since the previous `take_delta` (or since the window was
+    /// created) and advances the mark.
+    pub fn take_delta(&mut self) -> u64 {
+        let now = self.counter.get();
+        let delta = now.saturating_sub(self.mark);
+        self.mark = now;
+        delta
+    }
+
+    /// The mark the next delta will be measured from.
+    pub fn mark(&self) -> u64 {
+        self.mark
+    }
 }
 
 /// A gauge: a value that can move up and down.
@@ -612,6 +671,46 @@ pub(crate) fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_delta_since_is_wraparound_free() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("c", "", &[]);
+        c.inc_by(10);
+        let mark = c.get();
+        c.inc_by(5);
+        assert_eq!(c.delta_since(mark), 5);
+        // A mark ahead of the counter (wrong counter, stale snapshot)
+        // saturates to zero instead of wrapping to ~u64::MAX.
+        assert_eq!(c.delta_since(mark + 100), 0);
+        assert_eq!(c.delta_since(u64::MAX), 0);
+    }
+
+    #[test]
+    fn counter_rate_since_divides_by_elapsed_and_guards_zero() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("c", "", &[]);
+        c.inc_by(8);
+        assert_eq!(c.rate_since(0, Duration::from_secs(2)), 4.0);
+        assert_eq!(c.rate_since(0, Duration::ZERO), 0.0);
+        assert_eq!(c.rate_since(u64::MAX, Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn counter_window_partitions_growth_into_disjoint_deltas() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("c", "", &[]);
+        c.inc_by(3);
+        let mut w = c.window();
+        assert_eq!(w.take_delta(), 0, "window starts at the current value");
+        c.inc_by(4);
+        assert_eq!(w.take_delta(), 4);
+        assert_eq!(w.take_delta(), 0, "same instant twice: nothing new");
+        c.inc();
+        c.inc();
+        assert_eq!(w.take_delta(), 2);
+        assert_eq!(w.mark(), c.get());
+    }
 
     #[test]
     fn empty_registry_renders_empty_exports() {

@@ -67,6 +67,10 @@ pub struct FlightRecorder {
     /// Next write position (monotonic; slot = head % capacity).
     head: AtomicUsize,
     dumps: Mutex<Vec<FlightDump>>,
+    /// Bitmask of trigger kinds that already dumped since the last
+    /// [`Collector::block_boundary`]: a block with a hundred MVCC aborts
+    /// produces one MVCC dump, not a hundred near-identical snapshots.
+    dumped_kinds: AtomicUsize,
 }
 
 impl FlightRecorder {
@@ -79,6 +83,7 @@ impl FlightRecorder {
             ring: (0..capacity).map(|_| Mutex::new(None)).collect(),
             head: AtomicUsize::new(0),
             dumps: Mutex::new(Vec::new()),
+            dumped_kinds: AtomicUsize::new(0),
         }
     }
 
@@ -118,6 +123,23 @@ impl FlightRecorder {
         self.dumps.lock().clear();
     }
 
+    /// Snapshots the ring into a dump with `trigger` as the stated cause
+    /// and records it alongside the automatic dumps.
+    ///
+    /// This is the hook for external watchers (the monitor's alert
+    /// engine): when an alert fires, it captures the ring with the audit
+    /// event that tripped the detector, so the alert carries the same
+    /// forensic context an automatic dump would. Explicit captures
+    /// bypass the per-block trigger dedup.
+    pub fn capture(&self, trigger: AuditEvent) -> FlightDump {
+        let dump = FlightDump {
+            trigger,
+            entries: self.recent(),
+        };
+        self.dumps.lock().push(dump.clone());
+        dump
+    }
+
     /// True when `event` is one of the paper's dump-triggering attack
     /// signals.
     fn is_trigger(event: &AuditEvent) -> bool {
@@ -127,6 +149,16 @@ impl FlightRecorder {
                 | AuditEvent::EndorsementByNonMember { .. }
                 | AuditEvent::MvccConflict { .. }
         )
+    }
+
+    /// Per-kind bit in `dumped_kinds` for a trigger event.
+    fn trigger_bit(event: &AuditEvent) -> usize {
+        match event {
+            AuditEvent::DefenseRejected { .. } => 1,
+            AuditEvent::EndorsementByNonMember { .. } => 2,
+            AuditEvent::MvccConflict { .. } => 4,
+            _ => 0,
+        }
     }
 }
 
@@ -139,13 +171,26 @@ impl Collector for FlightRecorder {
     fn audit_event(&self, event: &AuditEvent) {
         self.push(FlightEntry::Audit(event.clone()));
         if Self::is_trigger(event) {
-            let dump = FlightDump {
-                trigger: event.clone(),
-                entries: self.recent(),
-            };
-            self.dumps.lock().push(dump);
+            // One dump per trigger kind per block: the first conflict in
+            // a storm captures the context, the rest would snapshot the
+            // same ring again. The bit test is fetch_or, so even racing
+            // emitters agree on a single winner.
+            let bit = Self::trigger_bit(event);
+            let seen = self.dumped_kinds.fetch_or(bit, Ordering::Relaxed);
+            if seen & bit == 0 {
+                let dump = FlightDump {
+                    trigger: event.clone(),
+                    entries: self.recent(),
+                };
+                self.dumps.lock().push(dump);
+            }
         }
         self.inner.audit_event(event);
+    }
+
+    fn block_boundary(&self) {
+        self.dumped_kinds.store(0, Ordering::Relaxed);
+        self.inner.block_boundary();
     }
 }
 
@@ -218,6 +263,85 @@ mod tests {
         assert!(matches!(dumps[0].entries[0], FlightEntry::Span(_)));
         rec.clear_dumps();
         assert!(rec.dumps().is_empty());
+    }
+
+    #[test]
+    fn dump_on_full_ring_retains_the_triggering_event() {
+        // A ring that has already wrapped must still include the trigger
+        // itself in the snapshot (it is the newest entry, and the push
+        // evicting the oldest slot happens before the snapshot).
+        let rec = FlightRecorder::new(2, Arc::new(NoopCollector));
+        for i in 1..=5 {
+            rec.span_finished(span(i, "s"));
+        }
+        rec.audit_event(&conflict(9));
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].trigger, conflict(9));
+        assert_eq!(
+            dumps[0].audit_signature(),
+            vec![("mvcc_conflict", TxId::new("tx9"))],
+            "the trigger survives in the snapshot even on a full ring"
+        );
+        assert_eq!(
+            dumps[0].entries.last(),
+            Some(&FlightEntry::Audit(conflict(9))),
+            "trigger is the newest snapshot entry"
+        );
+    }
+
+    #[test]
+    fn capacity_one_ring_dump_is_exactly_the_trigger() {
+        let rec = FlightRecorder::new(1, Arc::new(NoopCollector));
+        rec.span_finished(span(1, "evicted"));
+        rec.audit_event(&conflict(3));
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].entries, vec![FlightEntry::Audit(conflict(3))]);
+    }
+
+    #[test]
+    fn repeated_triggers_within_one_block_dedup_to_one_dump() {
+        let rec = FlightRecorder::new(8, Arc::new(NoopCollector));
+        rec.audit_event(&conflict(1));
+        rec.audit_event(&conflict(2));
+        rec.audit_event(&conflict(3));
+        assert_eq!(
+            rec.dumps().len(),
+            1,
+            "an abort storm inside one block captures context once"
+        );
+        // A different trigger kind in the same block still dumps: its
+        // snapshot carries evidence the earlier one could not (events
+        // emitted after the first trigger).
+        rec.audit_event(&AuditEvent::DefenseRejected {
+            tx_id: TxId::new("txd"),
+            code: fabric_types::TxValidationCode::BadPayload,
+        });
+        assert_eq!(rec.dumps().len(), 2);
+        // The next block boundary re-arms every kind.
+        rec.block_boundary();
+        rec.audit_event(&conflict(4));
+        assert_eq!(rec.dumps().len(), 3);
+        assert_eq!(rec.dumps()[2].trigger, conflict(4));
+    }
+
+    #[test]
+    fn explicit_capture_records_a_dump_and_bypasses_dedup() {
+        let rec = FlightRecorder::new(8, Arc::new(NoopCollector));
+        rec.audit_event(&conflict(1));
+        assert_eq!(rec.dumps().len(), 1);
+        let dump = rec.capture(conflict(1));
+        assert_eq!(dump.trigger, conflict(1));
+        assert_eq!(
+            dump.audit_signature(),
+            vec![("mvcc_conflict", TxId::new("tx1"))]
+        );
+        assert_eq!(
+            rec.dumps().len(),
+            2,
+            "capture is recorded alongside auto dumps"
+        );
     }
 
     #[test]

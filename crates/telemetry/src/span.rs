@@ -44,6 +44,12 @@ pub trait Collector: Send + Sync {
     fn audit_event(&self, event: &AuditEvent) {
         let _ = event;
     }
+
+    /// Called when the commit pipeline starts merging a new block
+    /// (default: ignore). Lets collectors scope per-block state — the
+    /// flight recorder uses it to dedup repeated dump triggers within
+    /// one block.
+    fn block_boundary(&self) {}
 }
 
 /// A collector that discards everything (for overhead measurement and

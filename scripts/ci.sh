@@ -13,7 +13,10 @@
 #   7. trace_tx example smoke run                     — a tx id must keep
 #      resolving to a complete five-phase timeline and a Chrome-trace
 #      export
-#   8. flow-analysis smoke run                        — `analyze lint
+#   8. monitor_status example smoke run               — the fake-write
+#      attack must keep firing (and, after a quiet interval, resolving)
+#      the Use Case 1 rate alert with forensics attached
+#   9. flow-analysis smoke run                        — `analyze lint
 #      --flow` must keep flagging every flow rule on the leaky sample
 #      (with a rendered source→sink path) and stay silent on the
 #      defended samples
@@ -42,13 +45,14 @@ echo "==> pipeline_equivalence test inventory"
 equivalence_tests="$(cargo test --release --test pipeline_equivalence -- --list)"
 for t in \
     pipeline_matches_reference_on_random_blocks \
-    overlap_matches_reference_on_random_streams; do
+    overlap_matches_reference_on_random_streams \
+    alert_log_is_deterministic_across_schedulers; do
     if ! grep -q "${t}" <<<"$equivalence_tests"; then
         echo "FAIL: pipeline_equivalence no longer lists proptest '${t}'" >&2
         exit 1
     fi
 done
-echo "equivalence inventory: both scheduler proptests present"
+echo "equivalence inventory: scheduler + alert-determinism proptests present"
 
 echo "==> commit_throughput --smoke"
 bench_out="$(cargo run --release -p fabric-bench --bin commit_throughput -- --smoke)"
@@ -97,6 +101,30 @@ if ! grep -q '"traceEvents"' <<<"$trace_out"; then
     exit 1
 fi
 echo "trace_tx smoke: five-phase timeline + Chrome-trace export present"
+
+echo "==> monitor_status example --smoke"
+# The online-alerting path must keep working end to end: the fake-write
+# attack fires the Use Case 1 rate alert (with the status table around
+# it), and a quiet interval resolves it — in the table, the transition
+# log, and the JSON-lines export.
+monitor_out="$(cargo run --release -p fabric-pdc --example monitor_status -- --smoke)"
+for line in \
+    "FIRING uc1_nonmember_endorsement_rate" \
+    "RESOLVED uc1_nonmember_endorsement_rate" \
+    "flight dump attached" \
+    "\"phase\":\"resolved\""; do
+    if ! grep -q "${line}" <<<"$monitor_out"; then
+        echo "FAIL: monitor_status smoke output is missing '${line}'" >&2
+        exit 1
+    fi
+done
+for header in "NODE" "DETECTOR" "ALERTS"; do
+    if ! grep -q "^${header}" <<<"$monitor_out"; then
+        echo "FAIL: monitor_status smoke output is missing the '${header}' table" >&2
+        exit 1
+    fi
+done
+echo "monitor_status smoke: firing, forensics, and resolution all present"
 
 echo "==> analyze lint --flow smoke"
 # Taint analysis of the built-in sample registry: the deliberately leaky

@@ -142,6 +142,46 @@ fn flight_recorder_presence_drives_pdc011() {
 }
 
 #[test]
+fn monitor_presence_drives_pdc020() {
+    use fabric_pdc::monitor::Monitor;
+    for (monitored, expect_finding) in [(false, true), (true, false)] {
+        let telemetry = Telemetry::new();
+        let mut builder = NetworkBuilder::new("trade-channel")
+            .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+            .seed(4)
+            .with_telemetry(telemetry.clone());
+        if monitored {
+            builder = builder.with_monitor(Monitor::new(&telemetry));
+        }
+        let mut net = builder.build();
+        net.deploy_chaincode(
+            secured_trade_definition(),
+            std::sync::Arc::new(SecuredTrade::new("sellerCollection")),
+        );
+        assert_eq!(net.monitor().is_some(), monitored);
+        let subjects: Vec<LintSubject> = net
+            .deployed_definitions()
+            .into_iter()
+            .map(|d| {
+                LintSubject::from_definition(d, net.orgs())
+                    .with_telemetry_attached(net.telemetry().is_some())
+                    .with_monitor_attached(net.monitor().is_some())
+            })
+            .collect();
+        let findings = lint::lint_subjects(&subjects);
+        assert_eq!(
+            findings.iter().any(|f| f.rule_id == "PDC020"),
+            expect_finding,
+            "monitored={monitored}: {findings:#?}"
+        );
+        if expect_finding {
+            let f = findings.iter().find(|f| f.rule_id == "PDC020").unwrap();
+            assert_eq!(f.severity, Severity::Note);
+        }
+    }
+}
+
+#[test]
 fn flow_analysis_state_drives_pdc018() {
     // Tri-state, mirroring PDC010/PDC011: unknown stays silent, a known
     // gap fires the note, a completed analysis silences it.

@@ -891,3 +891,127 @@ fn stage_histograms_count_once_per_block_regardless_of_overlap() {
         }
     }
 }
+
+/// Commits `blocks` on a fresh clone of `peer0.org2` under one scheduler
+/// variant with a monitor watching the peer's telemetry, then drives
+/// `ticks` post-commit monitor ticks (the first drains every audit event;
+/// the quiet remainder ages the detector windows out so firing alerts
+/// resolve). Returns the full alert-transition log.
+fn monitored_commit_transitions(
+    net: &FabricNetwork,
+    blocks: &[Block],
+    pkgs: &HashMap<TxId, PvtDataPackage>,
+    overlap: bool,
+    parallel: bool,
+    ticks: u32,
+) -> Vec<AlertTransition> {
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut peer = net.peer("peer0.org2").clone();
+    peer.set_parallel_validation(parallel);
+    let telemetry = Telemetry::new();
+    peer.set_telemetry(telemetry.clone());
+    let monitor = Monitor::with_config(
+        &telemetry,
+        MonitorConfig {
+            resolve_ticks: 4,
+            ..MonitorConfig::default()
+        },
+    );
+    if overlap {
+        peer.process_blocks_overlapped(blocks.to_vec(), &mut provider)
+            .expect("overlap: stream chains");
+    } else {
+        for b in blocks {
+            peer.process_block(b.clone(), &mut provider)
+                .expect("pipeline: stream chains");
+        }
+    }
+    for _ in 0..ticks {
+        monitor.observe_tick(&[]);
+    }
+    monitor.transitions()
+}
+
+/// Directed alert lifecycle: a tampered plaintext PDC write fires the
+/// Use Case 3 alert, and once the burst ages out of the detector window
+/// the alert resolves — with a transition log that is byte-identical
+/// under every scheduler variant.
+#[test]
+fn tampered_stream_alert_fires_and_resolves_identically() {
+    use fabric_pdc::monitor::UC3_RULE;
+
+    let mut net = equivalence_network(93);
+    let blocks_specs = vec![
+        vec![
+            TxSpec::Tampered { key: 1 },
+            TxSpec::PdcWrite {
+                key: 2,
+                endorsers: vec![0, 1],
+            },
+        ],
+        vec![TxSpec::SbePut {
+            key: 0,
+            endorsers: vec![0, 1],
+        }],
+    ];
+    let (blocks, pkgs) = build_stream(&mut net, &blocks_specs);
+
+    let mut logs = Vec::with_capacity(4);
+    for (overlap, parallel) in [(false, false), (false, true), (true, false), (true, true)] {
+        logs.push(monitored_commit_transitions(
+            &net, &blocks, &pkgs, overlap, parallel, 80,
+        ));
+    }
+    for (i, log) in logs.iter().enumerate().skip(1) {
+        assert_eq!(
+            *log, logs[0],
+            "alert transition log depends on the scheduler (variant {i})"
+        );
+    }
+    let phases: Vec<AlertPhase> = logs[0]
+        .iter()
+        .filter(|t| t.rule == UC3_RULE)
+        .map(|t| t.to)
+        .collect();
+    assert_eq!(
+        phases,
+        vec![AlertPhase::Firing, AlertPhase::Resolved],
+        "the plaintext-payload alert must run the full lifecycle: {:?}",
+        logs[0]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Alert determinism: the monitor's full transition log — pending,
+    /// firing, resolved — is a pure function of the committed stream.
+    /// Random multi-block streams must yield byte-identical logs under
+    /// per-block and overlapped scheduling with parallel stage-1
+    /// execution on and off.
+    #[test]
+    fn alert_log_is_deterministic_across_schedulers(
+        blocks_specs in proptest::collection::vec(
+            proptest::collection::vec(arb_spec(), 1..6),
+            2..4,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let mut net = equivalence_network(30_000 + seed);
+        let (blocks, pkgs) = build_stream(&mut net, &blocks_specs);
+        let mut logs = Vec::with_capacity(4);
+        for (overlap, parallel) in [(false, false), (false, true), (true, false), (true, true)] {
+            logs.push(monitored_commit_transitions(
+                &net, &blocks, &pkgs, overlap, parallel, 80,
+            ));
+        }
+        for (i, log) in logs.iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                log,
+                &logs[0],
+                "alert transition log depends on the scheduler (variant {})",
+                i
+            );
+        }
+    }
+}
