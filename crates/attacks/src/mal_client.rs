@@ -85,6 +85,7 @@ impl MaliciousClient {
             commitment: first.commitment,
             endorsements,
             client_signature,
+            memo: Default::default(),
         })
     }
 }

@@ -122,7 +122,7 @@ fn time_mode(
         // The provider clones each package out of the shared fixture map:
         // a small per-transaction cost paid identically by every mode,
         // without rebuilding (and cache-evicting) a fresh map per run.
-        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(std::sync::Arc::new);
         let start = Instant::now();
         let outcome = match mode {
             Mode::Reference => p.process_block_reference(b, &mut provider),
@@ -170,7 +170,7 @@ fn time_overhead_pair(
         ] {
             let mut p = base.clone();
             let b = block.clone();
-            let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+            let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(std::sync::Arc::new);
             let start = Instant::now();
             p.process_block(b, &mut provider).expect("block chains");
             let elapsed = start.elapsed();
@@ -220,7 +220,7 @@ fn time_monitor_pair(
             p.set_telemetry(telemetry.clone());
             let monitor = monitored.then(|| Monitor::new(&telemetry));
             let b = block.clone();
-            let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+            let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(std::sync::Arc::new);
             let start = Instant::now();
             p.process_block(b, &mut provider).expect("block chains");
             if let Some(m) = &monitor {
@@ -256,7 +256,7 @@ fn time_stream(
     for i in 0..warmup + runs {
         let mut p = base.clone();
         let bs = blocks.to_vec();
-        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(std::sync::Arc::new);
         let start = Instant::now();
         if overlap {
             let outcomes = p
@@ -316,7 +316,7 @@ fn time_sharded(
             let mut lanes = Vec::with_capacity(channels.len());
             for ((p, blocks), (_, _, pkgs)) in peers.iter_mut().zip(work).zip(channels) {
                 lanes.push(CommitLane::new(p, blocks, move |tx_id: &TxId| {
-                    pkgs.get(tx_id).cloned()
+                    pkgs.get(tx_id).cloned().map(std::sync::Arc::new)
                 }));
             }
             let scheduler = ShardedScheduler::new(lanes);
@@ -336,7 +336,7 @@ fn time_sharded(
         } else {
             let start = Instant::now();
             for ((p, blocks), (_, _, pkgs)) in peers.iter_mut().zip(work).zip(channels) {
-                let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+                let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(std::sync::Arc::new);
                 let outcomes = p
                     .process_blocks_overlapped(blocks, &mut provider)
                     .expect("lane commits");
@@ -590,7 +590,7 @@ fn main() {
             let mut p = peer.clone();
             p.set_parallel_validation(parallel);
             p.set_telemetry(t.clone());
-            let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+            let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(std::sync::Arc::new);
             p.process_block(block.clone(), &mut provider)
                 .expect("block chains");
             t.audit().len()

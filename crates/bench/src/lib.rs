@@ -274,7 +274,7 @@ pub fn prepared_commit_stream(
 /// measured region of the validation-latency benchmark.
 pub fn process_prepared(peer: &Peer, block: &Block, pvt: &Option<PvtDataPackage>) -> bool {
     let mut peer = peer.clone();
-    let mut provider = |_: &TxId| pvt.clone();
+    let mut provider = |_: &TxId| pvt.clone().map(Arc::new);
     let outcome = peer
         .process_block(block.clone(), &mut provider)
         .expect("block chains");

@@ -195,6 +195,7 @@ impl Client {
             commitment: first.commitment,
             endorsements,
             client_signature,
+            memo: Default::default(),
         };
         Ok((tx, plaintext))
     }

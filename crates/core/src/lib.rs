@@ -101,7 +101,9 @@ pub mod prelude {
     pub use fabric_monitor::{
         AlertPhase, AlertTransition, Monitor, MonitorConfig, NetworkStatus, NodeSample,
     };
-    pub use fabric_network::{FabricNetwork, NetworkBuilder, NetworkError, SubmitOutcome};
+    pub use fabric_network::{
+        FabricNetwork, FanoutMode, NetworkBuilder, NetworkError, SubmitOutcome,
+    };
     pub use fabric_peer::Peer;
     pub use fabric_policy::{Policy, SignaturePolicy};
     pub use fabric_telemetry::{

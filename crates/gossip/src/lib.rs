@@ -43,6 +43,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a peer on the gossip network, e.g. `"peer0.org1"`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,9 +89,15 @@ pub struct GossipEvent {
 }
 
 /// The channel-wide gossip router plus each peer's transient store.
+///
+/// Packages are held behind [`Arc`]: one endorsement's private data is
+/// referenced by the endorser's own store, every pushed-to member, the
+/// durable archive, and commit-time providers — sharing one allocation
+/// instead of deep-copying the rwsets at each hop. `PvtDataPackage` is
+/// immutable once disseminated, so sharing is safe.
 #[derive(Debug)]
 pub struct GossipHub {
-    transient: BTreeMap<PeerId, HashMap<TxId, PvtDataPackage>>,
+    transient: BTreeMap<PeerId, HashMap<TxId, Arc<PvtDataPackage>>>,
     events: Vec<GossipEvent>,
     drop_rate: f64,
     rng: StdRng,
@@ -118,8 +125,10 @@ impl GossipHub {
     }
 
     /// Stores a package in the sender's own transient store (an endorser
-    /// keeps the plaintext it produced).
-    pub fn store_local(&mut self, peer: &PeerId, pkg: PvtDataPackage) {
+    /// keeps the plaintext it produced). Accepts owned or already-shared
+    /// packages.
+    pub fn store_local(&mut self, peer: &PeerId, pkg: impl Into<Arc<PvtDataPackage>>) {
+        let pkg = pkg.into();
         if let Some(store) = self.transient.get_mut(peer) {
             store.insert(pkg.tx_id.clone(), pkg);
         }
@@ -128,7 +137,14 @@ impl GossipHub {
     /// Pushes a private data package from an endorser to collection member
     /// peers. Returns the number of successful deliveries. Unregistered
     /// recipients and injected losses are recorded in the event log.
-    pub fn push(&mut self, from: &PeerId, recipients: &[PeerId], pkg: PvtDataPackage) -> usize {
+    /// Every delivery shares the same package allocation.
+    pub fn push(
+        &mut self,
+        from: &PeerId,
+        recipients: &[PeerId],
+        pkg: impl Into<Arc<PvtDataPackage>>,
+    ) -> usize {
+        let pkg = pkg.into();
         let mut delivered = 0;
         for to in recipients {
             if to == from {
@@ -141,7 +157,7 @@ impl GossipHub {
                 self.transient
                     .get_mut(to)
                     .expect("checked exists")
-                    .insert(pkg.tx_id.clone(), pkg.clone());
+                    .insert(pkg.tx_id.clone(), Arc::clone(&pkg));
                 delivered += 1;
             }
             self.events.push(GossipEvent {
@@ -157,7 +173,13 @@ impl GossipHub {
 
     /// Reads a package from a peer's transient store.
     pub fn get(&self, peer: &PeerId, tx_id: &TxId) -> Option<&PvtDataPackage> {
-        self.transient.get(peer)?.get(tx_id)
+        self.transient.get(peer)?.get(tx_id).map(|p| &**p)
+    }
+
+    /// Like [`GossipHub::get`], but hands out the shared reference —
+    /// what commit-time providers forward without copying rwsets.
+    pub fn get_shared(&self, peer: &PeerId, tx_id: &TxId) -> Option<Arc<PvtDataPackage>> {
+        self.transient.get(peer)?.get(tx_id).cloned()
     }
 
     /// Anti-entropy pull: `requester` asks each candidate in turn for the
@@ -169,9 +191,9 @@ impl GossipHub {
         requester: &PeerId,
         tx_id: &TxId,
         candidates: &[PeerId],
-    ) -> Option<PvtDataPackage> {
-        if let Some(existing) = self.get(requester, tx_id) {
-            return Some(existing.clone());
+    ) -> Option<Arc<PvtDataPackage>> {
+        if let Some(existing) = self.get_shared(requester, tx_id) {
+            return Some(existing);
         }
         for c in candidates {
             if c == requester {
@@ -191,7 +213,7 @@ impl GossipHub {
                     pull: true,
                 });
                 if let Some(store) = self.transient.get_mut(requester) {
-                    store.insert(tx_id.clone(), pkg.clone());
+                    store.insert(tx_id.clone(), Arc::clone(&pkg));
                 }
                 return Some(pkg);
             }
@@ -204,6 +226,21 @@ impl GossipHub {
     pub fn purge(&mut self, peer: &PeerId, tx_id: &TxId) {
         if let Some(store) = self.transient.get_mut(peer) {
             store.remove(tx_id);
+        }
+    }
+
+    /// Batched post-commit purge: removes every listed transaction from
+    /// **every** registered peer's transient store in one pass over the
+    /// stores, instead of one peer-map lookup per (peer, transaction)
+    /// pair as repeated [`GossipHub::purge`] calls would cost.
+    pub fn purge_committed<'a>(&mut self, tx_ids: impl IntoIterator<Item = &'a TxId> + Clone) {
+        for store in self.transient.values_mut() {
+            if store.is_empty() {
+                continue;
+            }
+            for tx_id in tx_ids.clone() {
+                store.remove(tx_id);
+            }
         }
     }
 
@@ -298,7 +335,7 @@ mod tests {
                 &[PeerId::new("m2"), PeerId::new("e")],
             )
             .expect("reconciled");
-        assert_eq!(got, pkg("tx1"));
+        assert_eq!(*got, pkg("tx1"));
         assert!(hub.get(&PeerId::new("m1"), &TxId::new("tx1")).is_some());
         assert!(hub.events().iter().any(|e| e.pull && e.delivered));
     }
@@ -328,5 +365,39 @@ mod tests {
         assert_eq!(hub.transient_len(&PeerId::new("m1")), 1);
         hub.purge(&PeerId::new("m1"), &TxId::new("tx1"));
         assert_eq!(hub.transient_len(&PeerId::new("m1")), 0);
+    }
+
+    #[test]
+    fn push_shares_one_allocation_across_recipients() {
+        let mut hub = hub_with_peers(0, &["e", "m1", "m2"]);
+        let shared = Arc::new(pkg("tx1"));
+        hub.store_local(&PeerId::new("e"), Arc::clone(&shared));
+        hub.push(
+            &PeerId::new("e"),
+            &[PeerId::new("m1"), PeerId::new("m2")],
+            Arc::clone(&shared),
+        );
+        for p in ["e", "m1", "m2"] {
+            let got = hub
+                .get_shared(&PeerId::new(p), &TxId::new("tx1"))
+                .expect("stored");
+            assert!(Arc::ptr_eq(&got, &shared), "{p} holds the shared package");
+        }
+    }
+
+    #[test]
+    fn purge_committed_clears_all_stores_at_once() {
+        let mut hub = hub_with_peers(0, &["e", "m1", "m2"]);
+        for p in ["e", "m1"] {
+            hub.store_local(&PeerId::new(p), pkg("tx1"));
+            hub.store_local(&PeerId::new(p), pkg("tx2"));
+        }
+        hub.store_local(&PeerId::new("m2"), pkg("tx3"));
+        let committed = [TxId::new("tx1"), TxId::new("tx2")];
+        hub.purge_committed(committed.iter());
+        assert_eq!(hub.transient_len(&PeerId::new("e")), 0);
+        assert_eq!(hub.transient_len(&PeerId::new("m1")), 0);
+        // Uncommitted packages survive the batch purge.
+        assert_eq!(hub.transient_len(&PeerId::new("m2")), 1);
     }
 }

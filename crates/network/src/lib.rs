@@ -42,4 +42,4 @@ mod net;
 pub use builder::NetworkBuilder;
 pub use consortium::Consortium;
 pub use error::NetworkError;
-pub use net::{FabricNetwork, SubmitOutcome};
+pub use net::{FabricNetwork, FanoutMode, SubmitOutcome};

@@ -8,10 +8,11 @@ use fabric_monitor::{Monitor, NodeSample};
 use fabric_orderer::OrderingService;
 use fabric_peer::Peer;
 use fabric_types::{
-    ChaincodeId, ChannelId, OrgId, Proposal, ProposalResponse, PvtDataPackage, Transaction, TxId,
-    TxValidationCode,
+    Block, ChaincodeId, ChannelId, OrgId, Proposal, ProposalResponse, PvtDataPackage, Transaction,
+    TxId, TxValidationCode,
 };
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The result of a committed transaction submission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +23,23 @@ pub struct SubmitOutcome {
     pub validation_code: TxValidationCode,
     /// The plaintext chaincode response payload returned to the client.
     pub payload: Vec<u8>,
+}
+
+/// How [`FabricNetwork`] hands each ordered block to its peers.
+///
+/// The network is in-process, so block fan-out is a memory copy rather
+/// than a network send. `Shared` is the production path: one block, its
+/// `Arc`-backed transaction storage refcount-bumped per peer.
+/// `DeepClone` reconstructs an owned copy per peer — the cost model of a
+/// fan-out without shared storage — and exists so the end-to-end bench
+/// can measure both sides with the same driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanoutMode {
+    /// Refcount-bump the block per peer (zero-copy).
+    #[default]
+    Shared,
+    /// Deep-copy every transaction per peer (pre-sharing cost model).
+    DeepClone,
 }
 
 /// A complete in-process Fabric network for one channel.
@@ -37,10 +55,18 @@ pub struct FabricNetwork {
     deployed: Vec<(ChaincodeDefinition, ChaincodeHandle)>,
     /// Private data of disseminated transactions, as held persistently by
     /// member peers; the source of truth Fabric's reconciliation protocol
-    /// queries when a peer joins late or lost data.
-    pvt_archive: HashMap<TxId, PvtDataPackage>,
+    /// queries when a peer joins late or lost data. Packages are shared
+    /// with the gossip layer — one allocation per dissemination.
+    pvt_archive: HashMap<TxId, Arc<PvtDataPackage>>,
     /// Streaming alert engine driven one evaluation tick per network tick.
     monitor: Option<Monitor>,
+    /// Block fan-out strategy; see [`FanoutMode`].
+    fanout: FanoutMode,
+    /// Peer names in map order, cached so per-block delivery does not
+    /// re-collect them; rebuilt when the peer set changes.
+    cached_peer_names: Vec<String>,
+    /// Gossip IDs in the same order, cached for the same reason.
+    cached_gossip_ids: Vec<PeerId>,
 }
 
 impl std::fmt::Debug for FabricNetwork {
@@ -63,7 +89,7 @@ impl FabricNetwork {
         orderer: OrderingService,
         gossip: GossipHub,
     ) -> Self {
-        FabricNetwork {
+        let mut net = FabricNetwork {
             channel,
             orgs,
             peers,
@@ -74,7 +100,29 @@ impl FabricNetwork {
             deployed: Vec::new(),
             pvt_archive: HashMap::new(),
             monitor: None,
-        }
+            fanout: FanoutMode::default(),
+            cached_peer_names: Vec::new(),
+            cached_gossip_ids: Vec::new(),
+        };
+        net.refresh_peer_caches();
+        net
+    }
+
+    /// Rebuilds the cached peer-name/gossip-id lists. Must be called after
+    /// any change to the peer set.
+    fn refresh_peer_caches(&mut self) {
+        self.cached_peer_names = self.peers.keys().cloned().collect();
+        self.cached_gossip_ids = self.peers.values().map(|p| p.gossip_id().clone()).collect();
+    }
+
+    /// Selects the block fan-out strategy (default: [`FanoutMode::Shared`]).
+    pub fn set_fanout_mode(&mut self, mode: FanoutMode) {
+        self.fanout = mode;
+    }
+
+    /// The current block fan-out strategy.
+    pub fn fanout_mode(&self) -> FanoutMode {
+        self.fanout
     }
 
     pub(crate) fn attach_monitor(&mut self, monitor: Monitor) {
@@ -248,10 +296,13 @@ impl FabricNetwork {
         pkg: PvtDataPackage,
     ) -> Result<(), NetworkError> {
         let endorser_id = PeerId::new(endorser);
-        self.gossip.store_local(&endorser_id, pkg.clone());
+        // One shared allocation serves the endorser's transient store, the
+        // durable archive, and every push recipient below.
+        let pkg = Arc::new(pkg);
+        self.gossip.store_local(&endorser_id, Arc::clone(&pkg));
         // Member peers persist private data beyond the transient window;
         // the archive models that durable store for late reconciliation.
-        self.pvt_archive.insert(pkg.tx_id.clone(), pkg.clone());
+        self.pvt_archive.insert(pkg.tx_id.clone(), Arc::clone(&pkg));
         // Push to every peer whose org is a member of a touched collection.
         let definition = self
             .peers
@@ -271,7 +322,7 @@ impl FabricNetwork {
                 })
                 .map(|p| p.gossip_id().clone())
                 .collect();
-            let delivered = self.gossip.push(&endorser_id, &members, pkg.clone());
+            let delivered = self.gossip.push(&endorser_id, &members, Arc::clone(&pkg));
             if let Some(cfg) = definition.collection(&pvt.collection) {
                 if (delivered as u32) < cfg.required_peer_count {
                     return Err(NetworkError::DisseminationFailed {
@@ -306,8 +357,10 @@ impl FabricNetwork {
     /// One monitor evaluation per network tick: drain the audit events
     /// this tick produced and score every node's health from the same
     /// state the tick left behind.
-    fn observe_monitor_tick(&mut self) {
-        let Some(monitor) = self.monitor.clone() else {
+    fn observe_monitor_tick(&self) {
+        // `observe_tick` takes `&self`, so no per-tick clone of the monitor
+        // handle is needed — everything below is an immutable borrow.
+        let Some(monitor) = self.monitor.as_ref() else {
             return;
         };
         let ordered_height = self.orderer.ordered_height();
@@ -341,23 +394,33 @@ impl FabricNetwork {
         monitor.observe_tick(&samples);
     }
 
-    fn deliver_block(&mut self, block: fabric_types::Block) {
-        let peer_ids: Vec<String> = self.peers.keys().cloned().collect();
-        let all_gossip_ids: Vec<PeerId> =
-            self.peers.values().map(|p| p.gossip_id().clone()).collect();
-        for name in &peer_ids {
+    fn deliver_block(&mut self, block: Block) {
+        let peer_ids = &self.cached_peer_names;
+        let all_gossip_ids = &self.cached_gossip_ids;
+        let fanout = self.fanout;
+        for name in peer_ids {
             let gossip = &mut self.gossip;
             let peer = self.peers.get_mut(name).expect("iterating known names");
             let own_id = peer.gossip_id().clone();
-            let mut provider = |tx_id: &TxId| -> Option<PvtDataPackage> {
+            let mut provider = |tx_id: &TxId| -> Option<Arc<PvtDataPackage>> {
                 gossip
-                    .get(&own_id, tx_id)
-                    .cloned()
-                    .or_else(|| gossip.pull(&own_id, tx_id, &all_gossip_ids))
+                    .get_shared(&own_id, tx_id)
+                    .or_else(|| gossip.pull(&own_id, tx_id, all_gossip_ids))
             };
             // All peers receive the same block; divergent outcomes would be
             // a consensus bug, surfaced by the integration tests.
-            let outcome = peer.process_block(block.clone(), &mut provider);
+            let delivered = match fanout {
+                // One refcount bump: all peers validate the same storage.
+                FanoutMode::Shared => block.clone(),
+                // Owned copy per peer, including fresh (empty) encode memos
+                // — the cost model of a fan-out without shared storage.
+                FanoutMode::DeepClone => Block {
+                    header: block.header.clone(),
+                    transactions: block.transactions.to_vec().into(),
+                    metadata: block.metadata.clone(),
+                },
+            };
+            let outcome = peer.process_block(delivered, &mut provider);
             // Event listeners are fed once per block (from the first peer;
             // all honest peers deliver identical event streams).
             if let Ok(outcome) = outcome {
@@ -366,12 +429,10 @@ impl FabricNetwork {
                 }
             }
         }
-        // Transient data for committed transactions is no longer needed.
-        for tx in &block.transactions {
-            for id in &all_gossip_ids {
-                self.gossip.purge(id, &tx.tx_id);
-            }
-        }
+        // Transient data for committed transactions is no longer needed;
+        // one sweep over the registered stores purges the whole block.
+        self.gossip
+            .purge_committed(block.transactions.iter().map(|tx| &tx.tx_id));
     }
 
     /// The validation code of a committed transaction, read from the first
@@ -501,13 +562,14 @@ impl FabricNetwork {
         // Replay the chain; the archive serves plaintext private data for
         // collections the new peer's org belongs to.
         let archive = &self.pvt_archive;
-        let mut provider = |tx_id: &TxId| archive.get(tx_id).cloned();
+        let mut provider = |tx_id: &TxId| archive.get(tx_id).map(Arc::clone);
         for block in blocks {
             peer.process_block(block, &mut provider)
                 .expect("replaying a valid chain succeeds");
         }
         self.gossip.register(peer.gossip_id().clone());
         self.peers.insert(name.clone(), peer);
+        self.refresh_peer_caches();
         name
     }
 

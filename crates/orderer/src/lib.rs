@@ -326,6 +326,7 @@ mod tests {
             commitment: PayloadCommitment::Plain,
             endorsements: vec![],
             client_signature,
+            memo: Default::default(),
         }
     }
 

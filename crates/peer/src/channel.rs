@@ -6,6 +6,7 @@ use crate::node::Peer;
 use fabric_policy::SignaturePolicy;
 use fabric_types::{Block, OrgId, PvtDataPackage, TxId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The per-organization sub-policies an implicitMeta endorsement policy
 /// (e.g. `MAJORITY Endorsement`) resolves against, from the channel
@@ -65,7 +66,7 @@ impl ChannelPolicies {
 /// [`Peer::process_blocks_overlapped`], so within a lane the cross-block
 /// overlap applies too.
 /// Boxed private-data provider carried by a [`CommitLane`].
-type LaneProvider<'a> = Box<dyn FnMut(&TxId) -> Option<PvtDataPackage> + Send + 'a>;
+type LaneProvider<'a> = Box<dyn FnMut(&TxId) -> Option<Arc<PvtDataPackage>> + Send + 'a>;
 
 pub struct CommitLane<'a> {
     peer: &'a mut Peer,
@@ -79,7 +80,7 @@ impl<'a> CommitLane<'a> {
     pub fn new(
         peer: &'a mut Peer,
         blocks: Vec<Block>,
-        provider: impl FnMut(&TxId) -> Option<PvtDataPackage> + Send + 'a,
+        provider: impl FnMut(&TxId) -> Option<Arc<PvtDataPackage>> + Send + 'a,
     ) -> Self {
         CommitLane {
             peer,

@@ -33,11 +33,14 @@ use fabric_types::{
 use fabric_wire::Encode;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Supplies plaintext private data for a transaction being committed
-/// (backed by the gossip transient store plus anti-entropy pull).
-pub type PvtDataProvider<'a> = dyn FnMut(&TxId) -> Option<PvtDataPackage> + 'a;
+/// (backed by the gossip transient store plus anti-entropy pull). The
+/// package comes back `Arc`-shared: providers forward the gossip/archive
+/// handle instead of deep-copying the rwsets per requesting peer.
+pub type PvtDataProvider<'a> = dyn FnMut(&TxId) -> Option<Arc<PvtDataPackage>> + 'a;
 
 /// Errors that abort block processing entirely (individual transaction
 /// failures are recorded as validation codes instead).
@@ -681,7 +684,7 @@ impl Peer {
         pvt_provider: &mut PvtDataProvider<'_>,
     ) -> bool {
         let mut plaintext_complete = true;
-        let mut package: Option<Option<PvtDataPackage>> = None;
+        let mut package: Option<Option<Arc<PvtDataPackage>>> = None;
 
         // Collect namespaces first to end the immutable borrow of
         // `self.chaincodes` before mutating the world state.
@@ -708,9 +711,13 @@ impl Peer {
                 let is_member = self.is_collection_member(&ns.namespace, &col.collection);
                 let mut applied_plaintext = false;
                 if is_member {
+                    // Cost-faithful to the pre-pipeline path: the package
+                    // is deep-cloned per collection, as the original
+                    // owned-provider code did.
                     let pkg = package
                         .get_or_insert_with(|| pvt_provider(&tx.tx_id))
-                        .clone();
+                        .as_ref()
+                        .map(|p| (**p).clone());
                     if let Some(pkg) = pkg {
                         // Verify plaintext against committed hashes before
                         // updating the ledger (Fig. 2, step 18).
@@ -1084,7 +1091,7 @@ pub(crate) fn apply_transaction_parts(
     pvt_provider: &mut PvtDataProvider<'_>,
 ) -> bool {
     let mut plaintext_complete = true;
-    let mut package: Option<Option<PvtDataPackage>> = None;
+    let mut package: Option<Option<Arc<PvtDataPackage>>> = None;
 
     for ns in &tx.payload.results.ns_rwsets {
         world_state.apply_public_writes(&ns.namespace, &ns.public, version);
@@ -1206,7 +1213,7 @@ mod tests {
         endorsing_peers: &[&Peer],
         value: i64,
         nonce: u64,
-    ) -> (Transaction, PvtDataPackage) {
+    ) -> (Transaction, Arc<PvtDataPackage>) {
         let client_kp = Keypair::generate_from_seed(1000 + nonce);
         let creator = Identity::new("Org1MSP", Role::Client, client_kp.public_key());
         let proposal = Proposal::new(
@@ -1245,8 +1252,9 @@ mod tests {
                 commitment,
                 endorsements,
                 client_signature,
+                memo: Default::default(),
             },
-            pvt.expect("write produces private data"),
+            Arc::new(pvt.expect("write produces private data")),
         )
     }
 
@@ -1481,6 +1489,7 @@ mod tests {
             commitment: r1.commitment,
             endorsements,
             client_signature,
+            memo: Default::default(),
         };
 
         // A conflicting write commits in between.
@@ -1491,6 +1500,7 @@ mod tests {
 
         // Now the add's read version is stale.
         let block3 = block_of(&p1, vec![add_tx]);
+        let add_pkg = add_pkg.map(Arc::new);
         let mut with_add = |_: &TxId| add_pkg.clone();
         let outcome = p1.process_block(block3, &mut with_add).unwrap();
         assert_eq!(

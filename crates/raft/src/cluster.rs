@@ -6,6 +6,7 @@ use fabric_telemetry::{SpanGuard, Telemetry, TraceContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Point-in-time transport and consensus statistics for a [`Cluster`],
 /// exported as gauges by the ordering service's telemetry hook.
@@ -29,7 +30,7 @@ pub struct ClusterStats {
 pub struct Cluster {
     nodes: BTreeMap<NodeId, RaftNode>,
     queue: VecDeque<Envelope>,
-    committed: BTreeMap<NodeId, Vec<Vec<u8>>>,
+    committed: BTreeMap<NodeId, Vec<Arc<[u8]>>>,
     /// Links currently severed, as ordered pairs `(from, to)`.
     severed: HashSet<(NodeId, NodeId)>,
     drop_rate: f64,
@@ -160,7 +161,11 @@ impl Cluster {
     /// # Errors
     ///
     /// [`NotLeader`] when `node` is not the leader.
-    pub fn propose(&mut self, node: NodeId, command: Vec<u8>) -> Result<u64, NotLeader> {
+    pub fn propose(
+        &mut self,
+        node: NodeId,
+        command: impl Into<Arc<[u8]>>,
+    ) -> Result<u64, NotLeader> {
         self.propose_with_trace(node, command, &[])
     }
 
@@ -177,7 +182,7 @@ impl Cluster {
     pub fn propose_with_trace(
         &mut self,
         node: NodeId,
-        command: Vec<u8>,
+        command: impl Into<Arc<[u8]>>,
         traces: &[TraceContext],
     ) -> Result<u64, NotLeader> {
         let n = self.nodes.get_mut(&node).expect("node exists");
@@ -203,8 +208,9 @@ impl Cluster {
         Ok(index)
     }
 
-    /// Commands committed at `node` so far, in order.
-    pub fn committed(&self, node: NodeId) -> Vec<Vec<u8>> {
+    /// Commands committed at `node` so far, in order. Each command is a
+    /// refcount bump on the bytes allocated at `propose` time, not a copy.
+    pub fn committed(&self, node: NodeId) -> Vec<Arc<[u8]>> {
         self.committed.get(&node).cloned().unwrap_or_default()
     }
 
@@ -217,7 +223,7 @@ impl Cluster {
     /// so per-tick pollers do O(new entries) work instead of cloning the
     /// whole history. An out-of-range `from` (e.g. a cursor carried over to
     /// a node that has not caught up yet) yields an empty slice.
-    pub fn committed_since(&self, node: NodeId, from: usize) -> &[Vec<u8>] {
+    pub fn committed_since(&self, node: NodeId, from: usize) -> &[Arc<[u8]>] {
         self.committed
             .get(&node)
             .map_or(&[][..], |log| &log[from.min(log.len())..])
@@ -301,6 +307,12 @@ impl Cluster {
 mod tests {
     use super::*;
 
+    /// Committed commands at `node` as owned byte vectors, for comparison
+    /// against `Vec<u8>` literals.
+    fn bytes(c: &Cluster, node: NodeId) -> Vec<Vec<u8>> {
+        c.committed(node).iter().map(|cmd| cmd.to_vec()).collect()
+    }
+
     #[test]
     fn three_node_cluster_elects_and_replicates() {
         let mut c = Cluster::new(3, 1);
@@ -311,7 +323,7 @@ mod tests {
         c.run_ticks(30);
         for id in c.node_ids() {
             assert_eq!(
-                c.committed(id),
+                bytes(&c, id),
                 vec![vec![0], vec![1], vec![2], vec![3], vec![4]],
                 "node {id}"
             );
@@ -328,7 +340,7 @@ mod tests {
         c.run_ticks(30);
         assert_eq!(c.committed_len(leader), 4);
         assert_eq!(c.committed_since(leader, 0), c.committed(leader));
-        assert_eq!(c.committed_since(leader, 3), &[vec![3u8]][..]);
+        assert_eq!(c.committed_since(leader, 3), &[Arc::from(&[3u8][..])][..]);
         assert!(c.committed_since(leader, 4).is_empty());
         // Out-of-range cursors (a cursor carried to a node that has not
         // caught up) and unknown nodes are empty, not panics.
@@ -350,7 +362,7 @@ mod tests {
         c.run_ticks(30);
         for id in c.node_ids() {
             assert_eq!(
-                c.committed(id),
+                bytes(&c, id),
                 vec![b"before".to_vec(), b"after".to_vec()],
                 "node {id}"
             );
@@ -375,7 +387,7 @@ mod tests {
         c.propose(new_leader, b"won".to_vec()).unwrap();
         c.run_ticks(50);
         for &id in &majority {
-            assert_eq!(c.committed(id), vec![b"won".to_vec()], "node {id}");
+            assert_eq!(bytes(&c, id), vec![b"won".to_vec()], "node {id}");
         }
         // Minority never committed the lost entry.
         assert!(c.committed(leader).is_empty());
@@ -384,7 +396,7 @@ mod tests {
         c.heal();
         c.run_ticks(100);
         for id in c.node_ids() {
-            assert_eq!(c.committed(id), vec![b"won".to_vec()], "node {id}");
+            assert_eq!(bytes(&c, id), vec![b"won".to_vec()], "node {id}");
         }
     }
 
@@ -400,7 +412,7 @@ mod tests {
         let committed_count = c
             .node_ids()
             .iter()
-            .filter(|&&id| c.committed(id) == vec![b"x".to_vec()])
+            .filter(|&&id| bytes(&c, id) == vec![b"x".to_vec()])
             .count();
         assert!(committed_count >= 2, "only {committed_count} committed");
     }
@@ -446,7 +458,7 @@ mod tests {
         assert_eq!(snap.data, b"state@10");
         assert_eq!(c.node(lagging).snapshot_index(), 10);
         // The post-snapshot entry arrived through the normal path.
-        assert_eq!(c.committed(lagging), vec![b"post".to_vec()]);
+        assert_eq!(bytes(&c, lagging), vec![b"post".to_vec()]);
         // The healthy follower replicated everything normally and saw all 11.
         let healthy = others.into_iter().find(|&n| n != leader).unwrap();
         assert_eq!(c.committed(healthy).len(), 11);
@@ -513,7 +525,7 @@ mod tests {
         }
         c.set_drop_rate(0.0);
         c.run_ticks(200);
-        let logs: Vec<Vec<Vec<u8>>> = c.node_ids().iter().map(|&id| c.committed(id)).collect();
+        let logs: Vec<Vec<Arc<[u8]>>> = c.node_ids().iter().map(|&id| c.committed(id)).collect();
         for a in &logs {
             for b in &logs {
                 let n = a.len().min(b.len());

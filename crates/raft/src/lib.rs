@@ -23,10 +23,12 @@
 //! let leader = cluster.run_until_leader(1000).expect("a leader is elected");
 //! cluster.propose(leader, b"block-1".to_vec()).unwrap();
 //! cluster.run_ticks(50);
-//! // All nodes committed the entry.
+//! // All nodes committed the entry (each command is `Arc`-shared with
+//! // the bytes allocated at propose time, never deep-copied).
 //! for node in cluster.node_ids() {
 //!     let committed = cluster.committed(node);
-//!     assert_eq!(committed, vec![b"block-1".to_vec()]);
+//!     assert_eq!(committed.len(), 1);
+//!     assert_eq!(committed[0].as_ref(), b"block-1");
 //! }
 //! ```
 

@@ -1,9 +1,16 @@
 //! Raft wire messages.
 
+use std::sync::Arc;
+
 /// Identifier of a Raft node within its cluster.
 pub type NodeId = u64;
 
 /// One replicated log entry.
+///
+/// The command payload is `Arc`-shared: the leader's log, every
+/// `AppendEntries` retransmission, each follower's log, and the drained
+/// committed stream all reference the same bytes — a serialized block is
+/// allocated once at `propose` time and never copied again.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
     /// Term in which the entry was appended at the leader.
@@ -11,7 +18,7 @@ pub struct LogEntry {
     /// 1-based log index.
     pub index: u64,
     /// Opaque command payload (the orderer stores serialized blocks here).
-    pub command: Vec<u8>,
+    pub command: Arc<[u8]>,
 }
 
 /// Raft RPCs, modeled as asynchronous messages.

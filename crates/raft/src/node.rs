@@ -323,13 +323,15 @@ impl RaftNode {
         }
     }
 
-    /// Appends a command to the leader's log.
+    /// Appends a command to the leader's log. The command bytes are
+    /// `Arc`-shared from here on: replication to followers and the
+    /// committed stream reuse this allocation.
     ///
     /// # Errors
     ///
     /// [`NotLeader`] when this node is not the current leader; the caller
     /// should retry against the leader.
-    pub fn propose(&mut self, command: Vec<u8>) -> Result<u64, NotLeader> {
+    pub fn propose(&mut self, command: impl Into<std::sync::Arc<[u8]>>) -> Result<u64, NotLeader> {
         if self.role != Role::Leader {
             return Err(NotLeader);
         }
@@ -337,7 +339,7 @@ impl RaftNode {
         self.log.push(LogEntry {
             term: self.current_term,
             index,
-            command,
+            command: command.into(),
         });
         // Single-node cluster commits immediately.
         self.advance_commit_index();
@@ -721,7 +723,7 @@ mod tests {
         assert_eq!(n.commit_index(), 1);
         let committed = n.take_committed();
         assert_eq!(committed.len(), 1);
-        assert_eq!(committed[0].command, b"cmd");
+        assert_eq!(committed[0].command.as_ref(), b"cmd");
         // Draining again yields nothing.
         assert!(n.take_committed().is_empty());
     }
@@ -786,7 +788,7 @@ mod tests {
         n.log.push(LogEntry {
             term: 2,
             index: 1,
-            command: vec![],
+            command: Vec::new().into(),
         });
         n.current_term = 2;
         let out = n.receive(
@@ -818,12 +820,12 @@ mod tests {
                     LogEntry {
                         term: 1,
                         index: 1,
-                        command: b"a".to_vec(),
+                        command: b"a".to_vec().into(),
                     },
                     LogEntry {
                         term: 1,
                         index: 2,
-                        command: b"b".to_vec(),
+                        command: b"b".to_vec().into(),
                     },
                 ],
                 leader_commit: 0,
@@ -840,13 +842,13 @@ mod tests {
                 entries: vec![LogEntry {
                     term: 2,
                     index: 2,
-                    command: b"c".to_vec(),
+                    command: b"c".to_vec().into(),
                 }],
                 leader_commit: 2,
             },
         );
         assert_eq!(n.log_len(), 2);
-        assert_eq!(n.log()[1].command, b"c");
+        assert_eq!(n.log()[1].command.as_ref(), b"c");
         assert_eq!(n.commit_index(), 2);
     }
 

@@ -4,6 +4,7 @@ use crate::identity::Identity;
 use crate::transaction::{Transaction, TxValidationCode};
 use fabric_crypto::{sha256, Hash256, Sha256, Signature};
 use fabric_wire::Encode;
+use std::sync::Arc;
 
 /// A block header chaining to the previous block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,12 +50,21 @@ impl_wire_struct!(BlockMetadata {
 });
 
 /// A block: header, transactions, metadata (Fig. 3).
+///
+/// The transaction list is `Arc`-shared: cloning a block (the network
+/// fans each cut block out to every peer) bumps a reference count
+/// instead of deep-copying every transaction, and all receivers see the
+/// same instances — so per-transaction byte caches
+/// ([`crate::transaction::TxMemo`]) are populated once network-wide.
+/// The wire form is unchanged (`Arc<[T]>` encodes exactly like
+/// `Vec<T>`); per-block mutable state lives in `metadata`, which stays
+/// owned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// The chained header.
     pub header: BlockHeader,
-    /// Ordered transactions.
-    pub transactions: Vec<Transaction>,
+    /// Ordered transactions, shared across every clone of this block.
+    pub transactions: Arc<[Transaction]>,
     /// Validity flags and orderer signature.
     pub metadata: BlockMetadata,
 }
@@ -67,8 +77,14 @@ impl_wire_struct!(Block {
 
 impl Block {
     /// Builds a block over `transactions`, computing the data hash and
-    /// chaining to `previous_hash`.
-    pub fn new(number: u64, previous_hash: Hash256, transactions: Vec<Transaction>) -> Self {
+    /// chaining to `previous_hash`. Accepts either owned (`Vec`) or
+    /// already-shared (`Arc<[_]>`) transaction storage.
+    pub fn new(
+        number: u64,
+        previous_hash: Hash256,
+        transactions: impl Into<Arc<[Transaction]>>,
+    ) -> Self {
+        let transactions = transactions.into();
         let data_hash = Self::compute_data_hash(&transactions);
         Block {
             header: BlockHeader {
@@ -176,6 +192,7 @@ mod tests {
                     commitment: PayloadCommitment::Plain,
                     endorsements: vec![],
                     client_signature: kp.sign(b"sig"),
+                    memo: Default::default(),
                 }
             })
             .collect();
@@ -202,6 +219,15 @@ mod tests {
     fn wire_roundtrip() {
         let block = Block::new(5, sha256(b"prev"), vec![]);
         assert_eq!(Block::from_wire(&block.to_wire()).unwrap(), block);
+    }
+
+    #[test]
+    fn cloned_blocks_share_transaction_storage() {
+        // Fan-out relies on `Block::clone` being a reference-count bump,
+        // not a deep copy of the transaction list.
+        let block = Block::new(0, Hash256::default(), vec![]);
+        let copy = block.clone();
+        assert!(Arc::ptr_eq(&block.transactions, &copy.transactions));
     }
 
     #[test]

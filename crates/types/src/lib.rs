@@ -35,4 +35,4 @@ pub use rwset::{
     CollectionHashedRwSet, CollectionPvtRwSet, HashedRead, HashedWrite, KvRead, KvRwSet, KvWrite,
     MetadataWrite, NsRwSet, PvtDataPackage, TxKind, TxRwSet, Version,
 };
-pub use transaction::{SignatureFailure, Transaction, TxValidationCode};
+pub use transaction::{SignatureFailure, Transaction, TxMemo, TxValidationCode};

@@ -7,6 +7,7 @@ use crate::rwset::{TxKind, TxRwSet};
 use fabric_crypto::{BatchVerifier, PublicKey, Signature};
 use fabric_wire::Encode;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Why a transaction was marked valid or invalid during the validation
 /// phase. Mirrors Fabric's `TxValidationCode`, restricted to the outcomes
@@ -66,6 +67,58 @@ impl fmt::Display for TxValidationCode {
     }
 }
 
+/// Lazily-populated per-transaction byte caches.
+///
+/// Three canonical encodings are recomputed over and over on the commit
+/// path — the payload bytes every endorsement signature covers, the
+/// client-signed tuple, and the full transaction wire form (hashed into
+/// every block's data hash). With `Arc`-shared blocks, one transaction
+/// instance is verified by every peer it fans out to, so caching these
+/// on first use turns N-peer validation into one encode total instead of
+/// one per peer per signature.
+///
+/// The cache is invisible everywhere that matters: it is excluded from
+/// the wire format, compares equal to any other cache, and `Clone`
+/// deliberately yields a *fresh* (empty) cache — a cloned transaction is
+/// independently mutable, so carried bytes could go stale.
+#[derive(Default)]
+pub struct TxMemo {
+    payload_wire: OnceLock<Vec<u8>>,
+    client_wire: OnceLock<Vec<u8>>,
+    tx_wire: OnceLock<Vec<u8>>,
+}
+
+impl TxMemo {
+    /// A fresh, unpopulated cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clone for TxMemo {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for TxMemo {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for TxMemo {}
+
+impl fmt::Debug for TxMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxMemo")
+            .field("payload_cached", &self.payload_wire.get().is_some())
+            .field("client_cached", &self.client_wire.get().is_some())
+            .field("tx_cached", &self.tx_wire.get().is_some())
+            .finish()
+    }
+}
+
 /// An assembled transaction as submitted to the ordering service and stored
 /// in blocks (Fig. 3): header fields, the representative proposal-response
 /// payload, and the collected endorsements.
@@ -89,18 +142,49 @@ pub struct Transaction {
     pub endorsements: Vec<Endorsement>,
     /// Client signature over the transaction content.
     pub client_signature: Signature,
+    /// Lazily-computed byte caches ([`TxMemo`]); excluded from the wire
+    /// form and from equality.
+    pub memo: TxMemo,
 }
 
-impl_wire_struct!(Transaction {
-    tx_id,
-    channel,
-    chaincode,
-    creator,
-    payload,
-    commitment,
-    endorsements,
-    client_signature
-});
+// `memo` is a cache, not data: the wire form is exactly the eight
+// payload-bearing fields, byte-identical to what `impl_wire_struct!`
+// produced before the cache existed (the macro can't skip fields, hence
+// the manual impls). Encoding populates — and afterwards reuses — the
+// full-transaction cache.
+impl fabric_wire::Encode for Transaction {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let bytes = self.memo.tx_wire.get_or_init(|| {
+            let mut b = Vec::new();
+            self.tx_id.encode(&mut b);
+            self.channel.encode(&mut b);
+            self.chaincode.encode(&mut b);
+            self.creator.encode(&mut b);
+            b.extend_from_slice(self.payload_wire());
+            self.commitment.encode(&mut b);
+            self.endorsements.encode(&mut b);
+            self.client_signature.encode(&mut b);
+            b
+        });
+        buf.extend_from_slice(bytes);
+    }
+}
+
+impl fabric_wire::Decode for Transaction {
+    fn decode(r: &mut fabric_wire::Reader<'_>) -> Result<Self, fabric_wire::WireError> {
+        Ok(Transaction {
+            tx_id: fabric_wire::Decode::decode(r)?,
+            channel: fabric_wire::Decode::decode(r)?,
+            chaincode: fabric_wire::Decode::decode(r)?,
+            creator: fabric_wire::Decode::decode(r)?,
+            payload: fabric_wire::Decode::decode(r)?,
+            commitment: fabric_wire::Decode::decode(r)?,
+            endorsements: fabric_wire::Decode::decode(r)?,
+            client_signature: fabric_wire::Decode::decode(r)?,
+            memo: TxMemo::default(),
+        })
+    }
+}
 
 /// Which signature failed in [`Transaction::verify_signatures`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +203,30 @@ impl Transaction {
         endorsements: &[Endorsement],
     ) -> Vec<u8> {
         (tx_id, payload, endorsements).to_wire()
+    }
+
+    /// Canonical wire bytes of the payload — the message every
+    /// endorsement signature covers — computed once per instance.
+    fn payload_wire(&self) -> &[u8] {
+        self.memo
+            .payload_wire
+            .get_or_init(|| self.payload.to_wire())
+    }
+
+    /// The client-signed tuple bytes (see
+    /// [`Transaction::client_signed_bytes`]), computed once per instance.
+    fn client_wire(&self) -> &[u8] {
+        self.memo.client_wire.get_or_init(|| {
+            // `signed_bytes(Plain)` is the payload's canonical wire form,
+            // so the payload cache doubles as the tuple's middle segment.
+            let payload_bytes = self.payload_wire();
+            let mut buf =
+                Vec::with_capacity(payload_bytes.len() + 96 * self.endorsements.len() + 24);
+            self.tx_id.encode(&mut buf);
+            buf.extend_from_slice(payload_bytes);
+            self.endorsements.encode(&mut buf);
+            buf
+        })
     }
 
     /// The read/write sets carried by this transaction.
@@ -180,21 +288,18 @@ impl Transaction {
 
     /// Shared body of the combined signature checks, parameterized over
     /// the primitive verification call.
+    ///
+    /// Both signed-bytes encodings come from the [`TxMemo`] caches, so
+    /// when an `Arc`-shared block fans the same transaction instance out
+    /// to N validating peers the serialization work is paid exactly once.
     fn verify_signatures_impl(
         &self,
         mut verify: impl FnMut(&PublicKey, &[u8], &Signature) -> bool,
     ) -> Option<SignatureFailure> {
-        // `signed_bytes(Plain)` is the payload's canonical wire form, so
-        // these bytes double as the middle segment of the client tuple.
-        let payload_bytes = self.payload.to_wire();
-        let mut client_bytes =
-            Vec::with_capacity(payload_bytes.len() + 96 * self.endorsements.len() + 24);
-        self.tx_id.encode(&mut client_bytes);
-        client_bytes.extend_from_slice(&payload_bytes);
-        self.endorsements.encode(&mut client_bytes);
+        let client_bytes = self.client_wire();
         if !verify(
             &self.creator.public_key,
-            &client_bytes,
+            client_bytes,
             &self.client_signature,
         ) {
             return Some(SignatureFailure::Client);
@@ -202,8 +307,9 @@ impl Transaction {
         if self.endorsements.is_empty() {
             return Some(SignatureFailure::Endorsement);
         }
+        let payload_bytes = self.payload_wire();
         for e in &self.endorsements {
-            if !verify(&e.endorser.public_key, &payload_bytes, &e.signature) {
+            if !verify(&e.endorser.public_key, payload_bytes, &e.signature) {
                 return Some(SignatureFailure::Endorsement);
             }
         }
@@ -251,6 +357,7 @@ mod tests {
             commitment,
             endorsements,
             client_signature,
+            memo: TxMemo::default(),
         }
     }
 
@@ -351,6 +458,46 @@ mod tests {
     fn wire_roundtrip() {
         let tx = sample_tx();
         assert_eq!(Transaction::from_wire(&tx.to_wire()).unwrap(), tx);
+    }
+
+    #[test]
+    fn memoized_signed_bytes_match_fresh_encodings() {
+        let tx = sample_tx();
+        assert_eq!(tx.verify_signatures(), None); // populates the caches
+        assert_eq!(
+            tx.memo.payload_wire.get().unwrap().as_slice(),
+            tx.payload.to_wire()
+        );
+        assert_eq!(
+            tx.memo.client_wire.get().unwrap().as_slice(),
+            Transaction::client_signed_bytes(&tx.tx_id, &tx.payload, &tx.endorsements)
+        );
+        // A second verification must reuse the caches and agree.
+        assert_eq!(tx.verify_signatures(), None);
+    }
+
+    #[test]
+    fn memo_is_reset_on_clone_and_excluded_from_equality() {
+        let tx = sample_tx();
+        let bytes = tx.to_wire(); // populates the full-tx cache
+        assert!(tx.memo.tx_wire.get().is_some());
+        let cloned = tx.clone();
+        // The clone starts cold — it may be mutated independently — yet
+        // still encodes to the same bytes and compares equal.
+        assert!(cloned.memo.tx_wire.get().is_none());
+        assert_eq!(cloned.to_wire(), bytes);
+        assert_eq!(cloned, tx);
+    }
+
+    #[test]
+    fn clone_then_tamper_reencodes_honestly() {
+        // The cache must never leak a pre-mutation encoding: cloning
+        // resets it, so a tampered clone hashes to different bytes.
+        let tx = sample_tx();
+        let original = tx.to_wire();
+        let mut forged = tx.clone();
+        forged.payload.response.payload = b"forged".to_vec();
+        assert_ne!(forged.to_wire(), original);
     }
 
     #[test]

@@ -266,6 +266,24 @@ impl<T: Encode + ?Sized> Encode for &T {
     }
 }
 
+impl<T: Encode + ?Sized> Encode for std::sync::Arc<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+}
+
+impl<T: Decode> Decode for std::sync::Arc<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::decode(r)?))
+    }
+}
+
+impl<T: Decode> Decode for std::sync::Arc<[T]> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Vec::<T>::decode(r)?.into())
+    }
+}
+
 #[cfg(test)]
 mod proptests {
     use crate::{Decode, Encode};
@@ -299,6 +317,21 @@ mod proptests {
 
         #[test]
         fn prop_option_tuple_roundtrip(v: Option<(u64, String, bool)>) { rt(&v); }
+
+        #[test]
+        fn prop_arc_slice_encodes_identically_to_vec(v: Vec<String>) {
+            // Arc-shared storage is a representation choice, not a wire
+            // one: the bytes must match the owned encoding exactly.
+            let arc: std::sync::Arc<[String]> = v.clone().into();
+            prop_assert_eq!(arc.to_wire(), v.to_wire());
+            let back = std::sync::Arc::<[String]>::from_wire(&arc.to_wire()).expect("roundtrip");
+            prop_assert_eq!(&*back, v.as_slice());
+        }
+
+        #[test]
+        fn prop_arc_scalar_roundtrip(v: u64) {
+            rt(&std::sync::Arc::new(v));
+        }
 
         #[test]
         fn prop_encoding_is_injective(a: Vec<String>, b: Vec<String>) {

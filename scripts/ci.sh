@@ -8,6 +8,9 @@
 #   4. `cargo test -q`                                — full test suite
 #   5. commit-throughput bench smoke run              — bench code can't
 #      rot, and the pipeline-overlap + sharded rows must keep printing
+#   5b. e2e-throughput bench smoke run                — the end-to-end
+#      fan-out bench must keep measuring both fan-out modes, and
+#      BENCH_e2e.json must keep its headline speedup field
 #   6. telemetry example smoke run                    — the metric surface
 #      other tooling scrapes (names below) must keep exporting
 #   7. trace_tx example smoke run                     — a tx id must keep
@@ -40,19 +43,36 @@ cargo test -q
 
 echo "==> pipeline_equivalence test inventory"
 # The equivalence proptests are the proof the pipelined/sharded commit
-# schedulers preserve the reference semantics. A refactor that renames or
-# drops one would silently skip the proof, so the gate pins both names.
+# schedulers and the zero-copy fan-out preserve the reference semantics.
+# A refactor that renames or drops one would silently skip the proof, so
+# the gate pins the names.
 equivalence_tests="$(cargo test --release --test pipeline_equivalence -- --list)"
 for t in \
     pipeline_matches_reference_on_random_blocks \
     overlap_matches_reference_on_random_streams \
-    alert_log_is_deterministic_across_schedulers; do
+    alert_log_is_deterministic_across_schedulers \
+    fanout_modes_agree_on_random_live_streams; do
     if ! grep -q "${t}" <<<"$equivalence_tests"; then
         echo "FAIL: pipeline_equivalence no longer lists proptest '${t}'" >&2
         exit 1
     fi
 done
-echo "equivalence inventory: scheduler + alert-determinism proptests present"
+echo "equivalence inventory: scheduler + alert + fan-out proptests present"
+
+echo "==> zero_copy_fanout test inventory"
+# The counting-allocator tests are the proof block fan-out stays O(1)
+# deep copies per peer; pin their names so they can't be silently lost.
+fanout_tests="$(cargo test --release --test zero_copy_fanout -- --list)"
+for t in \
+    block_clone_is_allocation_free \
+    shared_fanout_cuts_deliver_path_allocations \
+    fanout_modes_converge_identically; do
+    if ! grep -q "${t}" <<<"$fanout_tests"; then
+        echo "FAIL: zero_copy_fanout no longer lists test '${t}'" >&2
+        exit 1
+    fi
+done
+echo "zero-copy inventory: allocator + convergence tests present"
 
 echo "==> commit_throughput --smoke"
 bench_out="$(cargo run --release -p fabric-bench --bin commit_throughput -- --smoke)"
@@ -66,6 +86,25 @@ for row in "mode=pipeline-overlap" "sharded channels=" "aggregate_txs/sec="; do
     fi
 done
 echo "commit_throughput smoke: overlap + sharded rows present"
+
+echo "==> e2e_throughput --smoke"
+e2e_out="$(cargo run --release -p fabric-bench --bin e2e_throughput -- --smoke)"
+echo "$e2e_out"
+# Both fan-out modes must keep measuring end to end, and the recorded
+# baseline must keep its headline fields.
+for row in "fanout=deep-clone" "fanout=shared" "shared vs deep-clone:" "phase=commit"; do
+    if ! grep -q "${row}" <<<"$e2e_out"; then
+        echo "FAIL: e2e_throughput smoke output is missing '${row}'" >&2
+        exit 1
+    fi
+done
+for field in '"bench": "e2e_throughput"' '"speedup_4peers_1000tx_shared_vs_deep_clone"'; do
+    if ! grep -qF "${field}" BENCH_e2e.json; then
+        echo "FAIL: BENCH_e2e.json is missing ${field}" >&2
+        exit 1
+    fi
+done
+echo "e2e_throughput smoke: both fan-out modes + recorded baseline present"
 
 echo "==> telemetry example --smoke"
 # The Prometheus dump must keep exporting the metric families dashboards

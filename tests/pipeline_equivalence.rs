@@ -20,6 +20,7 @@
 //! an MVCC read hazard straddles the overlap window.
 
 use fabric_pdc::chaincode::samples::SbeDemo;
+use fabric_pdc::orderer::BatchConfig;
 use fabric_pdc::peer::{BlockCommitOutcome, CommitLane, ShardedScheduler};
 use fabric_pdc::prelude::*;
 use fabric_pdc::types::{Block, PvtDataPackage, Transaction};
@@ -319,7 +320,7 @@ fn build_block(
 /// are emitted only from the sequential merge stage — identical
 /// security-audit event sequences.
 fn assert_equivalent(net: &FabricNetwork, block: &Block, pkgs: &HashMap<TxId, PvtDataPackage>) {
-    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(Arc::new);
 
     let mut reference = net.peer("peer0.org2").clone();
     let ref_outcome = reference
@@ -366,7 +367,7 @@ fn assert_stream_equivalent(
     blocks: &[Block],
     pkgs: &HashMap<TxId, PvtDataPackage>,
 ) -> Vec<BlockCommitOutcome> {
-    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(Arc::new);
 
     let mut reference = net.peer("peer0.org2").clone();
     let mut ref_outcomes = Vec::with_capacity(blocks.len());
@@ -471,7 +472,7 @@ fn mid_block_policy_change_governs_later_writes() {
     let (block, pkgs) = build_block(&mut net, &specs);
     assert_equivalent(&net, &block, &pkgs);
 
-    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(Arc::new);
     let mut peer = net.peer("peer0.org2").clone();
     peer.set_parallel_validation(true);
     let outcome = peer.process_block(block, &mut provider).expect("chains");
@@ -518,7 +519,7 @@ fn adversarial_block_audits_deterministically() {
     let (block, pkgs) = build_block(&mut net, &specs);
     assert_equivalent(&net, &block, &pkgs);
 
-    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(Arc::new);
     let mut peer = net.peer("peer0.org2").clone();
     peer.set_parallel_validation(true);
     let telemetry = Telemetry::new();
@@ -764,8 +765,8 @@ fn sharded_lanes_match_per_channel_commits() {
     let expected_b = assert_stream_equivalent(&net_b, &blocks_b, &pkgs_b);
     let mut base_a = net_a.peer("peer0.org2").clone();
     let mut base_b = net_b.peer("peer0.org2").clone();
-    let mut provider_a = |tx_id: &TxId| pkgs_a.get(tx_id).cloned();
-    let mut provider_b = |tx_id: &TxId| pkgs_b.get(tx_id).cloned();
+    let mut provider_a = |tx_id: &TxId| pkgs_a.get(tx_id).cloned().map(Arc::new);
+    let mut provider_b = |tx_id: &TxId| pkgs_b.get(tx_id).cloned().map(Arc::new);
     base_a
         .process_blocks_overlapped(blocks_a.clone(), &mut provider_a)
         .expect("channel a chains");
@@ -777,8 +778,12 @@ fn sharded_lanes_match_per_channel_commits() {
     let mut lane_a = net_a.peer("peer0.org2").clone();
     let mut lane_b = net_b.peer("peer0.org2").clone();
     let scheduler = ShardedScheduler::new(vec![
-        CommitLane::new(&mut lane_a, blocks_a, |tx_id| pkgs_a.get(tx_id).cloned()),
-        CommitLane::new(&mut lane_b, blocks_b, |tx_id| pkgs_b.get(tx_id).cloned()),
+        CommitLane::new(&mut lane_a, blocks_a, |tx_id| {
+            pkgs_a.get(tx_id).cloned().map(Arc::new)
+        }),
+        CommitLane::new(&mut lane_b, blocks_b, |tx_id| {
+            pkgs_b.get(tx_id).cloned().map(Arc::new)
+        }),
     ]);
     let results = scheduler.commit();
     assert_eq!(results.len(), 2);
@@ -828,7 +833,7 @@ fn overlap_stops_at_first_non_chaining_block() {
 
     let mut peer = net.peer("peer0.org2").clone();
     let start_height = peer.block_store().height();
-    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(Arc::new);
     let err = peer.process_blocks_overlapped(blocks.clone(), &mut provider);
     assert!(err.is_err(), "broken chain must be rejected");
     assert_eq!(
@@ -867,7 +872,7 @@ fn stage_histograms_count_once_per_block_regardless_of_overlap() {
         peer.set_parallel_validation(parallel);
         let telemetry = Telemetry::new();
         peer.set_telemetry(telemetry.clone());
-        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+        let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(Arc::new);
         if overlap {
             peer.process_blocks_overlapped(blocks.clone(), &mut provider)
                 .expect("stream chains");
@@ -905,7 +910,7 @@ fn monitored_commit_transitions(
     parallel: bool,
     ticks: u32,
 ) -> Vec<AlertTransition> {
-    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned();
+    let mut provider = |tx_id: &TxId| pkgs.get(tx_id).cloned().map(Arc::new);
     let mut peer = net.peer("peer0.org2").clone();
     peer.set_parallel_validation(parallel);
     let telemetry = Telemetry::new();
@@ -1013,5 +1018,225 @@ proptest! {
                 i
             );
         }
+    }
+}
+
+/// Endorses, assembles, and submits one spec'd transaction through the
+/// *live* network: private data disseminates through the gossip layer,
+/// and the ordering service cuts the block. `all` records every
+/// assembled transaction so a later [`TxSpec::DuplicateOf`] can resubmit
+/// one byte-for-byte.
+fn submit_live(net: &mut FabricNetwork, spec: &TxSpec, i: u64, all: &mut Vec<Transaction>) {
+    let (ns, function, args, endorsers): (&str, &str, Vec<Vec<u8>>, Vec<usize>) = match spec {
+        TxSpec::PdcWrite { key, endorsers } => (
+            PDC_NS,
+            "write",
+            vec![
+                format!("bk{key}").into_bytes(),
+                format!("{}", 100 + i).into_bytes(),
+            ],
+            endorsers.clone(),
+        ),
+        TxSpec::PdcAdd { endorsers } => (
+            PDC_NS,
+            "add",
+            vec![b"bk0".to_vec(), b"1".to_vec()],
+            endorsers.clone(),
+        ),
+        TxSpec::SbePut { key, endorsers } => (
+            SBE_NS,
+            "put",
+            vec![
+                format!("sk{key}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            ],
+            endorsers.clone(),
+        ),
+        TxSpec::SbeSetPolicy {
+            key,
+            policy,
+            endorsers,
+        } => (
+            SBE_NS,
+            "set_policy",
+            vec![
+                format!("sk{key}").into_bytes(),
+                SBE_POLICIES[*policy].as_bytes().to_vec(),
+            ],
+            endorsers.clone(),
+        ),
+        TxSpec::Tampered { key } => (
+            PDC_NS,
+            "write",
+            vec![
+                format!("bk{key}").into_bytes(),
+                format!("{}", 100 + i).into_bytes(),
+            ],
+            vec![0, 1],
+        ),
+        TxSpec::DuplicateOf(j) => {
+            if let Some(tx) = all.get(*j % all.len().max(1)).cloned() {
+                net.submit(tx.clone());
+                all.push(tx);
+                return;
+            }
+            // No earlier transaction to copy: degrade to a valid write.
+            (
+                PDC_NS,
+                "write",
+                vec![
+                    format!("bk{i}").into_bytes(),
+                    format!("{}", 100 + i).into_bytes(),
+                ],
+                vec![0, 1],
+            )
+        }
+    };
+    let mut client = Client::new(
+        "Org1MSP",
+        Keypair::generate_from_seed(7_900_000 + i),
+        DefenseConfig::original(),
+    );
+    let proposal = client.create_proposal(
+        net.channel().clone(),
+        ChaincodeId::new(ns),
+        function,
+        args,
+        Default::default(),
+    );
+    let responses: Vec<_> = endorsers
+        .iter()
+        .map(|&e| net.endorse(PEERS[e], &proposal).expect("live endorse"))
+        .collect();
+    let (mut tx, _) = client
+        .assemble_transaction(&proposal, &responses)
+        .expect("assemble");
+    if matches!(spec, TxSpec::Tampered { .. }) {
+        tx.payload.response.payload = b"tampered".to_vec();
+    }
+    net.submit(tx.clone());
+    all.push(tx);
+}
+
+/// One peer's end state after a live run: name, chain height, chain
+/// tip, world-state digest.
+type PeerEndState = (String, u64, Hash256, Hash256);
+
+/// Drives a randomized stream through the **full** network under the
+/// given fan-out mode — endorse, gossip dissemination, Raft ordering,
+/// block fan-out to five peers (two of which never endorse anything),
+/// validation, commit, transient-store purge — and returns every peer's
+/// end state plus the network-wide audit-event sequence.
+fn live_fanout_run(
+    seed: u64,
+    mode: FanoutMode,
+    blocks_specs: &[Vec<TxSpec>],
+) -> (Vec<PeerEndState>, Vec<AuditEvent>) {
+    let telemetry = Telemetry::new();
+    let mut net = NetworkBuilder::new("ch1")
+        .orgs(&["Org1MSP", "Org2MSP", "Org3MSP"])
+        .seed(seed)
+        .batch(BatchConfig {
+            max_message_count: 64,
+            batch_timeout_ticks: 2,
+        })
+        .with_telemetry(telemetry.clone())
+        .build();
+    net.set_fanout_mode(mode);
+    let def = ChaincodeDefinition::new(PDC_NS)
+        .with_endorsement_policy("MAJORITY Endorsement")
+        .with_collection(
+            CollectionConfig::membership_of(COL, &[OrgId::new("Org1MSP"), OrgId::new("Org2MSP")])
+                .with_member_only_read(false)
+                .with_endorsement_policy("AND('Org1MSP.peer','Org2MSP.peer')"),
+        );
+    net.deploy_chaincode(def, Arc::new(GuardedPdc::unconstrained(COL)));
+    net.deploy_chaincode(ChaincodeDefinition::new(SBE_NS), Arc::new(SbeDemo));
+    net.add_peer("Org1MSP");
+    net.add_peer("Org2MSP");
+    // Seed bk0 and sk0 exactly as `equivalence_network` does, so the
+    // generated specs exercise committed state as well as in-block state.
+    for (ns, function, args) in [
+        (PDC_NS, "write", vec!["bk0", "12"]),
+        (SBE_NS, "put", vec!["sk0", "seeded"]),
+        (
+            SBE_NS,
+            "set_policy",
+            vec!["sk0", "AND('Org1MSP.peer','Org2MSP.peer')"],
+        ),
+    ] {
+        let outcome = net
+            .submit_transaction(
+                "client0.org1",
+                ns,
+                function,
+                &args,
+                &[],
+                &["peer0.org1", "peer0.org2"],
+            )
+            .expect("seed tx");
+        assert!(outcome.validation_code.is_valid(), "seed {function}");
+    }
+    let names = net.peer_names();
+    let start = net.peer(&names[0]).block_store().height();
+    let mut all = Vec::new();
+    let mut i = 0u64;
+    for specs in blocks_specs {
+        for spec in specs {
+            submit_live(&mut net, spec, i, &mut all);
+            i += 1;
+        }
+        // A fixed tick budget per block (not commit-polling) keeps the
+        // advance sequence — and so the audit timeline — identical
+        // across fan-out modes.
+        net.advance(24);
+    }
+    net.advance(50);
+    let expected = start + blocks_specs.len() as u64;
+    let per_peer: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let peer = net.peer(n);
+            (
+                n.clone(),
+                peer.block_store().height(),
+                peer.block_store().tip_hash(),
+                peer.world_state().digest(),
+            )
+        })
+        .collect();
+    for (name, height, _, _) in &per_peer {
+        assert_eq!(*height, expected, "{name} did not commit every block");
+    }
+    (per_peer, telemetry.audit().events())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Zero-copy fan-out equivalence: the same randomized stream driven
+    /// through two identically-seeded live networks — one sharing each
+    /// block's `Arc` transaction storage across peers, one handing every
+    /// peer a deep copy — must leave every peer at the same height and
+    /// chain tip with the same world-state digest, and must produce the
+    /// same audit-event sequence.
+    #[test]
+    fn fanout_modes_agree_on_random_live_streams(
+        blocks_specs in proptest::collection::vec(
+            proptest::collection::vec(arb_spec(), 1..5),
+            1..3,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let shared = live_fanout_run(40_000 + seed, FanoutMode::Shared, &blocks_specs);
+        let deep = live_fanout_run(40_000 + seed, FanoutMode::DeepClone, &blocks_specs);
+        prop_assert_eq!(
+            shared.0, deep.0,
+            "per-peer heights/tips/digests diverge across fan-out modes"
+        );
+        prop_assert_eq!(
+            shared.1, deep.1,
+            "audit-event order diverges across fan-out modes"
+        );
     }
 }
