@@ -31,6 +31,7 @@
 //! | flow | [`flow`] | information-flow taint analysis of chaincode leakage |
 //! | telemetry | [`telemetry`] | tracing spans, metrics registry, security-audit events |
 //! | monitor | [`monitor`] | streaming health scoring, rate anomaly detection, alerting |
+//! | workload | [`workload`] | open-loop load harness, latency-vs-load curves, knee detection |
 //!
 //! ## Quick start
 //!
@@ -88,6 +89,7 @@ pub use fabric_raft as raft;
 pub use fabric_telemetry as telemetry;
 pub use fabric_types as types;
 pub use fabric_wire as wire;
+pub use fabric_workload as workload;
 
 /// The types most programs start from.
 pub mod prelude {

@@ -159,11 +159,19 @@ impl DetectorState {
         };
         // The baseline absorbs this tick only *after* the decision, so a
         // burst is judged against pre-burst normal, not against itself.
-        let windowed = self.windowed as f64;
-        self.ewma_windowed = Some(match self.ewma_windowed {
-            Some(prev) => BASELINE_ALPHA * windowed + (1.0 - BASELINE_ALPHA) * prev,
-            None => windowed,
-        });
+        // Idle ticks (no matching events at all) leave the baseline
+        // frozen: "normal" is what traffic looks like when there *is*
+        // traffic. Otherwise a long quiet gap between load windows
+        // decays the EWMA toward zero and the first busy window after
+        // the gap — at exactly yesterday's healthy rate — reads as a
+        // relative spike.
+        if count > 0 {
+            let windowed = self.windowed as f64;
+            self.ewma_windowed = Some(match self.ewma_windowed {
+                Some(prev) => BASELINE_ALPHA * windowed + (1.0 - BASELINE_ALPHA) * prev,
+                None => windowed,
+            });
+        }
 
         let eval = DetectorEval {
             active,
@@ -227,6 +235,38 @@ mod tests {
         // A 5x burst in one tick clears factor * baseline.
         let eval = d.step(40);
         assert!(eval.active, "burst over baseline fires: {eval:?}");
+    }
+
+    #[test]
+    fn idle_gap_does_not_turn_resumed_traffic_into_a_spike() {
+        let mut d = DetectorState::new(DetectorSpec::relative_spike("s", "k", 4.0, 3, 4));
+        // Establish a healthy background rate of 2 events/tick.
+        for _ in 0..64 {
+            assert!(!d.step(2).active);
+        }
+        let baseline_before_gap = d.last_eval.baseline_window;
+        // A long idle gap between sweep windows: the baseline must
+        // freeze at "what traffic looks like", not decay toward zero.
+        for _ in 0..200 {
+            assert!(!d.step(0).active, "idle ticks never spike");
+        }
+        // Traffic resumes at exactly the old healthy rate. Before the
+        // idle-freeze fix the decayed baseline flagged this window as an
+        // mvcc_abort_storm-style relative spike.
+        for _ in 0..16 {
+            let eval = d.step(2);
+            assert!(
+                !eval.active,
+                "resumed background rate after an idle gap is not a storm: {eval:?}"
+            );
+            assert!(
+                eval.baseline_window >= baseline_before_gap * 0.8,
+                "baseline must survive the gap: {eval:?} vs {baseline_before_gap}"
+            );
+        }
+        // A genuine burst after the gap still fires.
+        let eval = d.step(40);
+        assert!(eval.active, "real bursts still spike after a gap: {eval:?}");
     }
 
     #[test]

@@ -501,6 +501,44 @@ mod tests {
     }
 
     #[test]
+    fn idle_gap_between_load_windows_does_not_fire_a_storm_on_resume() {
+        let telemetry = Telemetry::new();
+        let monitor = Monitor::new(&telemetry);
+        let mut next = 0u64;
+        let mut emit_conflicts = |n: u64| {
+            for _ in 0..n {
+                telemetry.emit(conflict(next));
+                next += 1;
+            }
+        };
+        // Sustained background contention: 2 MVCC aborts per tick.
+        for _ in 0..64 {
+            emit_conflicts(2);
+            monitor.observe_tick(&[]);
+        }
+        assert!(monitor.firing_rules().is_empty(), "steady rate is normal");
+        // A long idle gap — e.g. the pause between two sweep windows.
+        for _ in 0..200 {
+            monitor.observe_tick(&[]);
+        }
+        // Traffic resumes at the same healthy rate: the EWMA baseline
+        // must have survived the gap instead of decaying to ~zero and
+        // branding the first busy windows an mvcc_abort_storm.
+        for _ in 0..40 {
+            emit_conflicts(2);
+            monitor.observe_tick(&[]);
+            assert!(
+                monitor.firing_rules().is_empty(),
+                "resumed background contention is not a storm"
+            );
+        }
+        // A genuine storm after the gap still fires.
+        emit_conflicts(300);
+        monitor.observe_tick(&[]);
+        assert_eq!(monitor.firing_rules(), vec![MVCC_STORM_RULE.to_string()]);
+    }
+
+    #[test]
     fn critical_node_fires_the_per_node_health_rule() {
         let telemetry = Telemetry::new();
         let monitor = Monitor::new(&telemetry);

@@ -55,8 +55,8 @@ mod trace;
 pub use audit::{AuditEvent, AuditLog};
 pub use export::{render_chrome_trace, render_spans_jsonl};
 pub use metrics::{
-    Counter, CounterWindow, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry,
-    DURATION_SECONDS_BUCKETS, TICK_BUCKETS,
+    Counter, CounterWindow, Gauge, Histogram, HistogramSnapshot, HistogramWindow, MetricSample,
+    MetricValue, MetricsRegistry, DURATION_SECONDS_BUCKETS, TICK_BUCKETS,
 };
 pub use recorder::{FlightDump, FlightEntry, FlightRecorder};
 pub use span::{Collector, NoopCollector, SpanRecord, TraceSink};
@@ -109,6 +109,7 @@ impl Telemetry {
         let sink = Arc::new(TraceSink::new());
         let mut t = Self::with_collector(sink.clone());
         Arc::get_mut(&mut t.inner).expect("freshly created").sink = Some(sink);
+        t.export_sink_evictions();
         t
     }
 
@@ -133,6 +134,7 @@ impl Telemetry {
         let inner = Arc::get_mut(&mut t.inner).expect("freshly created");
         inner.sink = Some(sink);
         inner.recorder = Some(recorder);
+        t.export_sink_evictions();
         t
     }
 
@@ -150,6 +152,20 @@ impl Telemetry {
                 next_span_id: AtomicU64::new(1),
                 audit_counters: Default::default(),
             }),
+        }
+    }
+
+    /// Mirrors the in-memory sink's retention evictions into the
+    /// registry-exported `fabric_trace_spans_evicted_total` counter, so
+    /// dashboards can see when a sustained load run outpaces trace
+    /// consumption.
+    fn export_sink_evictions(&self) {
+        if let Some(sink) = self.inner.sink.as_deref() {
+            sink.set_eviction_counter(self.inner.metrics.counter(
+                "fabric_trace_spans_evicted_total",
+                "Trace spans evicted to honor the sink's retention cap",
+                &[],
+            ));
         }
     }
 

@@ -225,23 +225,158 @@ impl Histogram {
     /// the `+Inf` overflow bucket clamp to the largest finite bound.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let (cumulative, total) = self.cumulative();
-        if total == 0 {
-            return None;
-        }
-        let rank = q.clamp(0.0, 1.0) * total as f64;
-        let mut prev_bound = 0.0;
-        let mut prev_count = 0u64;
-        for &(bound, count) in &cumulative {
-            if count as f64 >= rank && count > prev_count {
-                let in_bucket = (count - prev_count) as f64;
-                let fraction = ((rank - prev_count as f64) / in_bucket).clamp(0.0, 1.0);
-                return Some(prev_bound + (bound - prev_bound) * fraction);
-            }
-            prev_bound = bound;
-            prev_count = count;
-        }
-        cumulative.last().map(|&(bound, _)| bound)
+        quantile_from_cumulative(&cumulative, total, q)
     }
+
+    /// Point-in-time copy of the bucket state, for interval math.
+    ///
+    /// Snapshots are reset-free: the live histogram keeps accumulating,
+    /// and [`Histogram::snapshot_delta`] subtracts two snapshots to get
+    /// the observations of just the interval between them — so a scorer
+    /// can compute per-window quantiles without racing live writers or
+    /// destroying the cumulative series other readers depend on.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let (buckets, total) = self.cumulative();
+        HistogramSnapshot {
+            buckets,
+            total,
+            sum: self.sum(),
+        }
+    }
+
+    /// The histogram's growth since `since` was snapshotted, as a
+    /// snapshot of its own (per-bucket saturating subtraction — bucket
+    /// counts are monotonic, so a stale or foreign mark can never
+    /// produce a wraparound-huge window).
+    pub fn snapshot_delta(&self, since: &HistogramSnapshot) -> HistogramSnapshot {
+        self.snapshot().delta_since(since)
+    }
+
+    /// A windowed-read cursor over this histogram: each
+    /// [`HistogramWindow::take_delta`] returns the interval snapshot
+    /// since the previous call, mirroring [`Counter::window`].
+    pub fn window(&self) -> HistogramWindow {
+        HistogramWindow {
+            mark: self.snapshot(),
+            histogram: self.clone(),
+        }
+    }
+}
+
+/// An immutable interval or point-in-time view of a [`Histogram`]'s
+/// buckets, carrying enough state to answer quantile/count/sum queries
+/// without touching the live series.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Cumulative `(le, count)` pairs per finite bound.
+    buckets: Vec<(f64, u64)>,
+    /// Total observations including the `+Inf` slot.
+    total: u64,
+    /// Sum of observations.
+    sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Observations covered by this snapshot.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of the covered observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// True when the snapshot covers no observations (e.g. the delta of
+    /// an idle window).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of the covered observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum / self.total as f64)
+        }
+    }
+
+    /// Same estimator as [`Histogram::quantile`], over just the
+    /// observations this snapshot covers. `None` when the snapshot is
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_cumulative(&self.buckets, self.total, q)
+    }
+
+    /// Subtracts an earlier snapshot of the *same series*, yielding the
+    /// interval between the two. Counts subtract saturating per bucket;
+    /// the sum clamps at zero.
+    ///
+    /// # Panics
+    /// If the snapshots have different bucket layouts (they came from
+    /// different histogram families).
+    pub fn delta_since(&self, since: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(
+            self.buckets.len(),
+            since.buckets.len(),
+            "snapshot delta across different bucket layouts"
+        );
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(&since.buckets)
+            .map(|(&(le, now), &(_, then))| (le, now.saturating_sub(then)))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            total: self.total.saturating_sub(since.total),
+            sum: (self.sum - since.sum).max(0.0),
+        }
+    }
+}
+
+/// A cursor for windowed interval reads of a [`Histogram`].
+///
+/// Created by [`Histogram::window`]; remembers the last snapshot so
+/// repeated [`HistogramWindow::take_delta`] calls partition the
+/// histogram's growth into non-overlapping intervals.
+#[derive(Debug, Clone)]
+pub struct HistogramWindow {
+    histogram: Histogram,
+    mark: HistogramSnapshot,
+}
+
+impl HistogramWindow {
+    /// Observations since the previous `take_delta` (or since the window
+    /// was created) and advances the mark.
+    pub fn take_delta(&mut self) -> HistogramSnapshot {
+        let now = self.histogram.snapshot();
+        let delta = now.delta_since(&self.mark);
+        self.mark = now;
+        delta
+    }
+}
+
+/// Shared quantile estimator over cumulative `(le, count)` buckets (the
+/// Prometheus `histogram_quantile` linear interpolation).
+fn quantile_from_cumulative(cumulative: &[(f64, u64)], total: u64, q: f64) -> Option<f64> {
+    if total == 0 {
+        return None;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut prev_bound = 0.0;
+    let mut prev_count = 0u64;
+    for &(bound, count) in cumulative {
+        if count as f64 >= rank && count > prev_count {
+            let in_bucket = (count - prev_count) as f64;
+            let fraction = ((rank - prev_count as f64) / in_bucket).clamp(0.0, 1.0);
+            return Some(prev_bound + (bound - prev_bound) * fraction);
+        }
+        prev_bound = bound;
+        prev_count = count;
+    }
+    cumulative.last().map(|&(bound, _)| bound)
 }
 
 /// The value of one metric series in a [`MetricSample`].
@@ -870,6 +1005,99 @@ mod tests {
         // All mass in one bucket: interpolation spans (0, 10].
         assert_eq!(h.quantile(0.5), Some(5.0));
         assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_the_interval() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "windowed", &[], &[1.0, 2.0, 4.0]);
+        // Warm-up observations land below the first bound …
+        for _ in 0..10 {
+            h.observe(0.5);
+        }
+        let mark = h.snapshot();
+        // … while the window under test is entirely in (1, 2].
+        for _ in 0..4 {
+            h.observe(1.5);
+        }
+        let win = h.snapshot_delta(&mark);
+        assert_eq!(win.count(), 4);
+        assert_eq!(win.sum(), 6.0);
+        assert_eq!(win.mean(), Some(1.5));
+        // The interval quantile sees only the window's bucket: the
+        // median interpolates inside (1, 2], unpolluted by the ten
+        // warm-up observations the live quantile would count.
+        assert_eq!(win.quantile(0.5), Some(1.5));
+        // Live median rank 7 of 14 interpolates inside the warm-up
+        // bucket (0, 1]: 7/10 of the way up.
+        assert_eq!(h.quantile(0.5), Some(0.7), "live series still cumulative");
+    }
+
+    #[test]
+    fn empty_window_snapshot_has_no_quantile() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "idle", &[], &[1.0, 2.0]);
+        h.observe(0.5);
+        let mark = h.snapshot();
+        // No observations between the marks: the idle-window delta must
+        // report empty rather than resurrecting pre-window data.
+        let win = h.snapshot_delta(&mark);
+        assert!(win.is_empty());
+        assert_eq!(win.count(), 0);
+        assert_eq!(win.sum(), 0.0);
+        assert_eq!(win.quantile(0.5), None);
+        assert_eq!(win.mean(), None);
+    }
+
+    #[test]
+    fn single_bucket_window_interpolates_from_zero() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "single", &[], &[10.0]);
+        h.observe(3.0);
+        let mark = h.snapshot();
+        for _ in 0..4 {
+            h.observe(7.0);
+        }
+        // One finite bucket: the window's interpolation spans (0, 10]
+        // exactly like the live estimator's single-bucket case.
+        let win = h.snapshot_delta(&mark);
+        assert_eq!(win.count(), 4);
+        assert_eq!(win.quantile(0.5), Some(5.0));
+        assert_eq!(win.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_window_partitions_growth_into_disjoint_intervals() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "cursor", &[], &[1.0, 2.0]);
+        h.observe(0.5);
+        let mut w = h.window();
+        assert!(
+            w.take_delta().is_empty(),
+            "window starts at the current state"
+        );
+        h.observe(1.5);
+        h.observe(1.5);
+        let first = w.take_delta();
+        assert_eq!(first.count(), 2);
+        assert_eq!(first.quantile(0.5), Some(1.5));
+        assert!(w.take_delta().is_empty(), "same instant twice: nothing new");
+        h.observe(0.2);
+        assert_eq!(w.take_delta().count(), 1);
+    }
+
+    #[test]
+    fn stale_snapshot_mark_saturates_instead_of_wrapping() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h", "stale", &[], &[1.0]);
+        h.observe(0.5);
+        let big_mark = h.snapshot();
+        let other = registry.histogram("h2", "fresh", &[], &[1.0]);
+        // A mark from a busier series than the one being windowed must
+        // clamp to an empty window, not wrap to ~u64::MAX observations.
+        let win = other.snapshot_delta(&big_mark);
+        assert!(win.is_empty());
+        assert_eq!(win.sum(), 0.0);
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //! flamegraph-style text tree ([`TraceSink::render_tree`]).
 
 use crate::audit::AuditEvent;
+use crate::metrics::Counter;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// A finished span as delivered to a [`Collector`].
@@ -62,15 +66,65 @@ impl Collector for NoopCollector {
 }
 
 /// Thread-safe in-memory span store; the default collector.
-#[derive(Debug, Default)]
+///
+/// Retention is bounded: once `capacity` records are held, each new
+/// span evicts the oldest one (counted in [`TraceSink::evicted`] and,
+/// when wired by [`crate::Telemetry`], mirrored into the
+/// `fabric_trace_spans_evicted_total` counter). Consumers that need
+/// every span — the workload scorer resolving [`crate::TxTimeline`]s
+/// under sustained load — should [`TraceSink::drain`] incrementally
+/// instead of letting a million-tx sweep pile up in memory.
+#[derive(Debug)]
 pub struct TraceSink {
-    spans: Mutex<Vec<SpanRecord>>,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    evicted: AtomicU64,
+    eviction_counter: OnceLock<Counter>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TraceSink {
-    /// Creates an empty sink.
+    /// Default retention cap used by [`crate::Telemetry::new`]: deep
+    /// enough for any single-block forensic window, shallow enough that
+    /// an unconsumed sweep stays tens of megabytes, not unbounded.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates an empty sink with the default retention cap.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty sink retaining at most `capacity` records
+    /// (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            spans: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            evicted: AtomicU64::new(0),
+            eviction_counter: OnceLock::new(),
+        }
+    }
+
+    /// Retention cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records evicted to honor the cap since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors evictions into a registry-exported counter (first call
+    /// wins; later calls are ignored). [`crate::Telemetry`] wires this
+    /// to `fabric_trace_spans_evicted_total`.
+    pub fn set_eviction_counter(&self, counter: Counter) {
+        let _ = self.eviction_counter.set(counter);
     }
 
     /// Number of retained records.
@@ -85,7 +139,17 @@ impl TraceSink {
 
     /// Clones out all retained records in completion order.
     pub fn records(&self) -> Vec<SpanRecord> {
-        self.spans.lock().clone()
+        self.spans.lock().iter().cloned().collect()
+    }
+
+    /// Removes and returns all retained records in completion order.
+    ///
+    /// This is the incremental-consumption hook: a scorer that drains
+    /// every logical tick sees each span exactly once and keeps the
+    /// sink's retention (and the eviction counter) at zero no matter
+    /// how long the load run is.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.spans.lock().drain(..).collect()
     }
 
     /// Drops all retained records.
@@ -149,7 +213,15 @@ fn render_node(
 
 impl Collector for TraceSink {
     fn span_finished(&self, record: SpanRecord) {
-        self.spans.lock().push(record);
+        let mut spans = self.spans.lock();
+        if spans.len() >= self.capacity {
+            spans.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            if let Some(counter) = self.eviction_counter.get() {
+                counter.inc();
+            }
+        }
+        spans.push_back(record);
     }
 }
 
@@ -186,5 +258,63 @@ mod tests {
         assert!(tree.contains("root [k=v]"), "{tree}");
         assert!(tree.contains("  child"), "{tree}");
         assert!(tree.contains("(50.0%)"), "{tree}");
+    }
+
+    fn span(id: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            name: format!("s{id}"),
+            fields: vec![],
+            start: Duration::from_millis(id),
+            duration: Duration::from_millis(1),
+            trace_id: 0,
+            node: String::new(),
+        }
+    }
+
+    #[test]
+    fn bounded_sink_evicts_oldest_and_counts_evictions() {
+        let sink = TraceSink::with_capacity(3);
+        assert_eq!(sink.capacity(), 3);
+        for i in 1..=5 {
+            sink.span_finished(span(i));
+        }
+        assert_eq!(sink.len(), 3, "retention cap holds under overflow");
+        assert_eq!(sink.evicted(), 2);
+        let ids: Vec<u64> = sink.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 4, 5], "oldest records are the ones evicted");
+    }
+
+    #[test]
+    fn drain_consumes_each_record_exactly_once() {
+        let sink = TraceSink::with_capacity(8);
+        sink.span_finished(span(1));
+        sink.span_finished(span(2));
+        let first: Vec<u64> = sink.drain().iter().map(|r| r.id).collect();
+        assert_eq!(first, vec![1, 2]);
+        assert!(sink.is_empty());
+        sink.span_finished(span(3));
+        let second: Vec<u64> = sink.drain().iter().map(|r| r.id).collect();
+        assert_eq!(second, vec![3], "a second drain sees only new records");
+        assert_eq!(
+            sink.evicted(),
+            0,
+            "incremental drains never trip the retention cap"
+        );
+    }
+
+    #[test]
+    fn eviction_counter_mirrors_into_exported_metric() {
+        let registry = crate::MetricsRegistry::new();
+        let counter = registry.counter("fabric_trace_spans_evicted_total", "evictions", &[]);
+        let sink = TraceSink::with_capacity(1);
+        sink.set_eviction_counter(counter.clone());
+        sink.span_finished(span(1));
+        assert_eq!(counter.get(), 0, "filling to the cap is not an eviction");
+        sink.span_finished(span(2));
+        sink.span_finished(span(3));
+        assert_eq!(sink.evicted(), 2);
+        assert_eq!(counter.get(), 2, "metric mirrors the sink's counter");
     }
 }

@@ -1,0 +1,36 @@
+//! Telemetry-scored open-loop load harness.
+//!
+//! Reproduces the methodology behind the paper's latency-vs-load
+//! figures (Figs. 7–10 of "On Private Data Collection of Hyperledger
+//! Fabric", ICDCS 2021): offer traffic at fixed arrival rates
+//! regardless of completions, measure per-phase latency and goodput at
+//! each rate, and locate the saturation knee where latency inflates
+//! super-linearly or goodput stops tracking offered load.
+//!
+//! Three pieces:
+//!
+//! * [`WorkloadConfig`] / [`OpMix`] — the workload shape: arrival rate,
+//!   operation mix (contended PDC read-modify-writes, blind PDC writes,
+//!   public puts, SBE-governed puts), Zipfian key skew, BlockToLive
+//!   expiry churn, endorser-failure injection, and an adversarial lane
+//!   that blends attack-lab clients into honest traffic.
+//! * [`run`] / [`run_sweep`] — the open-loop driver: a fractional
+//!   credit accumulator schedules arrivals per logical tick, the
+//!   network advances one tick at a time, and commits/aborts resolve
+//!   against the ledger. Everything tick-denominated is deterministic
+//!   per seed, including across the validation-parallelism knob.
+//! * [`WorkloadScorer`] / [`LoadPoint`] / [`detect_knee`] — scoring
+//!   from the telemetry streams a deployment would export: reset-free
+//!   `fabric_tx_phase_seconds` window deltas, audit-event rates, and
+//!   fabric-monitor alert transitions, aggregated into per-rate rows
+//!   and a named-bottleneck knee.
+
+mod config;
+mod harness;
+mod score;
+mod zipf;
+
+pub use config::{OpKind, OpMix, WorkloadConfig};
+pub use harness::{run, run_sweep, SweepCurve, COLLECTION, GUARDED_NS, SBE_NS};
+pub use score::{detect_knee, KneePoint, LoadPoint, WindowSample, WorkloadScorer};
+pub use zipf::ZipfSampler;

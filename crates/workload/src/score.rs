@@ -1,0 +1,416 @@
+//! Telemetry-scored load results: windowed samples, per-rate load
+//! points, and knee detection over a rate sweep.
+//!
+//! The scorer reads the same streams the operator-facing tooling reads —
+//! `fabric_tx_phase_seconds` histograms (via reset-free
+//! [`HistogramWindow`] deltas), the audit-event log, and fabric-monitor
+//! alert transitions — so a load curve is scored by exactly the
+//! telemetry a production deployment would export, not by
+//! harness-private bookkeeping.
+//!
+//! Determinism is split explicitly: everything derived from logical
+//! ticks (counts, abort rates, tick latencies, audit totals, alert
+//! sequences) is bit-identical across runs of the same seed and across
+//! the validation-parallelism knob, and is what
+//! [`LoadPoint::deterministic_signature`] hashes over. Wall-clock phase
+//! quantiles (`*_ms` fields) vary run to run and are reported for the
+//! latency-vs-load curves only.
+
+use fabric_monitor::{AlertPhase, Monitor};
+use fabric_telemetry::{HistogramWindow, Telemetry, PHASES, PHASE_SECONDS_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One scorer window: deltas of every stream over a fixed tick span.
+#[derive(Debug, Clone)]
+pub struct WindowSample {
+    /// Zero-based window index within the run.
+    pub index: usize,
+    /// First tick covered (inclusive).
+    pub start_tick: u64,
+    /// Last tick covered (exclusive).
+    pub end_tick: u64,
+    /// Transactions submitted to ordering during the window.
+    pub submitted: u64,
+    /// Transactions committed `Valid` during the window.
+    pub committed: u64,
+    /// MVCC aborts resolved during the window.
+    pub aborted_mvcc: u64,
+    /// Audit events emitted during the window, by kind.
+    pub audit: BTreeMap<String, u64>,
+    /// Alert rules that transitioned to `Firing` during the window.
+    pub alerts_fired: Vec<String>,
+    /// Wall-clock per-phase p50 over the window, milliseconds.
+    pub phase_p50_ms: BTreeMap<String, f64>,
+    /// Wall-clock per-phase p99 over the window, milliseconds.
+    pub phase_p99_ms: BTreeMap<String, f64>,
+}
+
+/// Consumes telemetry deltas window by window while a load run drives
+/// the network.
+pub struct WorkloadScorer {
+    telemetry: Telemetry,
+    audit_cursor: usize,
+    transition_cursor: usize,
+    phase_windows: Vec<(&'static str, HistogramWindow)>,
+    window_start_tick: u64,
+    prev_submitted: u64,
+    prev_committed: u64,
+    prev_aborted: u64,
+    windows: Vec<WindowSample>,
+}
+
+impl WorkloadScorer {
+    /// Attaches a scorer to the pipeline the network under load exports
+    /// into. Pre-registers the per-phase histograms so the first window
+    /// can diff against an empty baseline, and marks the current
+    /// audit-log and alert-transition positions so seed-phase noise
+    /// stays out of the first window.
+    pub fn new(telemetry: &Telemetry, monitor: &Monitor) -> Self {
+        let phase_windows = PHASES
+            .iter()
+            .map(|phase| {
+                let histogram = telemetry.metrics().histogram(
+                    "fabric_tx_phase_seconds",
+                    "Per-transaction lifecycle phase latency",
+                    &[("phase", phase)],
+                    PHASE_SECONDS_BUCKETS,
+                );
+                (*phase, histogram.window())
+            })
+            .collect();
+        WorkloadScorer {
+            telemetry: telemetry.clone(),
+            audit_cursor: telemetry.audit().len(),
+            transition_cursor: monitor.transitions().len(),
+            phase_windows,
+            window_start_tick: 0,
+            prev_submitted: 0,
+            prev_committed: 0,
+            prev_aborted: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Closes the current window at `end_tick`. The harness passes its
+    /// *cumulative* submit/commit/abort totals; the scorer diffs them
+    /// against the previous window close.
+    pub fn close_window(
+        &mut self,
+        end_tick: u64,
+        monitor: &Monitor,
+        submitted_total: u64,
+        committed_total: u64,
+        aborted_total: u64,
+    ) -> WindowSample {
+        let mut audit = BTreeMap::new();
+        let events = self.telemetry.audit().events_since(self.audit_cursor);
+        self.audit_cursor += events.len();
+        for event in &events {
+            *audit.entry(event.kind().to_string()).or_insert(0) += 1;
+        }
+
+        let transitions = monitor.transitions();
+        let alerts_fired: Vec<String> = transitions
+            [self.transition_cursor.min(transitions.len())..]
+            .iter()
+            .filter(|t| t.to == AlertPhase::Firing)
+            .map(|t| t.rule.clone())
+            .collect();
+        self.transition_cursor = transitions.len();
+
+        let mut phase_p50_ms = BTreeMap::new();
+        let mut phase_p99_ms = BTreeMap::new();
+        for (phase, window) in &mut self.phase_windows {
+            let delta = window.take_delta();
+            if let Some(p50) = delta.quantile(0.5) {
+                phase_p50_ms.insert(phase.to_string(), p50 * 1e3);
+            }
+            if let Some(p99) = delta.quantile(0.99) {
+                phase_p99_ms.insert(phase.to_string(), p99 * 1e3);
+            }
+        }
+
+        let sample = WindowSample {
+            index: self.windows.len(),
+            start_tick: self.window_start_tick,
+            end_tick,
+            submitted: submitted_total - self.prev_submitted,
+            committed: committed_total - self.prev_committed,
+            aborted_mvcc: aborted_total - self.prev_aborted,
+            audit,
+            alerts_fired,
+            phase_p50_ms,
+            phase_p99_ms,
+        };
+        self.window_start_tick = end_tick;
+        self.prev_submitted = submitted_total;
+        self.prev_committed = committed_total;
+        self.prev_aborted = aborted_total;
+        self.windows.push(sample.clone());
+        sample
+    }
+
+    /// All windows closed so far, in order.
+    pub fn windows(&self) -> &[WindowSample] {
+        &self.windows
+    }
+
+    /// Consumes the scorer, returning its window log.
+    pub fn into_windows(self) -> Vec<WindowSample> {
+        self.windows
+    }
+}
+
+/// One row of a latency-vs-load curve: everything measured at a single
+/// offered rate.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Mean arrivals per tick the generator offered.
+    pub offered_rate: f64,
+    /// Ticks of offered load.
+    pub ticks: u64,
+    /// Extra ticks spent draining in-flight transactions after arrivals
+    /// stopped (backlog depth in disguise).
+    pub drain_ticks: u64,
+    /// Orderer block-cut size = commit capacity per tick.
+    pub block_capacity_per_tick: u64,
+    /// Arrivals the open-loop schedule generated.
+    pub offered: u64,
+    /// Arrivals that reached the ordering service.
+    pub submitted: u64,
+    /// Arrivals replaced by attack-lab adversarial submissions.
+    pub adversarial: u64,
+    /// Arrivals rejected at endorsement (BTL-expired reads, refused
+    /// peers) and never submitted.
+    pub rejected_endorse: u64,
+    /// Transactions committed `Valid`.
+    pub committed: u64,
+    /// Transactions aborted by MVCC read-version conflicts.
+    pub aborted_mvcc: u64,
+    /// Transactions invalidated for any other reason (endorsement
+    /// policy failures from fault injection, adversarial rejections).
+    pub invalid_other: u64,
+    /// Transactions still unresolved when the drain budget ran out.
+    pub unresolved: u64,
+    /// Peak number of simultaneously in-flight transactions.
+    pub peak_in_flight: usize,
+    /// Committed transactions per tick over the whole run.
+    pub goodput_per_tick: f64,
+    /// MVCC aborts / submitted.
+    pub abort_rate: f64,
+    /// Median submit-to-resolve latency of committed txs, in ticks.
+    pub latency_ticks_p50: u64,
+    /// 99th-percentile submit-to-resolve latency, in ticks.
+    pub latency_ticks_p99: u64,
+    /// Run-total audit events by kind.
+    pub audit_events: BTreeMap<String, u64>,
+    /// Alert rules that fired at least once, sorted and deduped.
+    pub alerts: Vec<String>,
+    /// Run-level wall-clock per-phase p50, milliseconds.
+    pub phase_p50_ms: BTreeMap<String, f64>,
+    /// Run-level wall-clock per-phase p99, milliseconds.
+    pub phase_p99_ms: BTreeMap<String, f64>,
+    /// The scorer's window log.
+    pub windows: Vec<WindowSample>,
+}
+
+impl LoadPoint {
+    /// Renders every tick-deterministic field into one string. Two runs
+    /// of the same seed and config — including across the
+    /// validation-parallelism knob — must produce identical signatures;
+    /// wall-clock quantiles are deliberately excluded.
+    pub fn deterministic_signature(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "rate={:.3} ticks={} drain={} cap={} offered={} submitted={} adversarial={} \
+             rejected={} committed={} aborted={} invalid={} unresolved={} peak={} \
+             lat_p50={} lat_p99={}",
+            self.offered_rate,
+            self.ticks,
+            self.drain_ticks,
+            self.block_capacity_per_tick,
+            self.offered,
+            self.submitted,
+            self.adversarial,
+            self.rejected_endorse,
+            self.committed,
+            self.aborted_mvcc,
+            self.invalid_other,
+            self.unresolved,
+            self.peak_in_flight,
+            self.latency_ticks_p50,
+            self.latency_ticks_p99,
+        );
+        let _ = write!(s, " audit={:?} alerts={:?}", self.audit_events, self.alerts);
+        for w in &self.windows {
+            let _ = write!(
+                s,
+                " w{}[{}..{} sub={} com={} abort={} audit={:?} alerts={:?}]",
+                w.index,
+                w.start_tick,
+                w.end_tick,
+                w.submitted,
+                w.committed,
+                w.aborted_mvcc,
+                w.audit,
+                w.alerts_fired,
+            );
+        }
+        s
+    }
+}
+
+/// Where and why a sweep saturated.
+#[derive(Debug, Clone)]
+pub struct KneePoint {
+    /// Index into the sweep's load points.
+    pub index: usize,
+    /// Offered rate at the knee.
+    pub offered_rate: f64,
+    /// `goodput-plateau` or `p99-inflation`.
+    pub reason: String,
+    /// The lifecycle phase blamed for the ceiling.
+    pub bottleneck: String,
+}
+
+/// Marginal goodput below this fraction of the offered-rate increase
+/// counts as a plateau.
+const PLATEAU_MARGINAL: f64 = 0.5;
+
+/// p99 growing more than this multiple of the rate ratio counts as
+/// super-linear inflation.
+const INFLATION_FACTOR: f64 = 2.0;
+
+/// Finds the first load point where the system saturates: marginal
+/// goodput collapses (plateau) or p99 latency inflates super-linearly
+/// relative to the rate increase. Points must be sorted by ascending
+/// `offered_rate`. Returns `None` while every point still scales.
+pub fn detect_knee(points: &[LoadPoint]) -> Option<KneePoint> {
+    for i in 1..points.len() {
+        let prev = &points[i - 1];
+        let p = &points[i];
+        let d_rate = p.offered_rate - prev.offered_rate;
+        if d_rate <= 0.0 {
+            continue;
+        }
+        let marginal = (p.goodput_per_tick - prev.goodput_per_tick) / d_rate;
+        if marginal < PLATEAU_MARGINAL {
+            return Some(KneePoint {
+                index: i,
+                offered_rate: p.offered_rate,
+                reason: "goodput-plateau".into(),
+                bottleneck: name_bottleneck(p),
+            });
+        }
+        let rate_ratio = p.offered_rate / prev.offered_rate;
+        if prev.latency_ticks_p99 > 0 {
+            let p99_ratio = p.latency_ticks_p99 as f64 / prev.latency_ticks_p99 as f64;
+            if p99_ratio > INFLATION_FACTOR * rate_ratio
+                && p.latency_ticks_p99 >= prev.latency_ticks_p99 + 2
+            {
+                return Some(KneePoint {
+                    index: i,
+                    offered_rate: p.offered_rate,
+                    reason: "p99-inflation".into(),
+                    bottleneck: name_bottleneck(p),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Names the phase responsible for a saturated point. Pinned goodput at
+/// the block-cut ceiling (or a backlog that outlived the offered phase)
+/// is the ordering service by construction — the orderer cuts exactly
+/// one block per tick — otherwise the slowest phase by wall-clock p99
+/// takes the blame.
+fn name_bottleneck(p: &LoadPoint) -> String {
+    let at_cut_ceiling = p.block_capacity_per_tick > 0
+        && p.goodput_per_tick >= 0.9 * p.block_capacity_per_tick as f64;
+    let backlog_outlived_run = p.drain_ticks > p.latency_ticks_p99.saturating_mul(2).max(8);
+    if at_cut_ceiling || backlog_outlived_run {
+        return "order".into();
+    }
+    p.phase_p99_ms
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("phase quantiles are finite"))
+        .map(|(phase, _)| phase.clone())
+        .unwrap_or_else(|| "commit".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(rate: f64, goodput: f64, p99: u64) -> LoadPoint {
+        LoadPoint {
+            offered_rate: rate,
+            ticks: 100,
+            drain_ticks: 2,
+            block_capacity_per_tick: 8,
+            offered: (rate * 100.0) as u64,
+            submitted: (rate * 100.0) as u64,
+            adversarial: 0,
+            rejected_endorse: 0,
+            committed: (goodput * 100.0) as u64,
+            aborted_mvcc: 0,
+            invalid_other: 0,
+            unresolved: 0,
+            peak_in_flight: 10,
+            goodput_per_tick: goodput,
+            abort_rate: 0.0,
+            latency_ticks_p50: p99 / 2,
+            latency_ticks_p99: p99,
+            audit_events: BTreeMap::new(),
+            alerts: Vec::new(),
+            phase_p50_ms: BTreeMap::new(),
+            phase_p99_ms: BTreeMap::new(),
+            windows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn no_knee_while_goodput_tracks_offered_rate() {
+        let points = vec![point(2.0, 2.0, 3), point(4.0, 4.0, 3), point(6.0, 6.0, 4)];
+        assert!(detect_knee(&points).is_none());
+    }
+
+    #[test]
+    fn goodput_plateau_is_a_knee_blamed_on_ordering_at_the_cut_ceiling() {
+        let points = vec![point(4.0, 4.0, 3), point(8.0, 7.9, 4), point(12.0, 8.0, 40)];
+        let knee = detect_knee(&points).expect("plateau at 12/tick");
+        assert_eq!(knee.index, 2);
+        assert_eq!(knee.reason, "goodput-plateau");
+        assert_eq!(
+            knee.bottleneck, "order",
+            "goodput pinned at 8/tick capacity"
+        );
+    }
+
+    #[test]
+    fn p99_inflation_is_a_knee_even_before_the_plateau() {
+        let mut saturating = point(8.0, 7.0, 30);
+        saturating.block_capacity_per_tick = 64;
+        saturating.phase_p99_ms.insert("validate".into(), 9.0);
+        saturating.phase_p99_ms.insert("endorse".into(), 1.0);
+        let points = vec![point(2.0, 2.0, 3), point(4.0, 4.0, 3), saturating];
+        let knee = detect_knee(&points).expect("p99 went 3 -> 30 on a 2x rate step");
+        assert_eq!(knee.index, 2);
+        assert_eq!(knee.reason, "p99-inflation");
+        assert_eq!(knee.bottleneck, "validate", "slowest phase by wall p99");
+    }
+
+    #[test]
+    fn deterministic_signature_ignores_wall_clock_fields() {
+        let mut a = point(4.0, 4.0, 3);
+        let mut b = point(4.0, 4.0, 3);
+        a.phase_p99_ms.insert("commit".into(), 1.23);
+        b.phase_p99_ms.insert("commit".into(), 9.87);
+        assert_eq!(a.deterministic_signature(), b.deterministic_signature());
+        b.committed += 1;
+        assert_ne!(a.deterministic_signature(), b.deterministic_signature());
+    }
+}

@@ -1,0 +1,141 @@
+//! Zipfian key sampling with a precomputed CDF.
+//!
+//! Load generators skew key popularity to model real contention: a few
+//! hot keys absorb most writes while a long tail stays cold. The
+//! sampler draws from a Zipf(s) distribution over `0..n` where key `i`
+//! has weight `1 / (i + 1)^s`; `s = 0` degenerates to uniform. The CDF
+//! is computed once up front so sampling is one uniform draw plus a
+//! binary search — cheap enough to sit inside the per-tick arrival loop.
+//!
+//! The vendored `rand` subset only samples integer ranges, so the
+//! uniform unit draw derives 53 mantissa bits from `next_u64` directly
+//! (the same construction `gen_bool` uses).
+
+use rand::RngCore;
+
+/// Draws key indices from `0..n` with Zipfian skew.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cdf[i]` = P(key <= i); the last entry is exactly 1.0.
+    cdf: Vec<f64>,
+    skew: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` keys (clamped to at least 1) with
+    /// exponent `skew >= 0`.
+    pub fn new(n: usize, skew: f64) -> Self {
+        let n = n.max(1);
+        assert!(skew >= 0.0, "zipf skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Pin the top so a unit draw of exactly 1.0 - eps can't fall off
+        // the end through rounding.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf, skew }
+    }
+
+    /// Number of keys in the sampled range.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True only for the degenerate single-key sampler.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The skew exponent the sampler was built with.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Draws one key index in `0..len()`.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // First bucket whose cumulative probability covers the draw.
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&unit).expect("cdf is NaN-free"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(sampler: &ZipfSampler, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; sampler.len()];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(16, 0.0);
+        let counts = histogram(&sampler, 32_000, 7);
+        let expected = 32_000 / 16;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < expected as u64 / 2,
+                "bucket {i} count {c} too far from uniform {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_skew_concentrates_on_the_head() {
+        let sampler = ZipfSampler::new(128, 0.99);
+        let counts = histogram(&sampler, 32_000, 7);
+        // At s = 0.99 over 128 keys the top-4 mass is ~0.38 while the
+        // entire 64-key tail holds ~0.13.
+        let head: usize = counts[..4].iter().sum();
+        let tail: usize = counts[64..].iter().sum();
+        assert!(
+            head > 2 * tail.max(1),
+            "head {head} should dwarf tail {tail} at skew 0.99"
+        );
+        assert!(counts[0] > counts[8] && counts[8] >= counts[64]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let sampler = ZipfSampler::new(64, 0.8);
+        assert_eq!(
+            histogram(&sampler, 1_000, 42),
+            histogram(&sampler, 1_000, 42)
+        );
+        assert_ne!(
+            histogram(&sampler, 1_000, 42),
+            histogram(&sampler, 1_000, 43)
+        );
+    }
+
+    #[test]
+    fn single_key_sampler_always_returns_zero() {
+        let sampler = ZipfSampler::new(1, 3.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+}

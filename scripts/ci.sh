@@ -11,6 +11,9 @@
 #   5b. e2e-throughput bench smoke run                — the end-to-end
 #      fan-out bench must keep measuring both fan-out modes, and
 #      BENCH_e2e.json must keep its headline speedup field
+#   5c. workload-throughput bench smoke run           — the open-loop
+#      sweep must keep producing multi-rate curves with knees, and
+#      BENCH_workload.json must keep its header + per-rate rows
 #   6. telemetry example smoke run                    — the metric surface
 #      other tooling scrapes (names below) must keep exporting
 #   7. trace_tx example smoke run                     — a tx id must keep
@@ -74,6 +77,23 @@ for t in \
 done
 echo "zero-copy inventory: allocator + convergence tests present"
 
+echo "==> workload_determinism test inventory"
+# The determinism tests are the proof the workload harness is a usable
+# measurement instrument (same seed+config ⇒ identical tick-denominated
+# results, including across the parallel-validation knob); pin their
+# names so a refactor can't silently drop the proof.
+determinism_tests="$(cargo test --release --test workload_determinism -- --list)"
+for t in \
+    same_seed_and_config_reproduce_the_load_point_exactly \
+    parallel_validation_changes_wall_clock_only \
+    different_seeds_produce_different_schedules; do
+    if ! grep -q "${t}" <<<"$determinism_tests"; then
+        echo "FAIL: workload_determinism no longer lists test '${t}'" >&2
+        exit 1
+    fi
+done
+echo "workload inventory: determinism tests present"
+
 echo "==> commit_throughput --smoke"
 bench_out="$(cargo run --release -p fabric-bench --bin commit_throughput -- --smoke)"
 echo "$bench_out"
@@ -105,6 +125,26 @@ for field in '"bench": "e2e_throughput"' '"speedup_4peers_1000tx_shared_vs_deep_
     fi
 done
 echo "e2e_throughput smoke: both fan-out modes + recorded baseline present"
+
+echo "==> workload_throughput --smoke"
+workload_out="$(cargo run --release -p fabric-bench --bin workload_throughput -- --smoke)"
+echo "$workload_out"
+# The sweep must keep fitting both curves (uniform + zipf) and locating
+# a knee, and the recorded JSON must keep its header and at least two
+# distinct offered-rate rows per curve.
+for row in "skew0.00/pdc-heavy" "skew0.99/pdc-heavy" "knee at rate" "sub-knee mvcc abort rate"; do
+    if ! grep -q "${row}" <<<"$workload_out"; then
+        echo "FAIL: workload_throughput smoke output is missing '${row}'" >&2
+        exit 1
+    fi
+done
+for field in '"bench": "workload_throughput"' '"offered_rate": 1.0' '"offered_rate": 8.0' '"knee"'; do
+    if ! grep -qF "${field}" BENCH_workload.json; then
+        echo "FAIL: BENCH_workload.json is missing ${field}" >&2
+        exit 1
+    fi
+done
+echo "workload_throughput smoke: both curves, knee, and recorded sweep present"
 
 echo "==> telemetry example --smoke"
 # The Prometheus dump must keep exporting the metric families dashboards
